@@ -1,0 +1,343 @@
+package mcbnet
+
+// One benchmark per evaluation artifact (see DESIGN.md's per-experiment
+// index). Each benchmark runs the paper's workload at a fixed size and
+// reports the model's cost measures — cycles and broadcast messages — as
+// custom metrics alongside wall time; `cmd/mcbbench` produces the full
+// parameter-sweep tables for the same experiments.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mcbnet/internal/adversary"
+	"mcbnet/internal/core"
+	"mcbnet/internal/crew"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/ipbam"
+	"mcbnet/internal/matrix"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/schedule"
+	"mcbnet/internal/shoutecho"
+)
+
+func benchSort(b *testing.B, inputs [][]int64, k int, algo core.Algorithm) *core.Report {
+	b.Helper()
+	var rep *core.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rep, err = core.Sort(inputs, core.SortOptions{K: k, Algorithm: algo, StallTimeout: 5 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Stats.Cycles), "cycles")
+	b.ReportMetric(float64(rep.Stats.Messages), "msgs")
+	return rep
+}
+
+func benchSelect(b *testing.B, inputs [][]int64, k, d int, algo core.SelectAlgorithm) *core.SelectReport {
+	b.Helper()
+	var rep *core.SelectReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, rep, err = core.Select(inputs, core.SelectOptions{K: k, D: d, Algorithm: algo, StallTimeout: 5 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Stats.Cycles), "cycles")
+	b.ReportMetric(float64(rep.Stats.Messages), "msgs")
+	return rep
+}
+
+// BenchmarkSortEven is experiment E1 (Cor 5): even sort at Theta(n) messages
+// and Theta(n/k) cycles.
+func BenchmarkSortEven(b *testing.B) {
+	for _, n := range []int{4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("n=%d/p=16/k=8", n), func(b *testing.B) {
+			inputs := dist.Values(dist.NewRNG(uint64(n)), dist.Even(n, 16))
+			rep := benchSort(b, inputs, 8, core.AlgoColumnsortGather)
+			b.ReportMetric(float64(rep.Stats.Cycles)/(float64(n)/8), "cycles/(n÷k)")
+		})
+	}
+}
+
+// BenchmarkSortUneven is experiment E2 (Cor 6): cycles track max{n/k, n_max}.
+func BenchmarkSortUneven(b *testing.B) {
+	n, p, k := 16384, 16, 8
+	for _, frac := range []float64{0.1, 0.5, 0.85} {
+		b.Run(fmt.Sprintf("nmax=%.0f%%", frac*100), func(b *testing.B) {
+			card := dist.OneHeavy(n, p, frac)
+			inputs := dist.Values(dist.NewRNG(uint64(frac*100)), card)
+			rep := benchSort(b, inputs, k, core.AlgoColumnsortGather)
+			pred := float64(max(n/k, card.Max()))
+			b.ReportMetric(float64(rep.Stats.Cycles)/pred, "cycles/pred")
+		})
+	}
+}
+
+// BenchmarkSelect is experiment E3 (Cor 7): selection at Theta(p log(kn/p))
+// messages.
+func BenchmarkSelect(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d/p=16/k=4", n), func(b *testing.B) {
+			inputs := dist.Values(dist.NewRNG(uint64(n)), dist.Even(n, 16))
+			rep := benchSelect(b, inputs, 4, n/2, core.SelFiltering)
+			logT := math.Log2(float64(4*n) / 16)
+			b.ReportMetric(float64(rep.Stats.Messages)/(16*logT), "msgs/(p·log)")
+		})
+	}
+}
+
+// BenchmarkSelectVsSortBaseline is experiment E4: the filtering/baseline
+// message crossover.
+func BenchmarkSelectVsSortBaseline(b *testing.B) {
+	n, p, k := 16384, 16, 4
+	inputs := dist.Values(dist.NewRNG(4), dist.Even(n, p))
+	b.Run("filtering", func(b *testing.B) { benchSelect(b, inputs, k, n/2, core.SelFiltering) })
+	b.Run("sort-baseline", func(b *testing.B) { benchSelect(b, inputs, k, n/2, core.SelSortBaseline) })
+}
+
+// BenchmarkSortChannelScaling is experiment E5: cycles scale as 1/k until
+// n_max dominates.
+func BenchmarkSortChannelScaling(b *testing.B) {
+	n, p := 16384, 16
+	for _, k := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			inputs := dist.Values(dist.NewRNG(uint64(k)), dist.Even(n, p))
+			rep := benchSort(b, inputs, k, core.AlgoColumnsortGather)
+			b.ReportMetric(float64(rep.Stats.Cycles)*float64(k)/float64(n), "cycles·k/n")
+		})
+	}
+}
+
+// BenchmarkSelectFilterPhases is experiment E6 (Fig 2): >= 1/4 purged per
+// phase.
+func BenchmarkSelectFilterPhases(b *testing.B) {
+	n, p, k := 65536, 16, 4
+	inputs := dist.Values(dist.NewRNG(6), dist.Even(n, p))
+	rep := benchSelect(b, inputs, k, n/2, core.SelFiltering)
+	minPurge := 1.0
+	for _, f := range rep.PurgeFractions {
+		if f < minPurge {
+			minPurge = f
+		}
+	}
+	if minPurge < 0.25 {
+		b.Fatalf("phase purged %.3f < 1/4", minPurge)
+	}
+	b.ReportMetric(float64(rep.FilterPhases), "phases")
+	b.ReportMetric(minPurge, "min-purge")
+}
+
+// BenchmarkSingleChannelSorts is experiment E7 (Sec 6.1): the three linear
+// single-channel sorts.
+func BenchmarkSingleChannelSorts(b *testing.B) {
+	n, p := 2048, 8
+	inputs := dist.Values(dist.NewRNG(7), dist.Even(n, p))
+	for _, algo := range []core.Algorithm{core.AlgoRankSort, core.AlgoMergeSort, core.AlgoColumnsortGather} {
+		b.Run(algo.String(), func(b *testing.B) {
+			rep := benchSort(b, inputs, 1, algo)
+			b.ReportMetric(float64(rep.Stats.MaxAux), "aux-words")
+		})
+	}
+}
+
+// BenchmarkSortRecursive is experiment E8 (Sec 6.2): recursive Columnsort on
+// n < k^2(k-1).
+func BenchmarkSortRecursive(b *testing.B) {
+	p, ni, k := 64, 4, 16
+	inputs := dist.Values(dist.NewRNG(8), dist.Even(p*ni, p))
+	b.Run("recursive", func(b *testing.B) { benchSort(b, inputs, k, core.AlgoColumnsortRecursive) })
+	b.Run("gather", func(b *testing.B) { benchSort(b, inputs, k, core.AlgoColumnsortGather) })
+}
+
+// BenchmarkTransforms is experiment E9 (Fig 1): the in-memory matrix
+// transformations.
+func BenchmarkTransforms(b *testing.B) {
+	sh := matrix.Shape{M: 4096, K: 16}
+	data := make([]int64, sh.N())
+	for i := range data {
+		data[i] = int64(i)
+	}
+	buf := make([]int64, sh.N())
+	for _, tr := range []struct {
+		name string
+		f    matrix.Transform
+	}{
+		{"transpose", matrix.Transpose},
+		{"un-diagonalize", matrix.UnDiagonalize},
+		{"up-shift", matrix.UpShift},
+		{"down-shift", matrix.DownShift},
+	} {
+		b.Run(tr.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.Apply(sh, data, tr.f, buf)
+			}
+		})
+	}
+}
+
+// BenchmarkSimulationOverhead is experiment E10 (Sec 2): MCB-on-MCB
+// simulation cost.
+func BenchmarkSimulationOverhead(b *testing.B) {
+	prog := func(v *mcb.VProc) {
+		for i := 0; i < 20; i++ {
+			if v.ID() == i%v.P() {
+				v.Write(i%v.K(), mcb.MsgX(0, int64(i)))
+			} else {
+				v.Read(i % v.K())
+			}
+		}
+	}
+	for _, host := range []struct{ p, k int }{{16, 4}, {8, 2}, {4, 2}} {
+		b.Run(fmt.Sprintf("host=%dx%d", host.p, host.k), func(b *testing.B) {
+			var res *mcb.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = mcb.SimulateUniform(mcb.Config{P: host.p, K: host.k, StallTimeout: time.Minute}, 16, 4, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Cycles)/20, "hostcyc/vcyc")
+		})
+	}
+}
+
+// BenchmarkScheduleAblation is experiment E11: closed-form vs edge-coloring
+// schedule construction.
+func BenchmarkScheduleAblation(b *testing.B) {
+	sh := matrix.Shape{M: 1024, K: 16}
+	b.Run("transpose-closed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			schedule.TransposeClosed(sh)
+		}
+	})
+	b.Run("transpose-coloring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			schedule.RouteMatching(sh, matrix.Transpose)
+		}
+	})
+	b.Run("undiagonalize-coloring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			schedule.RouteMatching(sh, matrix.UnDiagonalize)
+		}
+	})
+}
+
+// BenchmarkLowerBoundGap is experiment E12 (Sec 4): measured cost over the
+// adversary lower bound.
+func BenchmarkLowerBoundGap(b *testing.B) {
+	n, p, k := 8192, 16, 8
+	card := dist.Even(n, p)
+	inputs := dist.Values(dist.NewRNG(12), card)
+	b.Run("sort", func(b *testing.B) {
+		rep := benchSort(b, inputs, k, core.AlgoColumnsortGather)
+		b.ReportMetric(float64(rep.Stats.Messages)/adversary.SortingMessagesLB(card), "msgs/LB")
+	})
+	b.Run("select", func(b *testing.B) {
+		rep := benchSelect(b, inputs, k, n/2, core.SelFiltering)
+		b.ReportMetric(float64(rep.Stats.Messages)/adversary.SelectionMessagesLB(card, n/2), "msgs/LB")
+	})
+}
+
+// BenchmarkSortMemoryModes is experiment E13 (Sec 6.1): gather vs virtual
+// column memory/cycle trade.
+func BenchmarkSortMemoryModes(b *testing.B) {
+	n, p, k := 8192, 32, 4
+	inputs := dist.Values(dist.NewRNG(13), dist.Even(n, p))
+	for _, algo := range []core.Algorithm{core.AlgoColumnsortGather, core.AlgoColumnsortVirtual} {
+		b.Run(algo.String(), func(b *testing.B) {
+			rep := benchSort(b, inputs, k, algo)
+			b.ReportMetric(float64(rep.Stats.MaxAux), "aux-words")
+		})
+	}
+}
+
+// BenchmarkShoutEchoSelect is experiment E14 (Sec 9 / [Marb85]): selection
+// in the Shout-Echo model, O(log n) rounds.
+func BenchmarkShoutEchoSelect(b *testing.B) {
+	for _, n := range []int{4096, 65536} {
+		b.Run(fmt.Sprintf("n=%d/p=16", n), func(b *testing.B) {
+			inputs := dist.Values(dist.NewRNG(uint64(n)), dist.Even(n, 16))
+			var rep *shoutecho.SelectReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, rep, err = shoutecho.Select(inputs, n/2, shoutecho.Config{StallTimeout: time.Minute})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Stats.Rounds), "rounds")
+			b.ReportMetric(float64(rep.Stats.Rounds)/math.Log2(float64(n)), "rounds/log2(n)")
+		})
+	}
+}
+
+// BenchmarkColumnsortOnCREW is experiment E15 (Sec 9): the MCB Columnsort on
+// CREW shared memory with k cells.
+func BenchmarkColumnsortOnCREW(b *testing.B) {
+	const n, p, k = 2048, 16, 8
+	inputs := dist.Values(dist.NewRNG(15), dist.Even(n, p))
+	var res *crew.Result
+	for i := 0; i < b.N; i++ {
+		outputs := make([][]int64, p)
+		var err error
+		res, err = crew.RunUniform(crew.Config{P: p, Cells: k, StallTimeout: time.Minute},
+			func(pr *crew.Proc) {
+				node := crew.NewMCBNode(pr, k)
+				outputs[node.ID()] = core.SortNode(node, inputs[node.ID()], core.AlgoColumnsortGather)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Stats.Steps), "steps")
+	b.ReportMetric(float64(res.Stats.CellsTouched), "cells")
+}
+
+// BenchmarkExtremaAcrossModels is experiment E16: max-finding on IPBAM
+// (collision bits), MCB (Partial-Sums) and Shout-Echo.
+func BenchmarkExtremaAcrossModels(b *testing.B) {
+	const p = 64
+	inputs := dist.Values(dist.NewRNG(16), dist.NearlyEven(4*p, p))
+	b.Run("ipbam", func(b *testing.B) {
+		var res *ipbam.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, res, err = ipbam.FindMax(inputs, ipbam.Config{StallTimeout: time.Minute})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Stats.Slots), "slots")
+	})
+	b.Run("mcb", func(b *testing.B) {
+		var res *mcb.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = mcb.RunUniform(mcb.Config{P: p, K: 4, StallTimeout: time.Minute}, func(pr mcb.Node) {
+				core.MaxNode(pr, inputs[pr.ID()])
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Stats.Cycles), "cycles")
+	})
+	b.Run("shoutecho", func(b *testing.B) {
+		var res *shoutecho.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, res, err = shoutecho.Max(inputs, shoutecho.Config{StallTimeout: time.Minute})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+	})
+}

@@ -1,0 +1,55 @@
+// Command mcbbench regenerates the paper's evaluation artifacts: one table
+// (or figure) per experiment E1..E13 as indexed in DESIGN.md.
+//
+// Usage:
+//
+//	mcbbench            # run everything (full sweeps)
+//	mcbbench -quick     # smaller sweeps
+//	mcbbench -exp E3    # one experiment
+//	mcbbench -list      # list experiments and their claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mcbnet/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment id (e.g. E3); empty = all")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Claim)
+		start := time.Now()
+		for _, tb := range e.Run(*quick) {
+			fmt.Println(tb.String())
+		}
+		fmt.Printf("(%s took %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp != "" {
+		e, ok := experiments.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mcbbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e)
+	}
+}

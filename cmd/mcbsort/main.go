@@ -1,0 +1,118 @@
+// Command mcbsort runs a distributed sort on a simulated MCB(p, k) network
+// and reports the model costs (cycles and broadcast messages).
+//
+// Usage:
+//
+//	mcbsort -n 65536 -p 16 -k 8 [-algo auto|gather|virtual|rank|merge|recursive]
+//	        [-dist even|random|oneheavy|geometric] [-seed 1] [-asc] [-v]
+//
+// The workload is generated deterministically from -seed; -v prints the
+// per-phase cycle breakdown and the sorted boundaries of each processor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mcbnet/internal/adversary"
+	"mcbnet/internal/core"
+	"mcbnet/internal/dist"
+)
+
+func main() {
+	n := flag.Int("n", 65536, "total number of elements")
+	p := flag.Int("p", 16, "number of processors")
+	k := flag.Int("k", 8, "number of broadcast channels")
+	algo := flag.String("algo", "auto", "algorithm: auto, gather, virtual, rank, merge, recursive")
+	distName := flag.String("dist", "even", "distribution: even, random, oneheavy, geometric")
+	heavy := flag.Float64("heavy", 0.5, "n_max/n fraction for -dist oneheavy")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	asc := flag.Bool("asc", false, "sort ascending instead of the paper's descending order")
+	verbose := flag.Bool("v", false, "print phase breakdown and processor boundaries")
+	flag.Parse()
+
+	algorithm, err := parseAlgo(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	card, err := makeCard(*distName, *n, *p, *heavy, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	r := dist.NewRNG(*seed)
+	inputs := dist.Values(r, card)
+
+	opts := core.SortOptions{K: *k, Algorithm: algorithm, StallTimeout: 5 * time.Minute}
+	if *asc {
+		opts.Order = core.Ascending
+	}
+	start := time.Now()
+	outputs, rep, err := core.Sort(inputs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("sorted n=%d on MCB(p=%d, k=%d) with %s\n", *n, *p, *k, rep.Algorithm)
+	if rep.Columns > 0 {
+		fmt.Printf("columns: %d of length %d\n", rep.Columns, rep.ColumnLen)
+	}
+	fmt.Printf("cycles:   %d   (n/k = %d, n_max = %d)\n", rep.Stats.Cycles, *n / *k, card.Max())
+	fmt.Printf("messages: %d   (n = %d)\n", rep.Stats.Messages, *n)
+	fmt.Printf("lower bounds: %.0f messages, %.0f cycles (Sec 4)\n",
+		adversary.SortingMessagesLB(card), adversary.SortingCyclesLB(card, *k))
+	fmt.Printf("max aux memory: %d words; wall time %v\n", rep.Stats.MaxAux, wall.Round(time.Millisecond))
+
+	if *verbose {
+		fmt.Println("\nphase breakdown (cycles):")
+		for _, pc := range rep.PhaseCycles {
+			fmt.Printf("  %-28s %d\n", pc.Label, pc.Cycles)
+		}
+		fmt.Println("\nper-processor boundaries (first, last):")
+		for i, out := range outputs {
+			fmt.Printf("  P%-3d n_i=%-6d [%d .. %d]\n", i+1, len(out), out[0], out[len(out)-1])
+		}
+	}
+}
+
+func parseAlgo(s string) (core.Algorithm, error) {
+	switch s {
+	case "auto":
+		return core.AlgoAuto, nil
+	case "gather":
+		return core.AlgoColumnsortGather, nil
+	case "virtual":
+		return core.AlgoColumnsortVirtual, nil
+	case "rank":
+		return core.AlgoRankSort, nil
+	case "merge":
+		return core.AlgoMergeSort, nil
+	case "recursive":
+		return core.AlgoColumnsortRecursive, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func makeCard(name string, n, p int, heavy float64, seed uint64) (dist.Cardinalities, error) {
+	if n < p {
+		return nil, fmt.Errorf("need n >= p (every processor holds at least one element)")
+	}
+	switch name {
+	case "even":
+		return dist.NearlyEven(n, p), nil
+	case "random":
+		return dist.RandomComposition(dist.NewRNG(seed^0xabcd), n, p), nil
+	case "oneheavy":
+		return dist.OneHeavy(n, p, heavy), nil
+	case "geometric":
+		return dist.Geometric(n, p), nil
+	}
+	return nil, fmt.Errorf("unknown distribution %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcbsort:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Shrink: run an algorithm written for a big broadcast network on a much
+// smaller one, unchanged — the Section 2 simulation theorem in action.
+//
+// An MCB(16, 8) sorting job (16 stations, 8 channels) is executed twice:
+// natively, and hosted on an MCB(4, 2) — a quarter of the stations, a
+// quarter of the channels — where every host station impersonates four
+// virtual stations and every host channel time-slices four virtual channels.
+// The outputs are identical; the cost inflates by the simulation overhead
+// (⌈p'/p⌉²·⌈k'/k⌉ host cycles per virtual cycle plus termination-detection
+// traffic; see EXPERIMENTS.md E10).
+//
+//	go run ./examples/shrink
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcbnet"
+	"mcbnet/internal/core"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/mcb"
+)
+
+const (
+	bigP, bigK   = 16, 8
+	hostP, hostK = 4, 2
+)
+
+func main() {
+	r := dist.NewRNG(11)
+	card := dist.NearlyEven(640, bigP)
+	inputs := dist.Values(r, card)
+
+	// Native run on the full-size network.
+	native, nrep, err := mcbnet.Sort(inputs, mcbnet.SortOptions{K: bigK})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("native MCB(%d,%d):    %6d cycles  %6d messages\n",
+		bigP, bigK, nrep.Stats.Cycles, nrep.Stats.Messages)
+
+	// The same job on the shrunken host.
+	hosted := make([][]int64, bigP)
+	hres, err := mcb.SimulateUniform(
+		mcb.Config{P: hostP, K: hostK},
+		bigP, bigK,
+		func(v *mcb.VProc) {
+			hosted[v.ID()] = core.SortNode(v, inputs[v.ID()], core.AlgoColumnsortGather)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hosted on MCB(%d,%d):  %6d cycles  %6d messages  (q=%d virtual stations per host)\n",
+		hostP, hostK, hres.Stats.Cycles, hres.Stats.Messages, bigP/hostP)
+
+	for i := range native {
+		for j := range native[i] {
+			if native[i][j] != hosted[i][j] {
+				log.Fatalf("outputs differ at station %d position %d", i, j)
+			}
+		}
+	}
+	fmt.Printf("\noutputs identical; simulation overhead %.1fx cycles, %.1fx messages\n",
+		float64(hres.Stats.Cycles)/float64(nrep.Stats.Cycles),
+		float64(hres.Stats.Messages)/float64(nrep.Stats.Messages))
+}

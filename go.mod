@@ -1,0 +1,3 @@
+module mcbnet
+
+go 1.24

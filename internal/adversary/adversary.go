@@ -1,0 +1,104 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Selection implements the Theorem 1 adversary as an executable state
+// machine. Processors are paired off in non-increasing cardinality order;
+// within a pair both sides hold the same number of median candidates (the
+// imbalance is pre-fixed to very-small/very-large values). Whenever a
+// message carries a candidate of one side, the adversary fixes that
+// candidate and everything on its side of the pair median — at most m+1 of
+// the pair's 2m candidates — so an algorithm needs at least log2(2 m_j)
+// messages per pair to shrink it to a single candidate.
+//
+// The machine exists to make the proof's bookkeeping testable: for any
+// message strategy, the number of ProcessMessage calls needed to finish is
+// at least MessagesLB().
+type Selection struct {
+	pairIdx []int        // processor id -> pair index, -1 if unpaired
+	pairs   []*pairState // per-pair candidate counts
+}
+
+type pairState struct {
+	a, b int // processor ids (b = -1 for the odd leftover, which starts fixed)
+	c    int // candidates per side (the pair holds 2c candidates)
+}
+
+// NewSelection builds the adversary for the given cardinalities.
+func NewSelection(card []int) *Selection {
+	p := len(card)
+	ids := make([]int, p)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(x, y int) bool { return card[ids[x]] > card[ids[y]] })
+	ad := &Selection{pairIdx: make([]int, p)}
+	for i := range ad.pairIdx {
+		ad.pairIdx[i] = -1
+	}
+	for i := 0; i+1 < p; i += 2 {
+		a, b := ids[i], ids[i+1]
+		// card[a] >= card[b]; the excess card[a]-card[b] at a is pre-fixed,
+		// leaving card[b] candidates on each side.
+		ps := &pairState{a: a, b: b, c: card[b]}
+		ad.pairIdx[a] = len(ad.pairs)
+		ad.pairIdx[b] = len(ad.pairs)
+		ad.pairs = append(ad.pairs, ps)
+	}
+	// Odd leftover processor: all its elements are pre-fixed (half small,
+	// half large); it never holds candidates.
+	return ad
+}
+
+// Candidates returns the total number of remaining median candidates.
+func (ad *Selection) Candidates() int {
+	total := 0
+	for _, ps := range ad.pairs {
+		total += 2 * ps.c
+	}
+	return total
+}
+
+// Done reports whether at most one candidate remains per the proof's
+// termination condition (every pair shrunk to nothing, except possibly one
+// single candidate).
+func (ad *Selection) Done() bool { return ad.Candidates() <= 1 }
+
+// ProcessMessage feeds the adversary a message that contains the candidate
+// of processor proc whose rank among that side's candidates is r (1-based,
+// ascending). It returns the number of candidates eliminated; at most c+1 of
+// the pair's 2c candidates go per message, and at least one goes whenever
+// the side is non-empty. Messages carrying no candidate are simply not fed.
+func (ad *Selection) ProcessMessage(proc, r int) (int, error) {
+	if proc < 0 || proc >= len(ad.pairIdx) || ad.pairIdx[proc] < 0 {
+		return 0, fmt.Errorf("adversary: processor %d holds no candidates", proc)
+	}
+	ps := ad.pairs[ad.pairIdx[proc]]
+	if ps.c == 0 {
+		return 0, fmt.Errorf("adversary: pair of processor %d is exhausted", proc)
+	}
+	if r < 1 || r > ps.c {
+		return 0, fmt.Errorf("adversary: rank %d out of [1, %d]", r, ps.c)
+	}
+	med := (ps.c + 1) / 2
+	var gone int
+	if r <= med {
+		// Fix the candidate and everything smaller on this side very small,
+		// and as many on the other side very large.
+		gone = 2 * r
+		ps.c -= r
+	} else {
+		// Fix the candidate and everything larger very large, mirrored.
+		gone = 2 * (ps.c - r + 1)
+		ps.c = r - 1
+	}
+	return gone, nil
+}
+
+// MessagesLB returns the Theorem 1 bound for this instance.
+func (ad *Selection) MessagesLB(card []int) float64 {
+	return SelectionMedianMessagesLB(card)
+}

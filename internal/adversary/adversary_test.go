@@ -1,0 +1,182 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mcbnet/internal/dist"
+)
+
+func TestSelectionMedianMessagesLBValues(t *testing.T) {
+	// Two processors with 8 elements each: (log2(16)+log2(16)-log2(16))/2 = 2.
+	if got := SelectionMedianMessagesLB([]int{8, 8}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("got %f, want 2", got)
+	}
+	// Single processor: zero (everything local).
+	if got := SelectionMedianMessagesLB([]int{100}); got != 0 {
+		t.Errorf("single proc LB = %f, want 0", got)
+	}
+	if got := SelectionMedianMessagesLB(nil); got != 0 {
+		t.Errorf("empty LB = %f", got)
+	}
+}
+
+func TestSelectionMessagesLBGeneralRank(t *testing.T) {
+	card := []int{16, 16, 16, 16}
+	// d = n/2 = 32 >= p: s counts n_i >= d/p = 8 -> s = 4.
+	got := SelectionMessagesLB(card, 32)
+	want := (3 * math.Log2(2*32.0/4)) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("got %f, want %f", got, want)
+	}
+	// Small d falls back to the Theorem 1 bound.
+	if got := SelectionMessagesLB(card, 2); got != SelectionMedianMessagesLB(card) {
+		t.Errorf("small-d fallback mismatch")
+	}
+}
+
+func TestSortingBounds(t *testing.T) {
+	// Even: (n - 0)/2.
+	if got := SortingMessagesLB([]int{4, 4, 4}); got != 6 {
+		t.Errorf("even messages LB = %f, want 6", got)
+	}
+	// One-heavy: n=20, nmax=17, nmax2=2 -> (20-15)/2 = 2.5.
+	if got := SortingMessagesLB([]int{17, 2, 1}); got != 2.5 {
+		t.Errorf("uneven messages LB = %f", got)
+	}
+	// Cycle bound: dominated by min(nmax, n-nmax) when nmax large.
+	if got := SortingCyclesLB([]int{17, 2, 1}, 2); got != 3 {
+		t.Errorf("cycles LB = %f, want 3", got)
+	}
+	// Dominated by messages/k when even.
+	if got := SortingCyclesLB([]int{4, 4, 4}, 2); got != 4 {
+		t.Errorf("cycles LB = %f, want 4 (min(4,8)=4 vs 6/2=3)", got)
+	}
+}
+
+func TestAdversaryEliminationCap(t *testing.T) {
+	// No single message may eliminate more than c+1 of a pair's 2c
+	// candidates.
+	ad := NewSelection([]int{10, 10})
+	for r := 1; r <= 10; r++ {
+		ad2 := NewSelection([]int{10, 10})
+		gone, err := ad2.ProcessMessage(0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gone > 11 {
+			t.Errorf("rank %d eliminated %d > c+1 = 11", r, gone)
+		}
+		if gone < 2 {
+			t.Errorf("rank %d eliminated %d < 2", r, gone)
+		}
+	}
+	_ = ad
+}
+
+func TestAdversaryBestStrategyMeetsLogBound(t *testing.T) {
+	// Even an optimal algorithm (always revealing the pair median) needs at
+	// least the Theorem 1 message count.
+	for _, card := range [][]int{
+		{8, 8}, {16, 16, 16, 16}, {32, 1}, {100, 50, 25, 12, 6},
+	} {
+		ad := NewSelection(card)
+		msgs := 0
+		for !ad.Done() {
+			// Find a pair with candidates and reveal its median.
+			sent := false
+			for proc, pi := range ad.pairIdx {
+				if pi < 0 || ad.pairs[pi].c == 0 {
+					continue
+				}
+				r := (ad.pairs[pi].c + 1) / 2
+				if _, err := ad.ProcessMessage(proc, r); err != nil {
+					t.Fatal(err)
+				}
+				msgs++
+				sent = true
+				break
+			}
+			if !sent {
+				break
+			}
+		}
+		// The closed form is asymptotic: each message may kill m+1 of a
+		// pair's 2m candidates, so a pair can die in ceil(log2) messages —
+		// up to one below the closed-form term. Allow that slack per pair.
+		lb := SelectionMedianMessagesLB(card) - float64(len(card)/2)
+		if float64(msgs) < lb-1e-9 {
+			t.Errorf("card %v: optimal strategy used %d messages < LB %.2f", card, msgs, lb)
+		}
+	}
+}
+
+func TestAdversaryRandomStrategiesRespectLB(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := dist.NewRNG(seed)
+		p := 2 + r.Intn(8)
+		card := make([]int, p)
+		for i := range card {
+			card[i] = 1 + r.Intn(64)
+		}
+		ad := NewSelection(card)
+		msgs := 0
+		for !ad.Done() && msgs < 100000 {
+			// Random processor with candidates, random revealed rank.
+			var procs []int
+			for proc, pi := range ad.pairIdx {
+				if pi >= 0 && ad.pairs[pi].c > 0 {
+					procs = append(procs, proc)
+				}
+			}
+			if len(procs) == 0 {
+				break
+			}
+			proc := procs[r.Intn(len(procs))]
+			c := ad.pairs[ad.pairIdx[proc]].c
+			if _, err := ad.ProcessMessage(proc, 1+r.Intn(c)); err != nil {
+				return false
+			}
+			msgs++
+		}
+		return float64(msgs) >= SelectionMedianMessagesLB(card)-float64(len(card)/2)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversaryErrors(t *testing.T) {
+	ad := NewSelection([]int{4, 4, 4}) // odd p: processor with smallest card unpaired
+	unpaired := -1
+	for proc, pi := range ad.pairIdx {
+		if pi < 0 {
+			unpaired = proc
+		}
+	}
+	if unpaired == -1 {
+		t.Fatal("expected an unpaired processor for odd p")
+	}
+	if _, err := ad.ProcessMessage(unpaired, 1); err == nil {
+		t.Error("expected error for unpaired processor")
+	}
+	if _, err := ad.ProcessMessage(99, 1); err == nil {
+		t.Error("expected error for bad processor id")
+	}
+	if _, err := ad.ProcessMessage(0, 99); err == nil {
+		t.Error("expected error for bad rank")
+	}
+}
+
+func TestBoundsMonotonicity(t *testing.T) {
+	// More elements can only raise the bounds.
+	a := SelectionMedianMessagesLB([]int{4, 4, 4, 4})
+	b := SelectionMedianMessagesLB([]int{8, 8, 8, 8})
+	if b <= a {
+		t.Errorf("LB not monotone: %f vs %f", a, b)
+	}
+	if SortingMessagesLB([]int{8, 8}) <= SortingMessagesLB([]int{4, 4}) {
+		t.Error("sorting LB not monotone")
+	}
+}

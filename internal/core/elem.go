@@ -1,0 +1,75 @@
+// Package core implements the paper's primary contributions on top of the
+// MCB network substrate: the distributed sorting algorithms of Sections 5-7
+// (Columnsort with gathered or virtual columns, Rank-Sort, Merge-Sort, the
+// recursive variant, and uneven-distribution support) and the selection
+// algorithm of Section 8 (median-of-medians filtering).
+package core
+
+import "mcbnet/internal/mcb"
+
+// elem is an element made distinct per the paper's w.l.o.g. device: each
+// value xi at processor Pi is replaced by the triple (xi, i, j) compared
+// lexicographically. We fold (i, j) into a single tiebreak word T. P is an
+// opaque payload that rides along without affecting comparisons — the
+// selection algorithm uses it to carry the candidate count m_i when sorting
+// (median, count) pairs with the Section 5 sorter.
+type elem struct {
+	V int64 // user value
+	T int64 // unique tiebreak: ownerID<<31 | localIndex
+	P int64 // opaque payload, ignored by comparisons
+}
+
+// greater is the paper's canonical descending comparison: a precedes b in
+// sorted order iff a > b lexicographically on (V, T).
+func (a elem) greater(b elem) bool {
+	if a.V != b.V {
+		return a.V > b.V
+	}
+	return a.T > b.T
+}
+
+// geq reports a >= b lexicographically (payload P is ignored).
+func (a elem) geq(b elem) bool { return a.same(b) || a.greater(b) }
+
+// same reports identity of the (V, T) key.
+func (a elem) same(b elem) bool { return a.V == b.V && a.T == b.T }
+
+// msg encodes the element as a broadcast message.
+func (a elem) msg(tag uint8) mcb.Message { return mcb.Msg(tag, a.V, a.T, a.P) }
+
+// elemFromMsg decodes an element from a message.
+func elemFromMsg(m mcb.Message) elem { return elem{V: m.X, T: m.Y, P: m.Z} }
+
+// cell is one matrix position: either a real element or a padding dummy.
+// Dummies compare below every real element (they sink to the end of the
+// descending order) and are never broadcast — receivers detect them as
+// silence on the channel.
+type cell struct {
+	e     elem
+	dummy bool
+}
+
+// greaterCell orders cells descending with dummies last.
+func greaterCell(a, b cell) bool {
+	switch {
+	case a.dummy && b.dummy:
+		return false
+	case a.dummy:
+		return false
+	case b.dummy:
+		return true
+	default:
+		return a.e.greater(b.e)
+	}
+}
+
+// makeElems wraps raw per-processor values into distinct elements with the
+// tiebreak T = id<<31 | j (local indices are bounded by 2^31 at the API
+// boundary, so tiebreaks are unique network-wide).
+func makeElems(id int, vals []int64) []elem {
+	out := make([]elem, len(vals))
+	for j, v := range vals {
+		out[j] = elem{V: v, T: int64(id)<<31 | int64(j)}
+	}
+	return out
+}

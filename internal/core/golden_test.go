@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"mcbnet/internal/dist"
+)
+
+// Golden regression tests: the engine is fully deterministic, so canonical
+// configurations have exact cycle/message counts. A change here means the
+// protocol itself changed — intentional protocol edits must update these
+// numbers consciously (they are the measurements EXPERIMENTS.md reports).
+func TestGoldenCosts(t *testing.T) {
+	cases := []struct {
+		name         string
+		run          func() (cycles, msgs int64)
+		cycles, msgs int64
+	}{
+		{
+			name: "sort-even-n4096-p16-k8",
+			run: func() (int64, int64) {
+				inputs := dist.Values(dist.NewRNG(4096), dist.Even(4096, 16))
+				rep := mustReport(t, inputs, 8, AlgoColumnsortGather)
+				return rep.Stats.Cycles, rep.Stats.Messages
+			},
+			cycles: 3096, msgs: 21568,
+		},
+		{
+			name: "sort-ranksort-n512-p8-k1",
+			run: func() (int64, int64) {
+				inputs := dist.Values(dist.NewRNG(512), dist.Even(512, 8))
+				rep := mustReport(t, inputs, 1, AlgoRankSort)
+				return rep.Stats.Cycles, rep.Stats.Messages
+			},
+			cycles: 1047, msgs: 972,
+		},
+		{
+			name: "sort-mergesort-n512-p8-k1",
+			run: func() (int64, int64) {
+				inputs := dist.Values(dist.NewRNG(512), dist.Even(512, 8))
+				rep := mustReport(t, inputs, 1, AlgoMergeSort)
+				return rep.Stats.Cycles, rep.Stats.Messages
+			},
+			cycles: 2079, msgs: 1710,
+		},
+		{
+			name: "select-n4096-p16-k4-median",
+			run: func() (int64, int64) {
+				inputs := dist.Values(dist.NewRNG(4096), dist.Even(4096, 16))
+				_, rep, err := Select(inputs, selOpts(4, 2048))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep.Stats.Cycles, rep.Stats.Messages
+			},
+			cycles: 945, msgs: 2106,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cycles, msgs := c.run()
+			if cycles != c.cycles || msgs != c.msgs {
+				t.Errorf("got (cycles=%d, msgs=%d), golden (cycles=%d, msgs=%d) — protocol changed?",
+					cycles, msgs, c.cycles, c.msgs)
+			}
+		})
+	}
+}
+
+func mustReport(t *testing.T, inputs [][]int64, k int, algo Algorithm) *Report {
+	t.Helper()
+	_, rep, err := Sort(inputs, opts(k, algo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// FuzzSortSmall decodes arbitrary bytes into a small distributed instance
+// and checks the sorting contract end to end.
+func FuzzSortSmall(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 9, 8, 7, 6, 5}, uint8(2), uint8(0))
+	f.Add([]byte{255, 0, 255, 0}, uint8(1), uint8(2))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, algoRaw uint8) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip()
+		}
+		// First byte picks p; remaining bytes are dealt round-robin.
+		p := int(data[0])%6 + 1
+		vals := data[1:]
+		if len(vals) < p {
+			t.Skip()
+		}
+		inputs := make([][]int64, p)
+		for i, b := range vals {
+			inputs[i%p] = append(inputs[i%p], int64(b)-128)
+		}
+		k := int(kRaw)%p + 1
+		algo := sortAlgos[int(algoRaw)%len(sortAlgos)]
+		outputs, _, err := Sort(inputs, opts(k, algo))
+		if err != nil {
+			t.Fatalf("%v (p=%d k=%d): %v", algo, p, k, err)
+		}
+		checkSorted(t, inputs, outputs, Descending, "fuzz")
+	})
+}
+
+// FuzzSelectSmall mirrors FuzzSortSmall for selection.
+func FuzzSelectSmall(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 9, 8, 7, 6, 5}, uint8(2), uint8(3))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, kRaw, dRaw uint8) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip()
+		}
+		p := int(data[0])%6 + 1
+		vals := data[1:]
+		if len(vals) < p {
+			t.Skip()
+		}
+		inputs := make([][]int64, p)
+		n := 0
+		for i, b := range vals {
+			inputs[i%p] = append(inputs[i%p], int64(b))
+			n++
+		}
+		d := int(dRaw)%n + 1
+		got, _, err := Select(inputs, selOpts(int(kRaw)%p+1, d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := kthLargestRef(inputs, d); got != want {
+			t.Fatalf("d=%d: got %d, want %d", d, got, want)
+		}
+	})
+}

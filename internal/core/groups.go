@@ -1,0 +1,152 @@
+package core
+
+import (
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/partial"
+)
+
+// Message tags used by the sorting protocols.
+const (
+	tagN       uint8 = 1 // total-count broadcast
+	tagRep     uint8 = 2 // group-representative announcement (X=rep id, Y=group size)
+	tagCollect uint8 = 3 // element collection
+	tagElem    uint8 = 4 // element in a transformation or redistribution phase
+	tagRank    uint8 = 5 // rank-sort broadcasts
+	tagMerge   uint8 = 6 // merge-sort protocol
+	tagSel     uint8 = 7 // selection protocol
+)
+
+// groupMeta describes one group (= one Columnsort column) globally.
+type groupMeta struct {
+	rep  int // highest-numbered processor of the group
+	size int // number of real elements in the group (m_g)
+}
+
+// groupInfo is the outcome of group formation at one processor.
+type groupInfo struct {
+	n      int // total number of elements in the network
+	nMax   int // largest n_i
+	prefix int // this processor's original inclusive prefix n+_i
+
+	myGroup  int // index of this processor's group
+	myOffset int // offset of this processor's first element within its group
+
+	groups []groupMeta // the global group table, identical at every processor
+}
+
+// rankRange returns the descending 0-based rank interval [lo, hi) owned by
+// this processor after sorting (sorting preserves cardinalities).
+func (g *groupInfo) rankRange(ni int) (lo, hi int) {
+	return g.prefix - ni, g.prefix
+}
+
+// maxUsableCols returns the largest column count c <= k admissible for n
+// elements: the paper requires n >= c^2(c-1) so that columns of length
+// ~ceil(n/c) satisfy the Columnsort constraint m >= c(c-1).
+func maxUsableCols(n, k int) int {
+	c := 1
+	for cand := 2; cand <= k; cand++ {
+		if n >= cand*cand*(cand-1) {
+			c = cand
+		}
+	}
+	return c
+}
+
+// formGroups is phase 0a of Sections 5.2/7.2: it computes the global
+// quantities (n, n_max, prefix sums) with Partial-Sums and forms groups of
+// roughly equal element count, ceil(n/c) <= m_g <= ceil(n/c) + n_max - 1,
+// one group at a time. The representative of each group announces (rep id,
+// group size) on channel 0, so the group table — and everything derived from
+// it — is identical global knowledge afterwards. Costs O(p/k + log k + c)
+// cycles and O(p) messages.
+//
+// All processors must call formGroups in the same cycle, passing their own
+// cardinality n_i.
+func formGroups(pr mcb.Node, ni int, targetCols int) *groupInfo {
+	p, id := pr.P(), pr.ID()
+	g := &groupInfo{myGroup: -1}
+
+	// Prefix sums of cardinalities and the two global aggregates.
+	_, at, next := partial.Sums(pr, int64(ni), partial.Sum)
+	g.prefix = int(at)
+	g.nMax = int(partial.Total(pr, int64(ni), partial.Max))
+	// Total n: the last processor holds it; one broadcast.
+	if p == 1 {
+		g.n = ni
+	} else if id == p-1 {
+		g.n = int(at)
+		pr.Write(0, mcb.MsgX(tagN, at))
+	} else {
+		m, ok := pr.Read(0)
+		if !ok {
+			pr.Abortf("core: missing total-count broadcast")
+		}
+		g.n = int(m.X)
+	}
+
+	// Group size limit: ceil(n/c) + n_max - 1 guarantees at most c groups
+	// (every group except possibly the last has at least ceil(n/c)
+	// elements).
+	cols := targetCols
+	if mc := maxUsableCols(g.n, targetCols); mc < cols {
+		cols = mc
+	}
+	limit := (g.n+cols-1)/cols + g.nMax - 1
+
+	revAt, revNext := int(at), int(next)
+	for {
+		isRep := g.myGroup == -1 && revAt <= limit && (id == p-1 || revNext > limit)
+		var rep, size int
+		if isRep {
+			m, ok := pr.WriteRead(0, mcb.Msg(tagRep, int64(id), int64(revAt), 0), 0)
+			if !ok {
+				pr.Abortf("core: lost own representative broadcast")
+			}
+			rep, size = int(m.X), int(m.Y)
+		} else {
+			m, ok := pr.Read(0)
+			if !ok {
+				pr.Abortf("core: missing representative broadcast")
+			}
+			rep, size = int(m.X), int(m.Y)
+		}
+		gi := len(g.groups)
+		g.groups = append(g.groups, groupMeta{rep: rep, size: size})
+		if g.myGroup == -1 {
+			if id <= rep {
+				g.myGroup = gi
+				g.myOffset = revAt - ni
+			} else {
+				revAt -= size
+				revNext -= size
+			}
+		}
+		if rep == p-1 {
+			break
+		}
+	}
+	return g
+}
+
+// paddedColLen returns the common padded column length m: at least every
+// group size and the Columnsort minimum for G columns, rounded up to a
+// multiple of G.
+func (g *groupInfo) paddedColLen() int {
+	G := len(g.groups)
+	m := 0
+	for _, gr := range g.groups {
+		if gr.size > m {
+			m = gr.size
+		}
+	}
+	if G > 1 {
+		if lo := G * (G - 1); m < lo {
+			m = lo
+		}
+		if r := m % G; r != 0 {
+			m += G - r
+		}
+	}
+	return m
+}

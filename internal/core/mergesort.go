@@ -1,0 +1,199 @@
+package core
+
+import (
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/seq"
+)
+
+const (
+	tagMergeElem  uint8 = 0x20 // element broadcast (head pop, replacement)
+	tagMergeTop   uint8 = 0x21 // head's new top for re-insertion
+	tagMergeRank  uint8 = 0x22 // P_b's (rank+1, pointer) with a pointer
+	tagMergeRank0 uint8 = 0x23 // P_b's (rank+1) without a pointer
+)
+
+// mergeSortWhole is the single-channel Merge-Sort of Section 6.1. Each
+// processor first sorts its own list in place; the processors then maintain
+// a distributed linked list of their current top elements, ordered
+// descending: every processor knows its own top, its rank in the list, and a
+// pointer to the next smaller top. Each round moves the globally largest
+// remaining element (the head's top) to its target processor and re-inserts
+// the head's new top with a constant number of broadcasts; the target ships
+// its smallest remaining input element to the head as a replacement, keeping
+// every processor's storage at O(1) beyond its own n_i elements.
+//
+// Complexity: 4 cycles and at most 4 messages per output element, plus the
+// O(p) list construction — O(n) cycles and messages total on one channel.
+func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
+	p, id := pr.P(), pr.ID()
+	ni := len(mine)
+	prefix, n := prefixAndTotal(pr, ni)
+	lo, hi := prefix-ni, prefix
+
+	// Local sort, in place (the input slice is this processor's storage).
+	in := append([]elem(nil), mine...)
+	seq.Sort(in, func(a, b elem) bool { return a.greater(b) })
+	out := make([]elem, ni)
+	pr.AccountAux(int64(2*ni) + 8)
+	if p == 1 {
+		return in
+	}
+	rec.mark("mergesort:prefix+localsort")
+
+	// Linked-list state. A processor with no elements never joins the list
+	// (rank 0) and only observes.
+	inList := in // descending; inList[0] is my top
+	rank := 0    // 1-based rank in the distributed list; 0 = not in list
+	var ptr elem
+	hasPtr := false
+
+	// Initial construction: every processor broadcasts its top in id order
+	// (silence for an empty processor); all listeners fold each top into
+	// (rank, ptr) on the fly.
+	var myTop elem
+	if ni > 0 {
+		myTop = inList[0]
+		rank = 1
+	}
+	for i := 0; i < p; i++ {
+		var msg mcb.Message
+		var ok bool
+		if i == id && ni > 0 {
+			msg, ok = pr.WriteRead(0, myTop.msg(tagMergeElem), 0)
+		} else {
+			msg, ok = pr.Read(0)
+		}
+		if !ok {
+			continue // an empty processor's slot
+		}
+		e := elemFromMsg(msg)
+		if ni == 0 || e.same(myTop) {
+			continue
+		}
+		if e.greater(myTop) {
+			rank++
+		} else if !hasPtr || e.greater(ptr) {
+			ptr, hasPtr = e, true
+		}
+	}
+	rec.mark("mergesort:list-construction")
+
+	step := func(write bool, msg mcb.Message) (mcb.Message, bool) {
+		if write {
+			return pr.WriteRead(0, msg, 0)
+		}
+		return pr.Read(0)
+	}
+
+	for r := 0; r < n; r++ {
+		isHead := rank == 1
+		isTarget := r >= lo && r < hi
+
+		// Cycle 1: the head broadcasts its top element E; everyone
+		// decrements their rank (removing the head); the target stores E.
+		var headMsg mcb.Message
+		if isHead {
+			headMsg = inList[0].msg(tagMergeElem)
+		}
+		msg, ok := step(isHead, headMsg)
+		if !ok {
+			pr.Abortf("core: merge-sort round %d: no head", r)
+		}
+		e := elemFromMsg(msg)
+		if isTarget {
+			out[r-lo] = e
+		}
+		if rank >= 1 {
+			rank--
+		}
+		if isHead {
+			inList = inList[1:]
+		}
+
+		// Cycle 2: the target ships its smallest remaining input element to
+		// the head as a replacement (silence if the target is the head, or
+		// it has at most one input left — its top must stay valid).
+		sendRepl := isTarget && !isHead && len(inList) >= 2
+		var replMsg mcb.Message
+		if sendRepl {
+			replMsg = inList[len(inList)-1].msg(tagMergeElem)
+		}
+		msg, ok = step(sendRepl, replMsg)
+		if sendRepl {
+			inList = inList[:len(inList)-1]
+		}
+		if ok && isHead {
+			inList = insertDesc(inList, elemFromMsg(msg))
+		}
+
+		// Cycle 3: the head broadcasts its new top T for re-insertion
+		// (silence if its list is now empty — it leaves the linked list).
+		sendTop := isHead && len(inList) > 0
+		var topMsg mcb.Message
+		if sendTop {
+			topMsg = inList[0].msg(tagMergeTop)
+		}
+		msg, ok = step(sendTop, topMsg)
+		inserting := ok
+		var T elem
+		if inserting {
+			T = elemFromMsg(msg)
+			if !isHead && rank >= 1 && T.greater(inList[0]) {
+				// T will sit above me.
+				rank++
+			}
+		}
+
+		// Cycle 4: the unique P_b with top > T and pointer < T (or no
+		// pointer) announces (rank_b + 1, its pointer); the head adopts them
+		// and P_b repoints to T. Silence means T is the new maximum: the
+		// head takes rank 1 and keeps its old pointer (the largest other
+		// top).
+		isPb := inserting && !isHead && rank >= 1 && inList[0].greater(T) &&
+			(!hasPtr || T.greater(ptr))
+		var pbMsg mcb.Message
+		if isPb {
+			tag := tagMergeRank0
+			if hasPtr {
+				tag = tagMergeRank
+			}
+			pbMsg = mcb.Msg(tag, int64(rank+1), ptr.V, ptr.T)
+		}
+		msg, ok = step(isPb, pbMsg)
+		if isPb {
+			ptr, hasPtr = T, true
+		}
+		if isHead && inserting {
+			if ok {
+				rank = int(msg.X)
+				if msg.Tag == tagMergeRank {
+					ptr, hasPtr = elem{V: msg.Y, T: msg.Z}, true
+				} else {
+					hasPtr = false
+				}
+			} else {
+				rank = 1
+				// Old pointer (the largest remaining other top) is kept.
+			}
+		}
+	}
+	rec.mark("mergesort:rounds")
+	return out
+}
+
+// insertDesc inserts e into a descending-sorted slice, keeping order.
+func insertDesc(s []elem, e elem) []elem {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].greater(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s = append(s, elem{})
+	copy(s[lo+1:], s[lo:])
+	s[lo] = e
+	return s
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/partial"
+)
+
+// This file exposes the algorithms as lock-step subroutines over any
+// mcb.Node — a processor of a real engine run or of a simulated network
+// (Section 2). All processors must call the same function in the same cycle
+// with consistent arguments; the function returns when the collective
+// computation completes at this processor.
+
+// SortNode sorts the distributed set from inside a running network program:
+// vals is this processor's list (n_i > 0), and the returned slice is this
+// processor's segment of the descending order (cardinality preserved). The
+// selection of AlgoAuto requires only globally known quantities.
+func SortNode(pr mcb.Node, vals []int64, algo Algorithm) []int64 {
+	mine := makeElems(pr.ID(), vals)
+	var sorted []elem
+	switch algo {
+	case AlgoAuto:
+		// k==1 favours Rank-Sort, otherwise gathered Columnsort; matching
+		// the driver requires n, which is not yet known here, so the
+		// node-level auto rule uses only k.
+		if pr.K() == 1 {
+			sorted = rankSortWhole(pr, mine, nil)
+		} else {
+			sorted = gatherSort(pr, mine, nil, nil)
+		}
+	case AlgoColumnsortGather:
+		sorted = gatherSort(pr, mine, nil, nil)
+	case AlgoColumnsortVirtual:
+		sorted = virtualSort(pr, mine, nil, nil)
+	case AlgoRankSort:
+		sorted = rankSortWhole(pr, mine, nil)
+	case AlgoMergeSort:
+		sorted = mergeSortWhole(pr, mine, nil)
+	case AlgoColumnsortRecursive:
+		sorted = recursiveSort(pr, mine, nil, nil)
+	default:
+		pr.Abortf("core: unknown algorithm %v", algo)
+	}
+	out := make([]int64, len(sorted))
+	for j, e := range sorted {
+		out[j] = e.V
+	}
+	return out
+}
+
+// SelectNode returns the value of descending rank d from inside a running
+// network program. threshold <= 0 selects the paper's m* = max(1, p/k).
+func SelectNode(pr mcb.Node, vals []int64, d, threshold int) int64 {
+	if threshold <= 0 {
+		threshold = pr.P() / pr.K()
+		if threshold < 1 {
+			threshold = 1
+		}
+	}
+	mine := makeElems(pr.ID(), vals)
+	return selectFiltering(pr, mine, d, threshold, nil).V
+}
+
+// MaxNode returns the maximum element of the distributed set: a single
+// Partial-Sums total with the max operator — O(p/k + log k) cycles, O(p)
+// messages.
+func MaxNode(pr mcb.Node, vals []int64) int64 {
+	local := vals[0]
+	for _, v := range vals[1:] {
+		if v > local {
+			local = v
+		}
+	}
+	return totalMax(pr, local)
+}
+
+// MinNode returns the minimum element of the distributed set.
+func MinNode(pr mcb.Node, vals []int64) int64 {
+	local := vals[0]
+	for _, v := range vals[1:] {
+		if v < local {
+			local = v
+		}
+	}
+	return -totalMax(pr, -local)
+}
+
+// RankOfNode returns the descending rank x would have in the distributed
+// set: 1 + the number of elements strictly greater than x. One Partial-Sums
+// total.
+func RankOfNode(pr mcb.Node, vals []int64, x int64) int {
+	greater := 0
+	for _, v := range vals {
+		if v > x {
+			greater++
+		}
+	}
+	return 1 + int(totalSum(pr, int64(greater)))
+}
+
+// totalMax and totalSum are tiny wrappers over Partial-Sums totals.
+func totalMax(pr mcb.Node, v int64) int64 { return partial.Total(pr, v, partial.Max) }
+func totalSum(pr mcb.Node, v int64) int64 { return partial.Total(pr, v, partial.Sum) }

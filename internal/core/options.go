@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mcbnet/internal/mcb"
+)
+
+// Order selects the output order. The paper's canonical order is descending
+// (rank 1 is the largest element); Ascending is provided for convenience and
+// is implemented by negating the comparison at the boundary.
+type Order int
+
+const (
+	// Descending is the paper's order: P_1 receives the largest elements.
+	Descending Order = iota
+	// Ascending reverses the paper's order: P_1 receives the smallest.
+	Ascending
+)
+
+// Algorithm selects the sorting algorithm.
+type Algorithm int
+
+const (
+	// AlgoAuto picks an algorithm from (n, p, k, distribution): Columnsort
+	// with gathered columns in general, Rank-Sort when only one channel or
+	// one column is usable.
+	AlgoAuto Algorithm = iota
+	// AlgoColumnsortGather is Sections 5.2/7.2: elements are collected into
+	// up to k representative processors (phase 0), Columnsort runs among the
+	// representatives, and phase 10 redistributes. Needs O(n/k + n_max)
+	// auxiliary memory at representatives.
+	AlgoColumnsortGather
+	// AlgoColumnsortVirtual is Section 6.1: each group of processors acts as
+	// one virtual column; sorting phases use Rank-Sort inside each group, so
+	// no processor ever stores more than O(n_i) words.
+	AlgoColumnsortVirtual
+	// AlgoRankSort is the single-channel Rank-Sort of Section 6.1 run over
+	// the whole network on channel 0: O(n) cycles and messages.
+	AlgoRankSort
+	// AlgoMergeSort is the single-channel Merge-Sort of Section 6.1: O(n)
+	// cycles and messages with O(1) auxiliary memory per processor.
+	AlgoMergeSort
+	// AlgoColumnsortRecursive is Section 6.2: recursive virtual columns for
+	// inputs too small to use all k channels as columns (n < k^2(k-1)).
+	// Requires an even distribution.
+	AlgoColumnsortRecursive
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoColumnsortGather:
+		return "columnsort-gather"
+	case AlgoColumnsortVirtual:
+		return "columnsort-virtual"
+	case AlgoRankSort:
+		return "rank-sort"
+	case AlgoMergeSort:
+		return "merge-sort"
+	case AlgoColumnsortRecursive:
+		return "columnsort-recursive"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// SortOptions configures a distributed sort.
+type SortOptions struct {
+	// K is the number of broadcast channels (1 <= K <= p). Required.
+	K int
+	// Order selects ascending or descending output; default Descending.
+	Order Order
+	// Algorithm selects the algorithm; default AlgoAuto.
+	Algorithm Algorithm
+	// MaxCycles aborts runaway runs (0 = engine default of no limit).
+	MaxCycles int64
+	// StallTimeout aborts on lock-step protocol bugs (0 = engine default).
+	StallTimeout time.Duration
+	// Trace enables full traffic tracing (tests only).
+	Trace bool
+}
+
+func (o SortOptions) engineConfig(p int) mcb.Config {
+	return mcb.Config{
+		P: p, K: o.K,
+		Trace:        o.Trace,
+		MaxCycles:    o.MaxCycles,
+		StallTimeout: o.StallTimeout,
+	}
+}
+
+// Report augments the engine stats with algorithm-level accounting.
+type Report struct {
+	Stats mcb.Stats
+	// Algorithm actually used (resolved from AlgoAuto).
+	Algorithm Algorithm
+	// Columns is the number of Columnsort columns used (0 for non-Columnsort
+	// algorithms).
+	Columns int
+	// ColumnLen is the padded column length m (0 for non-Columnsort).
+	ColumnLen int
+	// PhaseCycles maps phase labels to the cycle count spent, recorded at
+	// processor 0.
+	PhaseCycles []PhaseCycle
+	// Trace is the engine trace when requested.
+	Trace *mcb.Trace
+}
+
+// PhaseCycle records one phase boundary.
+type PhaseCycle struct {
+	Label  string
+	Cycles int64
+}
+
+// phaseRecorder accumulates phase boundaries at a single processor.
+type phaseRecorder struct {
+	proc mcb.Node
+	last int64
+	out  []PhaseCycle
+}
+
+func newPhaseRecorder(p mcb.Node) *phaseRecorder {
+	return &phaseRecorder{proc: p}
+}
+
+// mark records the cycles consumed since the previous mark under label.
+func (r *phaseRecorder) mark(label string) {
+	if r == nil {
+		return
+	}
+	now := r.proc.Cycles()
+	r.out = append(r.out, PhaseCycle{Label: label, Cycles: now - r.last})
+	r.last = now
+}

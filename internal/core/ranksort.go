@@ -1,0 +1,121 @@
+package core
+
+import (
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/partial"
+	"mcbnet/internal/seq"
+)
+
+// prefixAndTotal computes each processor's inclusive cardinality prefix and
+// the global total: Partial-Sums plus one broadcast from the last processor.
+func prefixAndTotal(pr mcb.Node, ni int) (prefix, n int) {
+	p, id := pr.P(), pr.ID()
+	_, at, _ := partial.Sums(pr, int64(ni), partial.Sum)
+	prefix = int(at)
+	if p == 1 {
+		return prefix, ni
+	}
+	if id == p-1 {
+		pr.Write(0, mcb.MsgX(tagN, at))
+		return prefix, int(at)
+	}
+	m, ok := pr.Read(0)
+	if !ok {
+		pr.Abortf("core: missing total-count broadcast")
+	}
+	return prefix, int(m.X)
+}
+
+// rankSortWhole is the single-channel Rank-Sort of Section 6.1 run over the
+// entire network on channel 0. Phase A broadcasts every element once, in
+// processor order, while every processor maintains rank counters for its own
+// elements (a binary search plus suffix-difference array per broadcast);
+// phase B broadcasts the elements in rank order, each read by its target
+// processor — elements already at their target move locally without a
+// message. 2n cycles (plus the Partial-Sums prologue) and at most 2n
+// messages; O(n_i) auxiliary words per processor.
+func rankSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
+	ni := len(mine)
+	prefix, n := prefixAndTotal(pr, ni)
+	lo, hi := prefix-ni, prefix
+	rec.mark("ranksort:prefix")
+
+	// Local descending sort so each broadcast updates ranks in O(log n_i).
+	sorted := append([]elem(nil), mine...)
+	seq.Sort(sorted, func(a, b elem) bool { return a.greater(b) })
+	diff := make([]int, ni+1)
+	pr.AccountAux(int64(3*ni + 1))
+
+	// Phase A: broadcast every element once, in processor order; the writer
+	// reads its own channel so all processors see the identical stream.
+	// rank(x) = #{e : e > x}; each broadcast e increments the rank of the
+	// suffix of sorted[] that is smaller than e.
+	for t := 0; t < n; t++ {
+		var msg mcb.Message
+		var ok bool
+		if t >= lo && t < hi {
+			msg, ok = pr.WriteRead(0, sorted[t-lo].msg(tagRank), 0)
+		} else {
+			msg, ok = pr.Read(0)
+		}
+		if !ok {
+			pr.Abortf("core: rank-sort missed broadcast %d", t)
+		}
+		e := elemFromMsg(msg)
+		// First index with e > sorted[idx]; the suffix from idx gains a rank.
+		idx := lowerBoundSmaller(sorted, e)
+		diff[idx]++
+	}
+	// ranks[i] = descending rank of sorted[i]; strictly increasing in i.
+	ranks := make([]int, ni)
+	acc := 0
+	for i := range sorted {
+		acc += diff[i]
+		ranks[i] = acc
+	}
+	rec.mark("ranksort:phaseA")
+
+	// Phase B: broadcast in rank order; target processors collect their
+	// segment [lo, hi).
+	out := make([]elem, ni)
+	send := 0 // next local element (by ascending rank) to broadcast
+	for r := 0; r < n; r++ {
+		holder := send < ni && ranks[send] == r
+		target := r >= lo && r < hi
+		switch {
+		case holder && target:
+			out[r-lo] = sorted[send]
+			send++
+			pr.Idle() // element already in place; no message needed
+		case holder:
+			pr.Write(0, sorted[send].msg(tagRank))
+			send++
+		case target:
+			msg, ok := pr.Read(0)
+			if !ok {
+				pr.Abortf("core: rank-sort missing rank %d", r)
+			}
+			out[r-lo] = elemFromMsg(msg)
+		default:
+			pr.Idle()
+		}
+	}
+	rec.mark("ranksort:phaseB")
+	pr.AccountAux(int64(-(3*ni + 1)))
+	return out
+}
+
+// lowerBoundSmaller returns the smallest index i with e > sorted[i], where
+// sorted is descending; returns len(sorted) if e is smaller or equal to all.
+func lowerBoundSmaller(sorted []elem, e elem) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.greater(sorted[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

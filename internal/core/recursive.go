@@ -1,0 +1,239 @@
+package core
+
+import (
+	"mcbnet/internal/matrix"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/schedule"
+	"mcbnet/internal/seq"
+)
+
+// recursiveSort is the recursive Columnsort of Section 6.2, for even
+// distributions whose n is too small to use all k channels as columns
+// (n < k^2(k-1)). Each level splits its sub-network into c virtual columns
+// of span/c processors; transformation phases route at processor granularity
+// over all of the level's channels (the paper's segment-parallel broadcast),
+// while sorting phases recurse into the columns in parallel, each with a
+// 1/c share of the channels. The recursion bottoms out at single-processor
+// columns (a free local sort) or at groups too small to split, which fall
+// back to a group-local Rank-Sort on one channel.
+//
+// Every control-flow decision depends only on (span, channels, n_i), which
+// is identical across sibling columns, so siblings stay in lock-step; the
+// one asymmetric case — phase 7 skipping column 1 — idles that column for
+// exactly its siblings' recursive sort cost.
+//
+// Positions coincide with target ranks throughout (even distribution, no
+// padding), so no redistribution phase is needed.
+func recursiveSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []elem {
+	p, k := pr.P(), pr.K()
+	ni := len(mine)
+	cells := append([]elem(nil), mine...)
+	pr.AccountAux(int64(2 * ni))
+	st := &recState{pr: pr, ni: ni, cells: cells}
+	if rep != nil && pr.ID() == 0 {
+		rep.Columns = chooseRecCols(p, k, ni)
+		rep.ColumnLen = 0
+		if rep.Columns > 1 {
+			rep.ColumnLen = p * ni / rep.Columns
+		}
+	}
+	st.sort(0, p, 0, k)
+	rec.mark("recursive-columnsort")
+	return st.cells
+}
+
+// recState carries one processor's view of the recursion.
+type recState struct {
+	pr    mcb.Node
+	ni    int
+	cells []elem // contents of my ni fixed positions [id*ni, (id+1)*ni)
+}
+
+// chooseRecCols picks the number of columns for a sub-network of span
+// processors and `chans` channels: the largest c in [2, chans] dividing span
+// such that the column length m = span*ni/c is a multiple of c and at least
+// MinColLen(c). Returns 1 if no valid split exists.
+func chooseRecCols(span, chans, ni int) int {
+	for c := min(chans, span); c >= 2; c-- {
+		if span%c != 0 {
+			continue
+		}
+		m := span * ni / c
+		if m%c != 0 || m < c*(c-1) {
+			continue
+		}
+		return c
+	}
+	return 1
+}
+
+// recCost returns the exact number of cycles st.sort spends on a sub-network
+// of span processors and chans channels (identical for all siblings).
+func recCost(span, chans, ni int) int64 {
+	if span == 1 {
+		return 0
+	}
+	c := chooseRecCols(span, chans, ni)
+	if c < 2 {
+		return 2 * int64(span) * int64(ni) // group Rank-Sort
+	}
+	sub := recCost(span/c, chans/c, ni)
+	total := 5 * sub // phases 1, 3, 5, 7, 9
+	for _, kind := range []schedule.TransformKind{
+		schedule.KindTranspose, schedule.KindUnDiagonalize,
+		schedule.KindUpShift, schedule.KindDownShift,
+	} {
+		total += int64(recSchedule(span, c, ni, chans, kind).NumCycles())
+	}
+	return total
+}
+
+// sort sorts the contents of processors [prLo, prHi) over channels
+// [chLo, chHi), descending by position.
+func (st *recState) sort(prLo, prHi, chLo, chHi int) {
+	span := prHi - prLo
+	if span == 1 {
+		seq.Sort(st.cells, func(a, b elem) bool { return a.greater(b) })
+		return
+	}
+	chans := chHi - chLo
+	c := chooseRecCols(span, chans, st.ni)
+	if c < 2 {
+		st.rankSortGroup(prLo, prHi, chLo)
+		return
+	}
+	subSpan := span / c
+	subCh := chans / c
+	myCol := (st.pr.ID() - prLo) / subSpan
+	colPrLo := prLo + myCol*subSpan
+	colChLo := chLo + myCol*subCh
+
+	phaseSort := func(skipCol0 bool) {
+		if skipCol0 && myCol == 0 {
+			st.pr.IdleN(int(recCost(subSpan, subCh, st.ni)))
+			return
+		}
+		st.sort(colPrLo, colPrLo+subSpan, colChLo, colChLo+subCh)
+	}
+	phaseTransform := func(kind schedule.TransformKind) {
+		sched := recSchedule(span, c, st.ni, chans, kind)
+		sh := matrix.Shape{M: span * st.ni / c, K: c}
+		st.runTransform(prLo, chLo, sched, sh, kindTransform(kind))
+	}
+
+	phaseSort(false) // 1
+	phaseTransform(schedule.KindTranspose)
+	phaseSort(false) // 3
+	phaseTransform(schedule.KindUnDiagonalize)
+	phaseSort(false) // 5
+	phaseTransform(schedule.KindUpShift)
+	phaseSort(true) // 7: skip column 1
+	phaseTransform(schedule.KindDownShift)
+	phaseSort(false) // 9
+}
+
+// runTransform plays a relative processor-granularity schedule. Contents
+// move to their nominal destinations via a double buffer; intra-processor
+// moves (which the schedule omits) are free local copies computed from the
+// transform itself.
+func (st *recState) runTransform(prLo, chLo int, sched *schedule.Schedule, sh matrix.Shape, f matrix.Transform) {
+	pr, ni := st.pr, st.ni
+	me := pr.ID() - prLo // relative owner id
+	base := me * ni      // my first relative position
+	next := make([]elem, ni)
+	for r := 0; r < ni; r++ {
+		dst := f(sh, base+r)
+		if dst/ni == me {
+			next[dst-base] = st.cells[r]
+		}
+	}
+	for _, assigns := range sched.Cycles {
+		var send, recv *schedule.Assign
+		for i := range assigns {
+			a := &assigns[i]
+			if a.Src/ni == me {
+				send = a
+			}
+			if a.Dst/ni == me {
+				recv = a
+			}
+		}
+		switch {
+		case send != nil && recv != nil:
+			msg, ok := pr.WriteRead(chLo+send.Ch, st.cells[send.Src-base].msg(tagElem), chLo+recv.Ch)
+			if !ok {
+				pr.Abortf("core: recursive transform missing element")
+			}
+			next[recv.Dst-base] = elemFromMsg(msg)
+		case send != nil:
+			pr.Write(chLo+send.Ch, st.cells[send.Src-base].msg(tagElem))
+		case recv != nil:
+			msg, ok := pr.Read(chLo + recv.Ch)
+			if !ok {
+				pr.Abortf("core: recursive transform missing element")
+			}
+			next[recv.Dst-base] = elemFromMsg(msg)
+		default:
+			pr.Idle()
+		}
+	}
+	st.cells = next
+}
+
+// rankSortGroup is the even-distribution group Rank-Sort fallback: the
+// sub-network [prLo, prHi) sorts its span*ni positions over one channel in
+// 2*span*ni cycles. No dummies, no prologue — offsets are arithmetic.
+func (st *recState) rankSortGroup(prLo, prHi, ch int) {
+	pr, ni := st.pr, st.ni
+	span := prHi - prLo
+	m := span * ni
+	lo := (pr.ID() - prLo) * ni
+	hi := lo + ni
+
+	sorted := append([]elem(nil), st.cells...)
+	seq.Sort(sorted, func(a, b elem) bool { return a.greater(b) })
+	diff := make([]int, ni+1)
+	pr.AccountAux(int64(2*ni + 1))
+	for t := 0; t < m; t++ {
+		var msg mcb.Message
+		var ok bool
+		if t >= lo && t < hi {
+			msg, ok = pr.WriteRead(ch, sorted[t-lo].msg(tagRank), ch)
+		} else {
+			msg, ok = pr.Read(ch)
+		}
+		if !ok {
+			pr.Abortf("core: group rank-sort missing broadcast %d", t)
+		}
+		diff[lowerBoundSmaller(sorted, elemFromMsg(msg))]++
+	}
+	ranks := make([]int, ni)
+	acc := 0
+	for i := range sorted {
+		acc += diff[i]
+		ranks[i] = acc
+	}
+	send := 0
+	for r := 0; r < m; r++ {
+		holder := send < ni && ranks[send] == r
+		target := r >= lo && r < hi
+		switch {
+		case holder && target:
+			st.cells[r-lo] = sorted[send]
+			send++
+			pr.Idle()
+		case holder:
+			pr.Write(ch, sorted[send].msg(tagRank))
+			send++
+		case target:
+			msg, ok := pr.Read(ch)
+			if !ok {
+				pr.Abortf("core: group rank-sort missing rank %d", r)
+			}
+			st.cells[r-lo] = elemFromMsg(msg)
+		default:
+			pr.Idle()
+		}
+	}
+	pr.AccountAux(int64(-(2*ni + 1)))
+}

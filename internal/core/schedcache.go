@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mcbnet/internal/matrix"
+	"mcbnet/internal/schedule"
+)
+
+// Schedules are pure functions of globally known quantities, so in the real
+// network every processor computes them independently. In the simulator all
+// processors share one address space, so we memoize: the first processor to
+// need a schedule builds it, the rest reuse it. This changes no observable
+// behaviour (cycles/messages), only host CPU time.
+var schedCache sync.Map // string key -> *schedule.Schedule
+
+func scheduleFor(sh matrix.Shape, kind schedule.TransformKind) *schedule.Schedule {
+	key := fmt.Sprintf("t/%d/%d/%d", sh.M, sh.K, kind)
+	if v, ok := schedCache.Load(key); ok {
+		return v.(*schedule.Schedule)
+	}
+	s := schedule.ForTransform(sh, kind)
+	actual, _ := schedCache.LoadOrStore(key, s)
+	return actual.(*schedule.Schedule)
+}
+
+// recSchedule builds (and memoizes) the processor-granularity schedule for
+// one transformation of the recursive Columnsort: a sub-network of span
+// processors, each holding ni consecutive positions, viewed as c columns of
+// length m = span*ni/c, routed over `chans` channels. Positions, owners and
+// channels in the returned schedule are all relative to the sub-network, so
+// sibling sub-networks (which are isomorphic) share the identical schedule.
+func recSchedule(span, c, ni, chans int, kind schedule.TransformKind) *schedule.Schedule {
+	key := fmt.Sprintf("r/%d/%d/%d/%d/%d", span, c, ni, chans, kind)
+	if v, ok := schedCache.Load(key); ok {
+		return v.(*schedule.Schedule)
+	}
+	sh := matrix.Shape{M: span * ni / c, K: c}
+	f := kindTransform(kind)
+	owner := func(pos int) int { return pos / ni }
+	s := schedule.Route(schedule.TransformMoves(sh, f), owner, owner, chans)
+	actual, _ := schedCache.LoadOrStore(key, s)
+	return actual.(*schedule.Schedule)
+}
+
+// kindTransform maps a TransformKind to its permutation.
+func kindTransform(kind schedule.TransformKind) matrix.Transform {
+	switch kind {
+	case schedule.KindTranspose:
+		return matrix.Transpose
+	case schedule.KindUnDiagonalize:
+		return matrix.UnDiagonalize
+	case schedule.KindUpShift:
+		return matrix.UpShift
+	case schedule.KindDownShift:
+		return matrix.DownShift
+	case schedule.KindUntranspose:
+		return matrix.Untranspose
+	}
+	panic("core: bad transform kind")
+}

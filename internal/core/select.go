@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/partial"
+	"mcbnet/internal/seq"
+)
+
+// SelectAlgorithm selects the selection strategy.
+type SelectAlgorithm int
+
+const (
+	// SelFiltering is the Section 8 algorithm: repeated median-of-medians
+	// filtering, then collection of the surviving candidates at P_1.
+	// Theta(p log(kn/p)) messages, Theta((p/k) log(kn/p)) cycles.
+	SelFiltering SelectAlgorithm = iota
+	// SelSortBaseline is the naive approach the paper argues against: sort
+	// everything with the Section 5 algorithm and read off the rank —
+	// Theta(n) messages.
+	SelSortBaseline
+)
+
+func (a SelectAlgorithm) String() string {
+	if a == SelSortBaseline {
+		return "sort-baseline"
+	}
+	return "filtering"
+}
+
+// SelectOptions configures a distributed selection.
+type SelectOptions struct {
+	// K is the number of broadcast channels.
+	K int
+	// D is the rank to select, 1-based in the paper's descending order:
+	// D = 1 is the maximum, D = ceil(n/2) the median, D = n the minimum.
+	D int
+	// Threshold is the paper's m*: filtering stops once at most this many
+	// candidates remain and the survivors are collected at P_1. Zero means
+	// the paper's choice max(1, p/k).
+	Threshold int
+	// Algorithm selects filtering (default) or the sort baseline.
+	Algorithm SelectAlgorithm
+	// MaxCycles, StallTimeout and Trace mirror SortOptions.
+	MaxCycles    int64
+	StallTimeout time.Duration
+	Trace        bool
+}
+
+// SelectReport carries the run statistics and filtering diagnostics.
+type SelectReport struct {
+	Stats     mcb.Stats
+	Algorithm SelectAlgorithm
+	// FilterPhases is the number of filtering phases executed.
+	FilterPhases int
+	// Candidates[i] is the candidate count at the start of phase i, followed
+	// by the final count entering the termination phase.
+	Candidates []int
+	// PurgeFractions[i] is the fraction of candidates purged by phase i
+	// (Figure 2's invariant: at least 1/4 unless the phase terminated).
+	PurgeFractions []float64
+	Trace          *mcb.Trace
+}
+
+// Select finds the value of descending rank opts.D among the elements
+// distributed as inputs over an MCB(len(inputs), opts.K) network.
+func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) {
+	p := len(inputs)
+	if p == 0 {
+		return 0, nil, fmt.Errorf("core: no processors")
+	}
+	if opts.K < 1 || opts.K > p {
+		return 0, nil, fmt.Errorf("core: K must satisfy 1 <= K <= P, got K=%d p=%d", opts.K, p)
+	}
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	if n == 0 {
+		return 0, nil, fmt.Errorf("core: the distributed set is empty")
+	}
+	if opts.D < 1 || opts.D > n {
+		return 0, nil, fmt.Errorf("core: rank D=%d out of range [1, %d]", opts.D, n)
+	}
+	threshold := opts.Threshold
+	if threshold <= 0 {
+		threshold = p / opts.K
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	report := &SelectReport{Algorithm: opts.Algorithm}
+	var result int64
+	progs := make([]func(mcb.Node), p)
+	for i := range progs {
+		in := inputs[i]
+		id := i
+		progs[i] = func(pr mcb.Node) {
+			mine := makeElems(id, in)
+			var rep *SelectReport
+			if id == 0 {
+				rep = report
+			}
+			var got elem
+			if opts.Algorithm == SelSortBaseline {
+				got = selectBySorting(pr, mine, opts.D)
+			} else {
+				got = selectFiltering(pr, mine, opts.D, threshold, rep)
+			}
+			if id == 0 {
+				result = got.V
+			}
+		}
+	}
+	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout}
+	res, err := mcb.Run(cfg, progs)
+	if err != nil {
+		return 0, nil, err
+	}
+	report.Stats = res.Stats
+	report.Trace = res.Trace
+	return result, report, nil
+}
+
+// selectFiltering is the Section 8 algorithm. Every processor keeps its
+// surviving candidates as a descending-sorted list, so the local median is
+// an index lookup, counting against med* is a binary search, and purging is
+// a truncation. Each filtering phase: sort the (med_i, m_i) pairs with the
+// Section 5 sorter, prefix-sum the sorted counts to find the weighted median
+// med* (the first processor whose count prefix reaches ceil(m/2) broadcasts
+// it), count the candidates >= med* network-wide, then keep one side. At
+// least a quarter of the candidates are purged per phase; once at most m*
+// remain they are collected at P_1, which selects locally and broadcasts.
+func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, rep *SelectReport) elem {
+	id := pr.ID()
+	cands := append([]elem(nil), mine...)
+	seq.Sort(cands, func(a, b elem) bool { return a.greater(b) })
+	pr.AccountAux(int64(len(cands)))
+
+	m := int(partial.Total(pr, int64(len(cands)), partial.Sum))
+
+	for m > threshold {
+		if rep != nil {
+			rep.Candidates = append(rep.Candidates, m)
+		}
+		// Local median: descending rank ceil(mi/2); a dummy below all real
+		// elements when no candidates remain here.
+		pair := elem{V: math.MinInt64, T: -(int64(id) + 1), P: 0}
+		if len(cands) > 0 {
+			med := cands[(len(cands)+1)/2-1]
+			pair = elem{V: med.V, T: med.T, P: int64(len(cands))}
+		}
+		// Sort the pairs with the Section 5 sorter (one pair per processor;
+		// counts ride in the payload).
+		sorted := gatherSort(pr, []elem{pair}, nil, nil)
+		myPair := sorted[0]
+
+		// Weighted median: first processor where the count prefix reaches
+		// ceil(m/2) broadcasts its median as med*.
+		before, at, _ := partial.Sums(pr, myPair.P, partial.Sum)
+		half := int64((m + 1) / 2)
+		chosen := before < half && at >= half
+		var msg mcb.Message
+		var ok bool
+		if chosen {
+			msg, ok = pr.WriteRead(0, elem{V: myPair.V, T: myPair.T}.msg(tagSel), 0)
+		} else {
+			msg, ok = pr.Read(0)
+		}
+		if !ok {
+			pr.Abortf("core: selection: no weighted median broadcast")
+		}
+		medStar := elemFromMsg(msg)
+
+		// Count candidates >= med* network-wide. cands is descending, so the
+		// local count is the boundary index.
+		localGE := lowerBoundSmaller(cands, medStar)
+		mGE := int(partial.Total(pr, int64(localGE), partial.Sum))
+
+		switch {
+		case mGE == d:
+			if rep != nil {
+				rep.FilterPhases++
+				rep.PurgeFractions = append(rep.PurgeFractions, 1)
+			}
+			return medStar
+		case mGE > d:
+			// The target is above med*: purge everything <= med*. Exactly
+			// one candidate equals med*, so mGE-1 remain.
+			keep := localGE
+			if keep > 0 && cands[keep-1].same(medStar) {
+				keep--
+			}
+			cands = cands[:keep]
+			if rep != nil {
+				rep.FilterPhases++
+				rep.PurgeFractions = append(rep.PurgeFractions, 1-float64(mGE-1)/float64(m))
+			}
+			m = mGE - 1
+		default:
+			// The target is below med*: purge everything >= med*.
+			cands = cands[localGE:]
+			if rep != nil {
+				rep.FilterPhases++
+				rep.PurgeFractions = append(rep.PurgeFractions, float64(mGE)/float64(m))
+			}
+			d -= mGE
+			m -= mGE
+		}
+	}
+	if rep != nil {
+		rep.Candidates = append(rep.Candidates, m)
+	}
+
+	// Termination: collect the m survivors at P_1 in prefix order; it
+	// selects rank d locally and broadcasts the result.
+	before, _, _ := partial.Sums(pr, int64(len(cands)), partial.Sum)
+	offset := int(before)
+	var collected []elem
+	if id == 0 {
+		collected = append(collected, cands...)
+	}
+	for c := 0; c < m; c++ {
+		switch {
+		case id != 0 && c >= offset && c < offset+len(cands):
+			pr.Write(0, cands[c-offset].msg(tagSel))
+		case id == 0 && c >= len(cands):
+			msg, ok := pr.Read(0)
+			if !ok {
+				pr.Abortf("core: selection: missing candidate %d", c)
+			}
+			collected = append(collected, elemFromMsg(msg))
+		default:
+			pr.Idle()
+		}
+	}
+	var resMsg mcb.Message
+	var ok bool
+	if id == 0 {
+		if d < 1 || d > len(collected) {
+			pr.Abortf("core: selection: rank %d outside %d survivors", d, len(collected))
+		}
+		seq.Sort(collected, func(a, b elem) bool { return a.greater(b) })
+		resMsg, ok = pr.WriteRead(0, collected[d-1].msg(tagSel), 0)
+	} else {
+		resMsg, ok = pr.Read(0)
+	}
+	if !ok {
+		pr.Abortf("core: selection: missing result broadcast")
+	}
+	return elemFromMsg(resMsg)
+}
+
+// selectBySorting is the naive baseline: sort everything, then the processor
+// owning global rank d broadcasts it.
+func selectBySorting(pr mcb.Node, mine []elem, d int) elem {
+	ni := len(mine)
+	out := gatherSort(pr, mine, nil, nil)
+	// Recover my rank range: sorting preserves cardinalities, so it is the
+	// prefix of ni. One more Partial-Sums is cheap relative to the sort.
+	_, at, _ := partial.Sums(pr, int64(ni), partial.Sum)
+	lo := int(at) - ni
+	var msg mcb.Message
+	var ok bool
+	if d-1 >= lo && d-1 < lo+ni {
+		msg, ok = pr.WriteRead(0, out[d-1-lo].msg(tagSel), 0)
+	} else {
+		msg, ok = pr.Read(0)
+	}
+	if !ok {
+		pr.Abortf("core: baseline selection: missing result broadcast")
+	}
+	return elemFromMsg(msg)
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"mcbnet/internal/dist"
+)
+
+// TestSoakAllAlgorithms is a wide randomized sweep (not part of the regular
+// suite; run explicitly).
+func TestSoakAllAlgorithms(t *testing.T) {
+	for seed := uint64(0); seed < 400; seed++ {
+		r := dist.NewRNG(7000 + seed)
+		p := 2 + r.Intn(12)
+		n := p + r.Intn(300)
+		k := 1 + r.Intn(p)
+		card := dist.RandomComposition(r, n, p)
+		var inputs [][]int64
+		switch seed % 3 {
+		case 0:
+			inputs = dist.Values(r, card)
+		case 1:
+			inputs = dist.ValuesWithDuplicates(r, card)
+		default:
+			inputs = dist.AdversarialCircular(card)
+		}
+		algo := sortAlgos[int(seed)%len(sortAlgos)]
+		if algo == AlgoMergeSort && n > 150 {
+			continue
+		}
+		outputs, _, err := Sort(inputs, opts(k, algo))
+		if err != nil {
+			t.Fatalf("seed %d %v p=%d n=%d k=%d: %v", seed, algo, p, n, k, err)
+		}
+		checkSorted(t, inputs, outputs, Descending, "soak")
+		d := 1 + r.Intn(n)
+		got, _, err := Select(inputs, selOpts(k, d))
+		if err != nil {
+			t.Fatalf("seed %d select: %v", seed, err)
+		}
+		if want := kthLargestRef(inputs, d); got != want {
+			t.Fatalf("seed %d select d=%d: %d != %d", seed, d, got, want)
+		}
+	}
+}

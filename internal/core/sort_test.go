@@ -1,0 +1,354 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcbnet/internal/dist"
+	"mcbnet/internal/seq"
+)
+
+func opts(k int, algo Algorithm) SortOptions {
+	return SortOptions{K: k, Algorithm: algo, StallTimeout: 20 * time.Second}
+}
+
+// checkSorted verifies the sort contract: cardinalities preserved, each
+// processor's slice is the correct contiguous rank segment of the global
+// multiset.
+func checkSorted(t *testing.T, inputs, outputs [][]int64, order Order, label string) {
+	t.Helper()
+	flat := dist.Flatten(inputs)
+	want := append([]int64(nil), flat...)
+	if order == Descending {
+		seq.SortInt64Desc(want)
+	} else {
+		seq.SortInt64Asc(want)
+	}
+	idx := 0
+	for i := range inputs {
+		if len(outputs[i]) != len(inputs[i]) {
+			t.Fatalf("%s: processor %d has %d elements, want %d", label, i, len(outputs[i]), len(inputs[i]))
+		}
+		for j, v := range outputs[i] {
+			if v != want[idx] {
+				t.Fatalf("%s: processor %d position %d = %d, want %d (global rank %d)",
+					label, i, j, v, want[idx], idx)
+			}
+			idx++
+		}
+	}
+}
+
+func runSortCase(t *testing.T, inputs [][]int64, k int, algo Algorithm, label string) *Report {
+	t.Helper()
+	outputs, rep, err := Sort(inputs, opts(k, algo))
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	checkSorted(t, inputs, outputs, Descending, label)
+	return rep
+}
+
+var sortAlgos = []Algorithm{
+	AlgoColumnsortGather, AlgoColumnsortVirtual, AlgoRankSort, AlgoMergeSort,
+}
+
+func TestSortTiny(t *testing.T) {
+	cases := []struct {
+		name   string
+		inputs [][]int64
+		k      int
+	}{
+		{"p1", [][]int64{{3, 1, 2}}, 1},
+		{"p2k1", [][]int64{{5, 1}, {4, 2}}, 1},
+		{"p2k2", [][]int64{{5, 1}, {4, 2}}, 2},
+		{"p3uneven", [][]int64{{9}, {1, 7, 3}, {2, 8}}, 2},
+		{"p4single", [][]int64{{4}, {2}, {3}, {1}}, 2},
+		{"p4k4", [][]int64{{4, 8}, {2, 6}, {3, 7}, {1, 5}}, 4},
+	}
+	for _, c := range cases {
+		for _, algo := range sortAlgos {
+			runSortCase(t, c.inputs, c.k, algo, c.name+"/"+algo.String())
+		}
+	}
+}
+
+func TestSortEvenDistributions(t *testing.T) {
+	r := dist.NewRNG(101)
+	configs := []struct{ n, p, k int }{
+		{64, 8, 2}, {64, 8, 4}, {64, 8, 8},
+		{256, 16, 4}, {1024, 16, 4}, {1024, 32, 8},
+		{4096, 16, 2},
+	}
+	for _, c := range configs {
+		inputs := dist.Values(r, dist.Even(c.n, c.p))
+		for _, algo := range sortAlgos {
+			label := algo.String()
+			runSortCase(t, inputs, c.k, algo, label)
+		}
+	}
+}
+
+func TestSortUnevenDistributions(t *testing.T) {
+	r := dist.NewRNG(102)
+	configs := []struct{ n, p, k int }{
+		{100, 7, 3}, {333, 9, 4}, {1000, 16, 4}, {500, 10, 10},
+	}
+	for _, c := range configs {
+		for _, card := range []dist.Cardinalities{
+			dist.RandomComposition(r, c.n, c.p),
+			dist.OneHeavy(c.n, c.p, 0.5),
+			dist.Geometric(c.n, c.p),
+		} {
+			inputs := dist.Values(r, card)
+			for _, algo := range sortAlgos {
+				runSortCase(t, inputs, c.k, algo, algo.String())
+			}
+		}
+	}
+}
+
+func TestSortDuplicates(t *testing.T) {
+	r := dist.NewRNG(103)
+	inputs := dist.ValuesWithDuplicates(r, dist.RandomComposition(r, 300, 8))
+	for _, algo := range sortAlgos {
+		runSortCase(t, inputs, 4, algo, "dups/"+algo.String())
+	}
+}
+
+func TestSortAdversarialCircular(t *testing.T) {
+	// The Theorem 3 lower-bound distribution, where every sorted neighbor
+	// pair crosses processors.
+	card := dist.Cardinalities{13, 11, 12, 13, 11}
+	inputs := dist.AdversarialCircular(card)
+	for _, algo := range sortAlgos {
+		runSortCase(t, inputs, 3, algo, "adversarial/"+algo.String())
+	}
+}
+
+func TestSortPresortedInputs(t *testing.T) {
+	// Already sorted (descending across processors) and anti-sorted inputs.
+	sorted := [][]int64{{12, 11, 10}, {9, 8, 7}, {6, 5, 4}, {3, 2, 1}}
+	reversed := [][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}
+	for _, algo := range sortAlgos {
+		runSortCase(t, sorted, 2, algo, "sorted/"+algo.String())
+		runSortCase(t, reversed, 2, algo, "reversed/"+algo.String())
+	}
+}
+
+func TestSortAscendingOrder(t *testing.T) {
+	r := dist.NewRNG(104)
+	inputs := dist.Values(r, dist.RandomComposition(r, 120, 6))
+	outputs, _, err := Sort(inputs, SortOptions{K: 3, Order: Ascending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, inputs, outputs, Ascending, "ascending")
+}
+
+func TestSortRecursive(t *testing.T) {
+	r := dist.NewRNG(105)
+	// Small n relative to k, where the direct algorithm cannot use all
+	// channels as columns.
+	configs := []struct{ p, ni, k int }{
+		{16, 4, 8}, {16, 2, 16}, {32, 4, 16}, {64, 2, 16}, {8, 8, 8}, {27, 3, 9},
+	}
+	for _, c := range configs {
+		inputs := dist.Values(r, dist.Even(c.p*c.ni, c.p))
+		rep := runSortCase(t, inputs, c.k, AlgoColumnsortRecursive, "recursive")
+		if rep.Algorithm != AlgoColumnsortRecursive {
+			t.Fatalf("algorithm = %v", rep.Algorithm)
+		}
+	}
+}
+
+func TestSortRecursiveRejectsUneven(t *testing.T) {
+	_, _, err := Sort([][]int64{{1, 2}, {3}}, opts(2, AlgoColumnsortRecursive))
+	if err == nil {
+		t.Fatal("expected error for uneven recursive sort")
+	}
+}
+
+func TestSortInputValidation(t *testing.T) {
+	if _, _, err := Sort(nil, opts(1, AlgoAuto)); err == nil {
+		t.Error("expected error for no processors")
+	}
+	if _, _, err := Sort([][]int64{{1}}, opts(0, AlgoAuto)); err == nil {
+		t.Error("expected error for K=0")
+	}
+	if _, _, err := Sort([][]int64{{1}}, opts(2, AlgoAuto)); err == nil {
+		t.Error("expected error for K>p")
+	}
+	if _, _, err := Sort([][]int64{{}, {}}, opts(1, AlgoAuto)); err == nil {
+		t.Error("expected error for an entirely empty set")
+	}
+}
+
+func TestSortAutoSelection(t *testing.T) {
+	r := dist.NewRNG(106)
+	// k=1 -> rank-sort.
+	in := dist.Values(r, dist.Even(32, 4))
+	_, rep, err := Sort(in, opts(1, AlgoAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != AlgoRankSort {
+		t.Errorf("k=1 auto = %v, want rank-sort", rep.Algorithm)
+	}
+	// Large n, several channels -> gather columnsort.
+	in = dist.Values(r, dist.Even(4096, 16))
+	_, rep, err = Sort(in, opts(8, AlgoAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != AlgoColumnsortGather {
+		t.Errorf("auto = %v, want gather", rep.Algorithm)
+	}
+	checkSortedOK := rep.Columns >= 2
+	if !checkSortedOK {
+		t.Errorf("gather used %d columns", rep.Columns)
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := dist.NewRNG(seed)
+		p := 2 + r.Intn(8)
+		n := p + r.Intn(120)
+		k := 1 + r.Intn(p)
+		card := dist.RandomComposition(r, n, p)
+		var inputs [][]int64
+		if seed%2 == 0 {
+			inputs = dist.Values(r, card)
+		} else {
+			inputs = dist.ValuesWithDuplicates(r, card)
+		}
+		algo := sortAlgos[int(seed%uint64(len(sortAlgos)))]
+		if algo == AlgoMergeSort && n > 80 {
+			n = 80 // merge-sort rounds are 4 cycles/element; keep quick runs quick
+		}
+		outputs, _, err := Sort(inputs, opts(k, algo))
+		if err != nil {
+			t.Logf("seed %d algo %v: %v", seed, algo, err)
+			return false
+		}
+		flat := dist.Flatten(inputs)
+		seq.SortInt64Desc(flat)
+		idx := 0
+		for i := range outputs {
+			for _, v := range outputs[i] {
+				if v != flat[idx] {
+					return false
+				}
+				idx++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortComplexityEven(t *testing.T) {
+	// Cor 5: Theta(n) messages, Theta(n/k) cycles for even distributions with
+	// n >= k^2(k-1). Check generous constant-factor envelopes.
+	r := dist.NewRNG(107)
+	for _, c := range []struct{ n, p, k int }{
+		{4096, 16, 4}, {8192, 16, 8}, {16384, 32, 8},
+	} {
+		inputs := dist.Values(r, dist.Even(c.n, c.p))
+		rep := runSortCase(t, inputs, c.k, AlgoColumnsortGather, "complexity")
+		msgs, cycles := rep.Stats.Messages, rep.Stats.Cycles
+		if msgs > int64(12*c.n) {
+			t.Errorf("n=%d k=%d: %d messages > 12n", c.n, c.k, msgs)
+		}
+		if lim := int64(16 * (c.n/c.k + c.p)); cycles > lim {
+			t.Errorf("n=%d k=%d: %d cycles > %d", c.n, c.k, cycles, lim)
+		}
+	}
+}
+
+func TestSortComplexityUneven(t *testing.T) {
+	// Cor 6: Theta(max{n/k, n_max}) cycles.
+	r := dist.NewRNG(108)
+	n, p, k := 8192, 16, 8
+	card := dist.OneHeavy(n, p, 0.5) // n_max = n/2 dominates n/k
+	inputs := dist.Values(r, card)
+	rep := runSortCase(t, inputs, k, AlgoColumnsortGather, "uneven-complexity")
+	nmax := int64(card.Max())
+	if rep.Stats.Cycles > 16*nmax {
+		t.Errorf("cycles %d > 16*n_max (%d)", rep.Stats.Cycles, 16*nmax)
+	}
+	if rep.Stats.Messages > int64(12*n) {
+		t.Errorf("messages %d > 12n", rep.Stats.Messages)
+	}
+}
+
+func TestMergeSortConstantAuxMemory(t *testing.T) {
+	// Section 6.1: Merge-Sort uses O(1) auxiliary memory beyond the owned
+	// elements: MaxAux <= 2*n_max + c.
+	r := dist.NewRNG(109)
+	card := dist.Even(128, 8)
+	inputs := dist.Values(r, card)
+	rep := runSortCase(t, inputs, 1, AlgoMergeSort, "mergesort-mem")
+	if lim := int64(2*card.Max() + 16); rep.Stats.MaxAux > lim {
+		t.Errorf("MaxAux = %d > %d", rep.Stats.MaxAux, lim)
+	}
+}
+
+func TestVirtualVsGatherMemory(t *testing.T) {
+	// Section 6.1's point: the virtual mode avoids the O(n/k) memory at
+	// representatives.
+	r := dist.NewRNG(110)
+	n, p, k := 4096, 32, 4
+	inputs := dist.Values(r, dist.Even(n, p))
+	repG := runSortCase(t, inputs, k, AlgoColumnsortGather, "gather")
+	repV := runSortCase(t, inputs, k, AlgoColumnsortVirtual, "virtual")
+	if repV.Stats.MaxAux >= repG.Stats.MaxAux {
+		t.Errorf("virtual MaxAux %d not below gather %d", repV.Stats.MaxAux, repG.Stats.MaxAux)
+	}
+	// Virtual per-processor memory stays near 3*n_i (cells + rank-sort copy).
+	ni := n / p
+	if lim := int64(6*ni + 64); repV.Stats.MaxAux > lim {
+		t.Errorf("virtual MaxAux %d > %d", repV.Stats.MaxAux, lim)
+	}
+}
+
+func TestSortDeterministicStats(t *testing.T) {
+	r1 := dist.NewRNG(111)
+	r2 := dist.NewRNG(111)
+	in1 := dist.Values(r1, dist.RandomComposition(r1, 200, 8))
+	in2 := dist.Values(r2, dist.RandomComposition(r2, 200, 8))
+	_, a, err := Sort(in1, opts(4, AlgoColumnsortGather))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Sort(in2, opts(4, AlgoColumnsortGather))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Messages != b.Stats.Messages {
+		t.Errorf("nondeterministic: %v vs %v", a.Stats, b.Stats)
+	}
+}
+
+func TestSortPhaseBreakdownRecorded(t *testing.T) {
+	r := dist.NewRNG(112)
+	inputs := dist.Values(r, dist.Even(512, 8))
+	_, rep, err := Sort(inputs, opts(4, AlgoColumnsortGather))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PhaseCycles) < 5 {
+		t.Fatalf("phase breakdown too short: %v", rep.PhaseCycles)
+	}
+	var total int64
+	for _, pc := range rep.PhaseCycles {
+		total += pc.Cycles
+	}
+	if total != rep.Stats.Cycles {
+		t.Errorf("phase cycles sum %d != total %d", total, rep.Stats.Cycles)
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"mcbnet/internal/matrix"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/schedule"
+	"mcbnet/internal/seq"
+)
+
+// virtualSort is the memory-efficient Columnsort of Section 6.1: each group
+// of processors acts as a single virtual processor holding one virtual
+// column, so phases 0 and 10 (gather/scatter into representatives) are not
+// needed and no processor ever stores more than its own share of the column.
+//
+// Column positions are assigned to group members contiguously (member with
+// within-group offset o owns positions [o, o+n_i)); the padding tail is
+// owned by the representative. Sorting phases run Rank-Sort inside every
+// group in parallel (one channel per group), which leaves each column in
+// canonical order: the element of column rank r sits at position r, dummies
+// at the tail. Transformation phases use matching schedules (each column
+// sends exactly one element and receives exactly one per cycle), and the
+// member that broadcasts stores the element received in the same cycle over
+// the slot it just vacated — the paper's O(1)-auxiliary-memory device. The
+// resulting intra-column disorder is repaired by the next sorting phase; the
+// one exception, column 1 after Up-Shift (phase 7 skips it), is handled by
+// shifting back exactly the slots that received the wrapped elements.
+func virtualSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []elem {
+	id := pr.ID()
+	ni := len(mine)
+
+	g := formGroups(pr, ni, pr.K())
+	rec.mark("formation")
+	G := len(g.groups)
+	m := g.paddedColLen()
+	sh := matrix.Shape{M: m, K: G}
+	if rep != nil && id == 0 {
+		rep.Columns, rep.ColumnLen = G, m
+	}
+
+	vc := newVirtualColumn(pr, g, m, mine)
+
+	if G == 1 {
+		// Single column: one group-wide Rank-Sort is the whole sort, and
+		// positions already equal global ranks.
+		vc.rankSort(pr, false)
+		rec.mark("single-column-ranksort")
+		return vc.ownedReal(pr)
+	}
+
+	for _, ph := range matrix.Phases() {
+		switch ph.Kind {
+		case matrix.PhaseSort:
+			skip := ph.SkipCol0 && vc.col == 0
+			vc.rankSort(pr, skip)
+			rec.mark("phase" + itoa(ph.Num) + ":ranksort")
+		case matrix.PhaseTransform:
+			kind, ok := schedule.KindOf(ph.Name)
+			if !ok {
+				pr.Abortf("core: unknown transform %q", ph.Name)
+			}
+			sched := scheduleFor(sh, kind)
+			// Phase 8 remap: column 0 skipped phase 7, so its wrapped
+			// elements still sit in the slots that sent during phase 6
+			// (rows [m/2, m)); it must send those back instead of the
+			// canonical down-shift rows [0, m/2).
+			remap := ph.Num == 8
+			vc.runTransform(pr, sh, sched, remap)
+			rec.mark("phase" + itoa(ph.Num) + ":" + ph.Name)
+		}
+	}
+
+	out := vc.redistribute(pr, sh, g, ni)
+	rec.mark("phase10:redistribution")
+	return out
+}
+
+// virtualColumn is one processor's share of its group's column.
+type virtualColumn struct {
+	col     int // column (= group) index, also the group's channel
+	m       int // column length
+	grpSize int // number of real elements initially in the group
+
+	// Owned positions: [lo, hi) plus, at the representative, the padding
+	// tail [tailLo, m).
+	lo, hi int
+	tailLo int // m if no tail owned
+	cells  []cell
+}
+
+func newVirtualColumn(pr mcb.Node, g *groupInfo, m int, mine []elem) *virtualColumn {
+	meta := g.groups[g.myGroup]
+	vc := &virtualColumn{
+		col:     g.myGroup,
+		m:       m,
+		grpSize: meta.size,
+		lo:      g.myOffset,
+		hi:      g.myOffset + len(mine),
+		tailLo:  m,
+	}
+	owned := len(mine)
+	if pr.ID() == meta.rep {
+		vc.tailLo = meta.size
+		owned += m - meta.size
+	}
+	vc.cells = make([]cell, owned)
+	for j, e := range mine {
+		vc.cells[j] = cell{e: e}
+	}
+	for j := len(mine); j < owned; j++ {
+		vc.cells[j] = cell{dummy: true}
+	}
+	pr.AccountAux(int64(2 * owned))
+	return vc
+}
+
+// owns reports whether this processor owns column position pos, and returns
+// the local cell index.
+func (vc *virtualColumn) owns(pos int) (int, bool) {
+	switch {
+	case pos >= vc.lo && pos < vc.hi:
+		return pos - vc.lo, true
+	case pos >= vc.tailLo && pos < vc.m:
+		return (vc.hi - vc.lo) + (pos - vc.tailLo), true
+	default:
+		return 0, false
+	}
+}
+
+// ownedCount returns the number of positions owned.
+func (vc *virtualColumn) ownedCount() int { return len(vc.cells) }
+
+// rankSort sorts this group's column in place (descending, dummies last)
+// using the group's channel: phase A broadcasts every cell in position order
+// (silence for dummies) while members rank their own cells; phase B
+// broadcasts in rank order into canonical positions. 2m cycles for every
+// group in parallel; when skip is set the group idles the same 2m cycles to
+// stay in lock-step (the paper's phase 7 for column 1).
+func (vc *virtualColumn) rankSort(pr mcb.Node, skip bool) {
+	m, ch := vc.m, vc.col
+	if skip {
+		pr.IdleN(2 * m)
+		return
+	}
+	// Local cells sorted descending (dummies last) so rank updates are a
+	// binary search; remember nothing else — contents are replaced in phase B.
+	own := append([]cell(nil), vc.cells...)
+	seq.Sort(own, greaterCell)
+	nReal := 0
+	for _, c := range own {
+		if !c.dummy {
+			nReal++
+		}
+	}
+	diff := make([]int, nReal+1)
+	pr.AccountAux(int64(2*len(own) + 1))
+
+	realCount := 0 // real cells in the whole column, counted from broadcasts
+	for pos := 0; pos < m; pos++ {
+		var msg mcb.Message
+		var ok bool
+		if li, mineP := vc.owns(pos); mineP {
+			c := vc.cells[li]
+			if c.dummy {
+				_, _ = pr.Read(ch) // silent slot; observe own silence
+				continue
+			}
+			msg, ok = pr.WriteRead(ch, c.e.msg(tagRank), ch)
+		} else {
+			msg, ok = pr.Read(ch)
+		}
+		if !ok {
+			continue // dummy slot elsewhere
+		}
+		realCount++
+		e := elemFromMsg(msg)
+		idx := lowerBoundSmallerCells(own[:nReal], e)
+		diff[idx]++
+	}
+	ranks := make([]int, nReal)
+	acc := 0
+	for i := 0; i < nReal; i++ {
+		acc += diff[i]
+		ranks[i] = acc
+	}
+
+	// Phase B: rank r goes to position r; positions >= realCount are dummy.
+	send := 0
+	for pos := 0; pos < m; pos++ {
+		li, mineP := vc.owns(pos)
+		holder := send < nReal && ranks[send] == pos
+		switch {
+		case pos >= realCount:
+			if mineP {
+				vc.cells[li] = cell{dummy: true}
+			}
+			pr.Idle()
+		case holder && mineP:
+			vc.cells[li] = own[send]
+			send++
+			pr.Idle()
+		case holder:
+			pr.Write(ch, own[send].e.msg(tagRank))
+			send++
+		case mineP:
+			msg, ok := pr.Read(ch)
+			if !ok {
+				pr.Abortf("core: virtual rank-sort missing rank %d", pos)
+			}
+			vc.cells[li] = cell{e: elemFromMsg(msg)}
+		default:
+			pr.Idle()
+		}
+	}
+	pr.AccountAux(int64(-(2*len(own) + 1)))
+}
+
+// lowerBoundSmallerCells returns the smallest index i with e > own[i].e in a
+// descending real-cell prefix.
+func lowerBoundSmallerCells(own []cell, e elem) int {
+	lo, hi := 0, len(own)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.greater(own[mid].e) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// runTransform plays a matching schedule: per cycle, if this column sends,
+// the member owning the (possibly remapped) source slot broadcasts its
+// content (silence for a dummy) and stores the element received in the same
+// cycle over that slot. remap shifts column 0's source rows by m/2 (phase 8
+// after the unsorted phase 7).
+func (vc *virtualColumn) runTransform(pr mcb.Node, sh matrix.Shape, sched *schedule.Schedule, remap bool) {
+	for _, assigns := range sched.Cycles {
+		var send, recv *schedule.Assign
+		for i := range assigns {
+			a := &assigns[i]
+			if sh.Col(a.Src) == vc.col {
+				send = a
+			}
+			if sh.Col(a.Dst) == vc.col {
+				recv = a
+			}
+		}
+		if send == nil {
+			// Matching property: no send means no receive either.
+			pr.Idle()
+			continue
+		}
+		if recv == nil {
+			pr.Abortf("core: virtual transform: send without receive")
+		}
+		srcRow := sh.Row(send.Src)
+		if remap && vc.col == 0 {
+			// Phase 6 vacated (and refilled with wraps) rows [m-floor(m/2), m);
+			// map the canonical down-shift rows [0, floor(m/2)) onto them.
+			srcRow = (srcRow + sh.M - sh.M/2) % sh.M
+		}
+		li, mineP := vc.owns(srcRow)
+		if !mineP {
+			pr.Idle()
+			continue
+		}
+		c := vc.cells[li]
+		if c.dummy {
+			msg, ok := pr.Read(recv.Ch)
+			storeCell(vc.cells, li, msg, ok)
+		} else {
+			msg, ok := pr.WriteRead(send.Ch, c.e.msg(tagElem), recv.Ch)
+			storeCell(vc.cells, li, msg, ok)
+		}
+	}
+}
+
+// redistribute delivers each processor its target rank segment. After phase
+// 9 every column is canonical, so the element of global rank r sits at
+// position r%m of column r/m; position owners broadcast their column twice
+// (two passes) and receivers read the one or two columns their segment
+// spans, taking locally owned ranks for free.
+func (vc *virtualColumn) redistribute(pr mcb.Node, sh matrix.Shape, g *groupInfo, ni int) []elem {
+	m := sh.M
+	lo, hi := g.rankRange(ni)
+	c1, c2 := lo/m, (hi-1)/m
+	out := make([]elem, ni)
+	for pass := 0; pass < 2; pass++ {
+		readCol := -1
+		if pass == 0 {
+			readCol = c1
+		} else if c2 != c1 {
+			readCol = c2
+		}
+		for r := 0; r < m; r++ {
+			li, mineP := vc.owns(r)
+			sendReal := mineP && !vc.cells[li].dummy
+			rank := readCol*m + r
+			wantRank := readCol >= 0 && rank >= lo && rank < hi
+			// A wanted rank in my own column at a position I own myself is
+			// taken locally (reading my own channel while writing it would
+			// be the same element anyway).
+			if wantRank && readCol == vc.col && mineP {
+				if !sendReal {
+					pr.Abortf("core: dummy at owned rank %d", rank)
+				}
+				out[rank-lo] = vc.cells[li].e
+				pr.Write(vc.col, vc.cells[li].e.msg(tagElem))
+				continue
+			}
+			switch {
+			case sendReal && wantRank:
+				msg, ok := pr.WriteRead(vc.col, vc.cells[li].e.msg(tagElem), readCol)
+				if !ok {
+					pr.Abortf("core: virtual redistribution missing rank %d", rank)
+				}
+				out[rank-lo] = elemFromMsg(msg)
+			case sendReal:
+				pr.Write(vc.col, vc.cells[li].e.msg(tagElem))
+			case wantRank:
+				msg, ok := pr.Read(readCol)
+				if !ok {
+					pr.Abortf("core: virtual redistribution missing rank %d", rank)
+				}
+				out[rank-lo] = elemFromMsg(msg)
+			default:
+				pr.Idle()
+			}
+		}
+	}
+	return out
+}
+
+// ownedReal returns the real cells at owned positions in position order —
+// the output segment when positions coincide with global ranks (G == 1).
+func (vc *virtualColumn) ownedReal(pr mcb.Node) []elem {
+	out := make([]elem, 0, vc.hi-vc.lo)
+	for pos := vc.lo; pos < vc.hi; pos++ {
+		li, _ := vc.owns(pos)
+		if vc.cells[li].dummy {
+			pr.Abortf("core: dummy at owned rank position %d", pos)
+		}
+		out = append(out, vc.cells[li].e)
+	}
+	return out
+}

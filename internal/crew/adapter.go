@@ -1,0 +1,115 @@
+package crew
+
+import "mcbnet/internal/mcb"
+
+// MCBNode adapts a CREW processor to the mcb.Node interface, so every MCB
+// algorithm in this repository runs on the shared-memory machine unchanged:
+// broadcast channel c becomes shared cell c, used as a single-slot mailbox.
+//
+// One MCB cycle maps to two CREW steps: a write step (writers store their
+// message, stamped with the current cycle number) followed by a read step
+// (readers load the cell and treat a stale stamp as silence — CREW memory
+// persists, MCB channels do not). Collision-freedom maps to exclusive-write.
+//
+// Running the even-distribution Columnsort through this adapter with k = p
+// cells realizes Section 9's claim that the auxiliary shared memory can be
+// reduced to p cells.
+type MCBNode struct {
+	pr    *Proc
+	k     int
+	cycle int64
+	aux   int64
+}
+
+var _ mcb.Node = (*MCBNode)(nil)
+
+// NewMCBNode wraps a CREW processor as an MCB(p.P(), k) node; k must not
+// exceed the machine's cell count.
+func NewMCBNode(pr *Proc, k int) *MCBNode {
+	if k < 1 || k > pr.Cells() {
+		pr.Abortf("crew: MCB adapter needs 1 <= k <= cells, got k=%d cells=%d", k, pr.Cells())
+	}
+	return &MCBNode{pr: pr, k: k}
+}
+
+// ID returns the processor index.
+func (n *MCBNode) ID() int { return n.pr.ID() }
+
+// P returns the number of processors.
+func (n *MCBNode) P() int { return n.pr.P() }
+
+// K returns the number of emulated broadcast channels.
+func (n *MCBNode) K() int { return n.k }
+
+func (n *MCBNode) checkCh(ch int) {
+	if ch < 0 || ch >= n.k {
+		n.pr.Abortf("crew: channel %d out of range [0,%d)", ch, n.k)
+	}
+}
+
+func encode(m mcb.Message, cycle int64) Value {
+	// Pack the tag into the stamp word: D = cycle<<8 | tag.
+	return Value{A: m.X, B: m.Y, C: m.Z, D: cycle<<8 | int64(m.Tag)}
+}
+
+func decode(v Value, cycle int64) (mcb.Message, bool) {
+	if v.D>>8 != cycle {
+		return mcb.Message{}, false // stale cell: MCB silence
+	}
+	return mcb.Message{Tag: uint8(v.D & 0xff), X: v.A, Y: v.B, Z: v.C}, true
+}
+
+// WriteRead broadcasts on writeCh and reads readCh in the same MCB cycle
+// (two CREW steps).
+func (n *MCBNode) WriteRead(writeCh int, m mcb.Message, readCh int) (mcb.Message, bool) {
+	n.checkCh(writeCh)
+	n.checkCh(readCh)
+	n.cycle++
+	n.pr.Write(writeCh, encode(m, n.cycle))
+	return decode(n.pr.Read(readCh), n.cycle)
+}
+
+// Write broadcasts on writeCh.
+func (n *MCBNode) Write(writeCh int, m mcb.Message) {
+	n.checkCh(writeCh)
+	n.cycle++
+	n.pr.Write(writeCh, encode(m, n.cycle))
+	n.pr.Idle()
+}
+
+// Read reads readCh; a stale cell reports silence.
+func (n *MCBNode) Read(readCh int) (mcb.Message, bool) {
+	n.checkCh(readCh)
+	n.cycle++
+	n.pr.Idle()
+	return decode(n.pr.Read(readCh), n.cycle)
+}
+
+// Idle spends one MCB cycle (two CREW steps).
+func (n *MCBNode) Idle() {
+	n.cycle++
+	n.pr.Idle()
+	n.pr.Idle()
+}
+
+// IdleN spends nn MCB cycles.
+func (n *MCBNode) IdleN(nn int) {
+	for i := 0; i < nn; i++ {
+		n.Idle()
+	}
+}
+
+// Abortf fails the whole computation.
+func (n *MCBNode) Abortf(format string, args ...any) {
+	n.pr.Abortf(format, args...)
+}
+
+// AccountAux tracks the auxiliary-memory estimate locally (reported by
+// MaxAux).
+func (n *MCBNode) AccountAux(delta int64) { n.aux += delta }
+
+// MaxAux returns the current local auxiliary estimate.
+func (n *MCBNode) MaxAux() int64 { return n.aux }
+
+// Cycles returns the number of MCB cycles spent through this adapter.
+func (n *MCBNode) Cycles() int64 { return n.cycle }

@@ -1,0 +1,259 @@
+package crew
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mcbnet/internal/core"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/seq"
+)
+
+func cfg(p, cells int) Config {
+	return Config{P: p, Cells: cells, StallTimeout: 10 * time.Second}
+}
+
+func TestReadObservesPreStepMemory(t *testing.T) {
+	// In one step, a reader sees the value from before the concurrent write.
+	got := make([]Value, 2)
+	progs := []func(*Proc){
+		func(pr *Proc) {
+			pr.Write(0, Value{A: 1}) // step 1
+			pr.Write(0, Value{A: 2}) // step 2
+		},
+		func(pr *Proc) {
+			pr.Idle()           // step 1
+			got[1] = pr.Read(0) // step 2: sees step-1 value
+		},
+	}
+	if _, err := Run(cfg(2, 1), progs); err != nil {
+		t.Fatal(err)
+	}
+	if got[1].A != 1 {
+		t.Errorf("read saw %d, want the pre-step value 1", got[1].A)
+	}
+}
+
+func TestMemoryPersists(t *testing.T) {
+	var v Value
+	progs := []func(*Proc){
+		func(pr *Proc) {
+			pr.Write(3, Value{A: 42})
+			pr.Idle()
+			pr.Idle()
+		},
+		func(pr *Proc) {
+			pr.Idle()
+			pr.Idle()
+			v = pr.Read(3) // many steps later: still there
+		},
+	}
+	if _, err := Run(cfg(2, 4), progs); err != nil {
+		t.Fatal(err)
+	}
+	if v.A != 42 {
+		t.Errorf("persistent read = %d, want 42", v.A)
+	}
+}
+
+func TestConcurrentReadAllowed(t *testing.T) {
+	const p = 6
+	got := make([]int64, p)
+	prog := func(pr *Proc) {
+		if pr.ID() == 0 {
+			pr.Write(0, Value{A: 9})
+		} else {
+			pr.Idle()
+		}
+		got[pr.ID()] = pr.Read(0).A // all p read the same cell together
+	}
+	if _, err := RunUniform(cfg(p, 2), prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if g != 9 {
+			t.Errorf("proc %d read %d", i, g)
+		}
+	}
+}
+
+func TestExclusiveWriteViolation(t *testing.T) {
+	prog := func(pr *Proc) {
+		pr.Write(1, Value{A: int64(pr.ID())})
+	}
+	if _, err := RunUniform(cfg(3, 2), prog); !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+}
+
+func TestInvalidCellAborts(t *testing.T) {
+	for _, bad := range []func(pr *Proc){
+		func(pr *Proc) { pr.Read(9) },
+		func(pr *Proc) { pr.Write(-1, Value{}) },
+	} {
+		if _, err := RunUniform(cfg(2, 2), bad); !errors.Is(err, ErrAborted) {
+			t.Fatalf("expected abort, got %v", err)
+		}
+	}
+}
+
+func TestStepAndStatsAccounting(t *testing.T) {
+	res, err := RunUniform(cfg(2, 2), func(pr *Proc) {
+		pr.Step(0, pr.ID(), Value{A: int64(pr.ID())})
+		pr.Idle()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Steps != 2 {
+		t.Errorf("steps = %d, want 2", res.Stats.Steps)
+	}
+	if res.Stats.Reads != 2 || res.Stats.Writes != 2 {
+		t.Errorf("reads/writes = %d/%d, want 2/2", res.Stats.Reads, res.Stats.Writes)
+	}
+	if res.Stats.CellsTouched != 2 {
+		t.Errorf("cells touched = %d, want 2", res.Stats.CellsTouched)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	c := cfg(1, 1)
+	c.MaxSteps = 4
+	_, err := RunUniform(c, func(pr *Proc) {
+		for {
+			pr.Idle()
+		}
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+}
+
+// --- MCB adapter tests: Section 9's CREW port ---
+
+func TestAdapterBroadcastAndSilence(t *testing.T) {
+	const p, k = 4, 2
+	got := make([]int64, p)
+	silent := make([]bool, p)
+	prog := func(pr *Proc) {
+		n := NewMCBNode(pr, k)
+		if n.ID() == 1 {
+			m, ok := n.WriteRead(0, mcb.MsgX(1, 55), 0)
+			if !ok {
+				n.Abortf("writer lost own message")
+			}
+			got[n.ID()] = m.X
+		} else {
+			m, ok := n.Read(0)
+			if ok {
+				got[n.ID()] = m.X
+			}
+		}
+		// Next cycle: nobody writes; the stale cell must read as silence.
+		_, ok := n.Read(0)
+		silent[n.ID()] = !ok
+	}
+	if _, err := RunUniform(cfg(p, k), prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if got[i] != 55 {
+			t.Errorf("proc %d got %d", i, got[i])
+		}
+		if !silent[i] {
+			t.Errorf("proc %d saw a stale cell as a message", i)
+		}
+	}
+}
+
+// TestColumnsortOnCREW is the Section 9 claim end to end: the MCB
+// Columnsort running on the CREW machine with only k <= p shared cells.
+func TestColumnsortOnCREW(t *testing.T) {
+	const n, p, k = 512, 8, 4
+	r := dist.NewRNG(91)
+	inputs := dist.Values(r, dist.Even(n, p))
+	outputs := make([][]int64, p)
+	res, err := RunUniform(cfg(p, k), func(pr *Proc) {
+		node := NewMCBNode(pr, k)
+		outputs[node.ID()] = core.SortNode(node, inputs[node.ID()], core.AlgoColumnsortGather)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify global descending order with preserved cardinalities.
+	flat := dist.Flatten(inputs)
+	seq.SortInt64Desc(flat)
+	idx := 0
+	for i := range outputs {
+		if len(outputs[i]) != len(inputs[i]) {
+			t.Fatalf("proc %d cardinality changed", i)
+		}
+		for _, v := range outputs[i] {
+			if v != flat[idx] {
+				t.Fatalf("global rank %d: got %d, want %d", idx, v, flat[idx])
+			}
+			idx++
+		}
+	}
+	// The paper's point: auxiliary shared memory is at most p cells.
+	if res.Stats.CellsTouched > p {
+		t.Errorf("shared cells touched = %d > p = %d", res.Stats.CellsTouched, p)
+	}
+	t.Logf("CREW Columnsort: %d steps, %d shared cells", res.Stats.Steps, res.Stats.CellsTouched)
+}
+
+func TestSelectOnCREW(t *testing.T) {
+	const n, p, k = 256, 8, 4
+	r := dist.NewRNG(92)
+	inputs := dist.Values(r, dist.NearlyEven(n, p))
+	want := func() int64 {
+		flat := dist.Flatten(inputs)
+		seq.SortInt64Desc(flat)
+		return flat[n/2-1]
+	}()
+	got := make([]int64, p)
+	if _, err := RunUniform(cfg(p, k), func(pr *Proc) {
+		node := NewMCBNode(pr, k)
+		got[node.ID()] = core.SelectNode(node, inputs[node.ID()], n/2, 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if g != want {
+			t.Errorf("proc %d selected %d, want %d", i, g, want)
+		}
+	}
+}
+
+func TestAdapterMisuse(t *testing.T) {
+	// Invalid k for the adapter and invalid channels through it.
+	if _, err := RunUniform(cfg(2, 2), func(pr *Proc) {
+		NewMCBNode(pr, 3) // k > cells
+	}); !errors.Is(err, ErrAborted) {
+		t.Errorf("expected abort for k > cells, got %v", err)
+	}
+	if _, err := RunUniform(cfg(2, 2), func(pr *Proc) {
+		n := NewMCBNode(pr, 2)
+		n.Read(5)
+	}); !errors.Is(err, ErrAborted) {
+		t.Errorf("expected abort for bad channel, got %v", err)
+	}
+}
+
+func TestAdapterIdleNAndAccounting(t *testing.T) {
+	if _, err := RunUniform(cfg(2, 2), func(pr *Proc) {
+		n := NewMCBNode(pr, 2)
+		n.AccountAux(5)
+		n.IdleN(3)
+		if n.Cycles() != 3 {
+			n.Abortf("cycles = %d, want 3", n.Cycles())
+		}
+		if n.MaxAux() != 5 {
+			n.Abortf("aux = %d", n.MaxAux())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 7)
+	for i := 0; i < 7000; i++ {
+		v := r.Intn(7)
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("Intn(7): value %d appeared %d/7000 times", v, c)
+		}
+	}
+}
+
+func checkProfile(t *testing.T, c Cardinalities, n, p int, label string) {
+	t.Helper()
+	if len(c) != p {
+		t.Fatalf("%s: %d processors, want %d", label, len(c), p)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if c.N() != n {
+		t.Fatalf("%s: N() = %d, want %d", label, c.N(), n)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	r := NewRNG(3)
+	checkProfile(t, Even(100, 10), 100, 10, "even")
+	checkProfile(t, NearlyEven(103, 10), 103, 10, "nearly-even")
+	checkProfile(t, OneHeavy(100, 10, 0.5), 100, 10, "one-heavy")
+	checkProfile(t, RandomComposition(r, 57, 9), 57, 9, "random")
+	checkProfile(t, Geometric(100, 5), 100, 5, "geometric")
+
+	oh := OneHeavy(100, 10, 0.5)
+	if oh.Max() < 45 {
+		t.Errorf("OneHeavy max = %d, want ~50", oh.Max())
+	}
+	g := Geometric(100, 5)
+	if g[0] < g[1] || g[1] < g[2] {
+		t.Errorf("Geometric not decreasing: %v", g)
+	}
+}
+
+func TestMaxAndMax2(t *testing.T) {
+	c := Cardinalities{3, 9, 9, 1}
+	if c.Max() != 9 || c.Max2() != 9 {
+		t.Fatalf("Max=%d Max2=%d", c.Max(), c.Max2())
+	}
+	c = Cardinalities{3, 9, 5, 1}
+	if c.Max() != 9 || c.Max2() != 5 {
+		t.Fatalf("Max=%d Max2=%d", c.Max(), c.Max2())
+	}
+}
+
+func TestValuesDistinctAndComplete(t *testing.T) {
+	r := NewRNG(4)
+	c := RandomComposition(r, 200, 7)
+	vals := Values(r, c)
+	flat := Flatten(vals)
+	if len(flat) != 200 {
+		t.Fatalf("got %d values", len(flat))
+	}
+	seen := map[int64]bool{}
+	for _, v := range flat {
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	for i, part := range vals {
+		if len(part) != c[i] {
+			t.Fatalf("processor %d has %d values, want %d", i, len(part), c[i])
+		}
+	}
+}
+
+func TestValuesWithDuplicatesHasDuplicates(t *testing.T) {
+	r := NewRNG(5)
+	vals := ValuesWithDuplicates(r, Even(400, 4))
+	seen := map[int64]int{}
+	for _, v := range Flatten(vals) {
+		seen[v]++
+	}
+	if len(seen) >= 400 {
+		t.Fatal("expected duplicated values")
+	}
+}
+
+func TestAdversarialCircular(t *testing.T) {
+	c := Cardinalities{3, 2, 2}
+	vals := AdversarialCircular(c)
+	// n=7, descending deal: ranks 1..7 -> values 7..1 dealt P0,P1,P2,P0,P1,P2,P0.
+	want := [][]int64{{7, 4, 1}, {6, 3}, {5, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if vals[i][j] != want[i][j] {
+				t.Fatalf("vals = %v, want %v", vals, want)
+			}
+		}
+	}
+}
+
+func TestAdversarialCircularProperty(t *testing.T) {
+	// Consecutive sorted elements (within the first n-(nmax-nmax2) ranks)
+	// never share a processor.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := 2 + r.Intn(6)
+		n := p + r.Intn(50)
+		c := RandomComposition(r, n, p)
+		vals := AdversarialCircular(c)
+		where := map[int64]int{}
+		for i, part := range vals {
+			for _, v := range part {
+				where[v] = i
+			}
+		}
+		limit := n - (c.Max() - c.Max2())
+		for rank := 1; rank < limit; rank++ {
+			a := where[int64(n-rank+1)]
+			b := where[int64(n-rank)]
+			if a == b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(6)
+	s := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]int64(nil), s...)
+	Shuffle(r, s)
+	sum := int64(0)
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatal("shuffle lost elements")
+	}
+	_ = orig
+}
+
+func TestAdversarialAlternating(t *testing.T) {
+	c := Cardinalities{4, 2, 2}
+	vals := AdversarialAlternating(c, 0)
+	// n=8: ranks alternate other/heavy for 2*min(nmax, ...)=8 placements:
+	// heavy gets even 0-based ranks 1,3,5,7 -> values 7,5,3,1.
+	want := []int64{7, 5, 3, 1}
+	for i, w := range want {
+		if vals[0][i] != w {
+			t.Fatalf("heavy = %v, want %v", vals[0], want)
+		}
+	}
+	// Cardinalities preserved and all values present.
+	seen := map[int64]bool{}
+	total := 0
+	for i, part := range vals {
+		if len(part) != c[i] {
+			t.Fatalf("proc %d has %d values", i, len(part))
+		}
+		for _, v := range part {
+			if v < 1 || v > 8 || seen[v] {
+				t.Fatalf("bad value set %v", vals)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != 8 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestAdversarialAlternatingProperty(t *testing.T) {
+	// For the heavy processor, consecutive sorted pairs (2j, 2j+1) must
+	// split between heavy and non-heavy for the first 2*nmax ranks (while
+	// others still have capacity).
+	r := NewRNG(77)
+	for trial := 0; trial < 50; trial++ {
+		p := 2 + r.Intn(6)
+		n := 2*p + r.Intn(60)
+		c := RandomComposition(r, n, p)
+		heavy := r.Intn(p)
+		vals := AdversarialAlternating(c, heavy)
+		where := map[int64]int{}
+		for i, part := range vals {
+			if len(part) != c[i] {
+				t.Fatalf("cardinality broken")
+			}
+			for _, v := range part {
+				where[v] = i
+			}
+		}
+		pairs := min(c[heavy], n-c[heavy])
+		for j := 0; j < pairs; j++ {
+			hi := where[int64(n-2*j)]   // odd rank value
+			lo := where[int64(n-2*j-1)] // even rank value
+			if lo != heavy || hi == heavy {
+				t.Fatalf("pair %d not split: hi@%d lo@%d heavy=%d", j, hi, lo, heavy)
+			}
+		}
+	}
+}

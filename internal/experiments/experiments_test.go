@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	// Ordered by numeric id.
+	for i := 1; i < len(all); i++ {
+		var a, b int
+		if _, err := sscan(all[i-1].ID, &a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(all[i].ID, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a >= b {
+			t.Errorf("registry not ordered: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func sscan(id string, out *int) (int, error) {
+	n := 0
+	for _, c := range strings.TrimPrefix(id, "E") {
+		n = n*10 + int(c-'0')
+	}
+	*out = n
+	return n, nil
+}
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode —
+// this is the end-to-end check that the whole harness regenerates every
+// table and figure without error.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(true)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				s := tb.String()
+				if len(s) < 20 || !strings.Contains(s, "==") {
+					t.Errorf("%s: suspicious table output:\n%s", e.ID, s)
+				}
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tb.Title)
+				}
+			}
+		})
+	}
+}

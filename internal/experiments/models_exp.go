@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mcbnet/internal/core"
+	"mcbnet/internal/crew"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/ipbam"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/shoutecho"
+	"mcbnet/internal/stats"
+)
+
+func init() {
+	register("E14",
+		"Shout-Echo port (Sec 9 / [Marb85]): selection in O(log n) shout-echo rounds — 3 rounds per filtering phase, ~1/2 purged per phase",
+		func(quick bool) []*stats.Table {
+			ns := []int{1024, 4096, 16384, 65536}
+			if quick {
+				ns = []int{1024, 4096}
+			}
+			p := 16
+			tb := stats.NewTable(fmt.Sprintf("E14 Shout-Echo selection, p=%d, d=n/2", p),
+				"n", "log2(n)", "rounds", "rounds/log2(n)", "phases", "messages (p per round)")
+			for _, n := range ns {
+				r := dist.NewRNG(uint64(n))
+				inputs := dist.Values(r, dist.Even(n, p))
+				_, rep, err := shoutecho.Select(inputs, n/2, shoutecho.Config{StallTimeout: time.Minute})
+				if err != nil {
+					panic(err)
+				}
+				tb.AddRow(n, math.Log2(float64(n)), rep.Stats.Rounds,
+					float64(rep.Stats.Rounds)/math.Log2(float64(n)),
+					rep.FilterPhases, rep.Stats.Messages)
+			}
+			return []*stats.Table{tb}
+		})
+
+	register("E15",
+		"CREW port (Sec 9): MCB Columnsort on a CREW PRAM through the channel-as-cell adapter — auxiliary shared memory is k <= p cells",
+		func(quick bool) []*stats.Table {
+			configs := []struct{ n, p, k int }{
+				{512, 8, 4}, {2048, 16, 8}, {8192, 16, 8},
+			}
+			if quick {
+				configs = configs[:2]
+			}
+			tb := stats.NewTable("E15 Columnsort on CREW shared memory",
+				"n", "p", "k", "CREW steps", "steps/(n/k)", "shared cells touched", "cells <= p?")
+			for _, c := range configs {
+				r := dist.NewRNG(uint64(c.n))
+				inputs := dist.Values(r, dist.Even(c.n, c.p))
+				outputs := make([][]int64, c.p)
+				res, err := crew.RunUniform(crew.Config{P: c.p, Cells: c.k, StallTimeout: time.Minute},
+					func(pr *crew.Proc) {
+						node := crew.NewMCBNode(pr, c.k)
+						outputs[node.ID()] = core.SortNode(node, inputs[node.ID()], core.AlgoColumnsortGather)
+					})
+				if err != nil {
+					panic(err)
+				}
+				tb.AddRow(c.n, c.p, c.k, res.Stats.Steps,
+					float64(res.Stats.Steps)/(float64(c.n)/float64(c.k)),
+					res.Stats.CellsTouched,
+					res.Stats.CellsTouched <= c.p)
+			}
+			return []*stats.Table{tb}
+		})
+}
+
+func init() {
+	register("E16",
+		"Extrema finding across models (Sec 1/9): IPBAM's concurrent-write collisions find the max in O(log beta) slots; the collision-free MCB needs Partial-Sums (O(p/k + log k) cycles); Shout-Echo needs 2 rounds of p messages",
+		func(quick bool) []*stats.Table {
+			ps := []int{16, 64, 256}
+			if quick {
+				ps = ps[:2]
+			}
+			tb := stats.NewTable("E16 extrema: slots/cycles/rounds and messages by model (values < 2^20)",
+				"p", "IPBAM slots", "IPBAM transmissions", "MCB(k=4) cycles", "MCB msgs", "Shout-Echo rounds", "SE msgs")
+			for _, p := range ps {
+				r := dist.NewRNG(uint64(p))
+				card := dist.NearlyEven(4*p, p)
+				inputs := make([][]int64, p)
+				for i, ni := range card {
+					inputs[i] = make([]int64, ni)
+					for j := range inputs[i] {
+						inputs[i][j] = int64(r.Intn(1 << 20))
+					}
+				}
+				_, ipRes, err := ipbam.FindMax(inputs, ipbam.Config{StallTimeout: time.Minute})
+				if err != nil {
+					panic(err)
+				}
+				k := 4
+				mcbRes, err := mcb.RunUniform(mcb.Config{P: p, K: k, StallTimeout: time.Minute}, func(pr mcb.Node) {
+					core.MaxNode(pr, inputs[pr.ID()])
+				})
+				if err != nil {
+					panic(err)
+				}
+				_, seRes, err := shoutecho.Max(inputs, shoutecho.Config{StallTimeout: time.Minute})
+				if err != nil {
+					panic(err)
+				}
+				tb.AddRow(p, ipRes.Stats.Slots, ipRes.Stats.Transmissions,
+					mcbRes.Stats.Cycles, mcbRes.Stats.Messages,
+					seRes.Stats.Rounds, seRes.Stats.Messages)
+			}
+			return []*stats.Table{tb}
+		})
+}

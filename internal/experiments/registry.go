@@ -1,0 +1,51 @@
+// Package experiments regenerates every table and figure of the evaluation:
+// the paper is a theory paper, so its "results" are the tight bounds of the
+// abstract (reproduced as measured-vs-predicted tables over parameter
+// sweeps) and its two figures (the matrix transformations and the filtering
+// phase). Each experiment has an id (E1..E13), a one-line claim, and a
+// generator that returns printable tables. DESIGN.md carries the index;
+// EXPERIMENTS.md records the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mcbnet/internal/stats"
+)
+
+// Experiment is one reproducible table/figure generator. Quick mode shrinks
+// the sweeps for use under `go test`; full mode is what cmd/mcbbench runs.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(quick bool) []*stats.Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(id, claim string, run func(quick bool) []*stats.Table) {
+	registry[id] = Experiment{ID: id, Claim: claim, Run: run}
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns all experiments ordered by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E2 < E10: compare by numeric suffix.
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}

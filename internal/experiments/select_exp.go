@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mcbnet/internal/core"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/stats"
+)
+
+func init() {
+	register("E3",
+		"Selection (Cor 7): Theta(p log(kn/p)) messages and Theta((p/k) log(kn/p)) cycles — ratios flat across n, p, k",
+		func(quick bool) []*stats.Table {
+			var out []*stats.Table
+			// Sweep n.
+			ns := []int{4096, 16384, 65536}
+			if quick {
+				ns = []int{2048, 8192}
+			}
+			p, k := 16, 4
+			tn := stats.NewTable(fmt.Sprintf("E3a selection vs n, p=%d k=%d, d=n/2", p, k),
+				"n", "log2(kn/p)", "messages", "msgs/(p log)", "cycles", "cyc/((p/k) log)", "phases")
+			for _, n := range ns {
+				r := dist.NewRNG(uint64(n))
+				rep := mustSelect(dist.Values(r, dist.Even(n, p)), k, n/2, core.SelFiltering)
+				logT := math.Log2(float64(k*n) / float64(p))
+				tn.AddRow(n, logT, rep.Stats.Messages,
+					float64(rep.Stats.Messages)/(float64(p)*logT),
+					rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)/(float64(p)/float64(k)*logT),
+					rep.FilterPhases)
+			}
+			out = append(out, tn)
+			// Sweep p at fixed n, k.
+			n := 16384
+			if quick {
+				n = 8192
+			}
+			tp := stats.NewTable(fmt.Sprintf("E3b selection vs p, n=%d k=4, d=n/2", n),
+				"p", "messages", "msgs/(p log)", "cycles")
+			for _, pp := range []int{8, 16, 32, 64} {
+				r := dist.NewRNG(uint64(pp))
+				rep := mustSelect(dist.Values(r, dist.Even(n, pp)), 4, n/2, core.SelFiltering)
+				logT := math.Log2(float64(4*n) / float64(pp))
+				tp.AddRow(pp, rep.Stats.Messages,
+					float64(rep.Stats.Messages)/(float64(pp)*logT), rep.Stats.Cycles)
+			}
+			out = append(out, tp)
+			// Sweep k at fixed n, p.
+			tk := stats.NewTable(fmt.Sprintf("E3c selection vs k, n=%d p=32, d=n/2", n),
+				"k", "messages", "cycles", "cyc/((p/k) log)")
+			for _, kk := range []int{1, 2, 4, 8, 16} {
+				r := dist.NewRNG(uint64(1000 + kk))
+				rep := mustSelect(dist.Values(r, dist.Even(n, 32)), kk, n/2, core.SelFiltering)
+				logT := math.Log2(float64(kk*n) / 32.0)
+				tk.AddRow(kk, rep.Stats.Messages, rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)/(32.0/float64(kk)*logT))
+			}
+			out = append(out, tk)
+			return out
+		})
+
+	register("E4",
+		"Filtering vs sort-then-pick (Sec 8 intro): the naive baseline pays Theta(n) messages; filtering wins by ~n/(p log(kn/p)) and the factor grows with n",
+		func(quick bool) []*stats.Table {
+			p, k := 16, 4
+			ns := []int{1024, 4096, 16384, 65536}
+			if quick {
+				ns = []int{1024, 4096}
+			}
+			tb := stats.NewTable(fmt.Sprintf("E4 filtering vs sort baseline, p=%d k=%d, d=n/2", p, k),
+				"n", "filter msgs", "baseline msgs", "msg speedup", "filter cyc", "baseline cyc", "cyc speedup")
+			for _, n := range ns {
+				r := dist.NewRNG(uint64(n))
+				inputs := dist.Values(r, dist.Even(n, p))
+				f := mustSelect(inputs, k, n/2, core.SelFiltering)
+				b := mustSelect(inputs, k, n/2, core.SelSortBaseline)
+				tb.AddRow(n, f.Stats.Messages, b.Stats.Messages,
+					float64(b.Stats.Messages)/float64(f.Stats.Messages),
+					f.Stats.Cycles, b.Stats.Cycles,
+					float64(b.Stats.Cycles)/float64(f.Stats.Cycles))
+			}
+			return []*stats.Table{tb}
+		})
+
+	register("E6",
+		"Filtering phase (Fig 2 / Sec 8.2): every phase purges >= 1/4 of the candidates; phase count <= log_{4/3}(n/m*)",
+		func(quick bool) []*stats.Table {
+			n, p, k := 65536, 16, 4
+			if quick {
+				n = 8192
+			}
+			r := dist.NewRNG(6)
+			rep := mustSelect(dist.Values(r, dist.Even(n, p)), k, n/2, core.SelFiltering)
+			tb := stats.NewTable(fmt.Sprintf("E6 per-phase candidate counts, n=%d p=%d k=%d d=n/2", n, p, k),
+				"phase", "candidates before", "purged fraction")
+			for i, f := range rep.PurgeFractions {
+				tb.AddRow(i+1, rep.Candidates[i], f)
+			}
+			summary := stats.NewTable("E6 summary", "quantity", "value")
+			minF := 1.0
+			for _, f := range rep.PurgeFractions {
+				if f < minF {
+					minF = f
+				}
+			}
+			bound := math.Log(float64(n)/float64(max(1, p/k))) / math.Log(4.0/3.0)
+			summary.AddRow("phases", rep.FilterPhases)
+			summary.AddRow("log_{4/3}(n/m*) bound", bound)
+			summary.AddRow("min purge fraction (must be >= 0.25)", minF)
+			return []*stats.Table{tb, summary}
+		})
+}

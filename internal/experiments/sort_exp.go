@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mcbnet/internal/adversary"
+	"mcbnet/internal/core"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/stats"
+)
+
+func sortOpts(k int, algo core.Algorithm) core.SortOptions {
+	return core.SortOptions{K: k, Algorithm: algo, StallTimeout: 60 * time.Second}
+}
+
+func mustSort(inputs [][]int64, k int, algo core.Algorithm) *core.Report {
+	_, rep, err := core.Sort(inputs, sortOpts(k, algo))
+	if err != nil {
+		panic(fmt.Sprintf("experiment sort failed: %v", err))
+	}
+	return rep
+}
+
+func mustSelect(inputs [][]int64, k, d int, algo core.SelectAlgorithm) *core.SelectReport {
+	_, rep, err := core.Select(inputs, core.SelectOptions{
+		K: k, D: d, Algorithm: algo, StallTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment select failed: %v", err))
+	}
+	return rep
+}
+
+func init() {
+	register("E1",
+		"Even sort (Cor 5): Theta(n) messages and Theta(n/k) cycles — msgs/n and cycles/(n/k) flat across n",
+		func(quick bool) []*stats.Table {
+			ns := []int{4096, 8192, 16384, 32768, 65536}
+			if quick {
+				ns = []int{4096, 8192, 16384}
+			}
+			p, k := 16, 8
+			tb := stats.NewTable(
+				fmt.Sprintf("E1 even sort, p=%d k=%d (gather Columnsort)", p, k),
+				"n", "messages", "msgs/n", "cycles", "cycles/(n/k)", "LBmsg", "LBcyc")
+			var xs, msgsY, cycY []float64
+			for _, n := range ns {
+				r := dist.NewRNG(uint64(n))
+				card := dist.Even(n, p)
+				rep := mustSort(dist.Values(r, card), k, core.AlgoColumnsortGather)
+				lbM := adversary.SortingMessagesLB(card)
+				lbC := adversary.SortingCyclesLB(card, k)
+				tb.AddRow(n, rep.Stats.Messages,
+					float64(rep.Stats.Messages)/float64(n),
+					rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)/(float64(n)/float64(k)),
+					lbM, lbC)
+				xs = append(xs, float64(n))
+				msgsY = append(msgsY, float64(rep.Stats.Messages))
+				cycY = append(cycY, float64(rep.Stats.Cycles))
+			}
+			fit := stats.NewTable("E1 growth fit (expect ~1.0 for both)",
+				"quantity", "loglog slope vs n")
+			fit.AddRow("messages", stats.LogLogSlope(xs, msgsY))
+			fit.AddRow("cycles", stats.LogLogSlope(xs, cycY))
+			return []*stats.Table{tb, fit}
+		})
+
+	register("E2",
+		"Uneven sort (Cor 6): cycles track max{n/k, n_max} as skew grows; messages stay Theta(n)",
+		func(quick bool) []*stats.Table {
+			n, p, k := 16384, 16, 8
+			if quick {
+				n = 4096
+			}
+			fracs := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.85}
+			tb := stats.NewTable(
+				fmt.Sprintf("E2 uneven sort, n=%d p=%d k=%d (one-heavy profile)", n, p, k),
+				"n_max/n", "n_max", "max(n/k,n_max)", "cycles", "cycles/pred", "messages", "msgs/n")
+			for _, f := range fracs {
+				r := dist.NewRNG(uint64(f * 1000))
+				card := dist.OneHeavy(n, p, f)
+				rep := mustSort(dist.Values(r, card), k, core.AlgoColumnsortGather)
+				pred := max(n/k, card.Max())
+				tb.AddRow(fmt.Sprintf("%.2f", float64(card.Max())/float64(n)),
+					card.Max(), pred, rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)/float64(pred),
+					rep.Stats.Messages, float64(rep.Stats.Messages)/float64(n))
+			}
+			// Other skew shapes at the same n, p, k.
+			tb2 := stats.NewTable("E2b other uneven profiles",
+				"profile", "n_max", "max(n/k,n_max)", "cycles", "cycles/pred", "msgs/n")
+			r := dist.NewRNG(2)
+			for _, prof := range []struct {
+				name string
+				card dist.Cardinalities
+			}{
+				{"random composition", dist.RandomComposition(r, n, p)},
+				{"geometric", dist.Geometric(n, p)},
+				{"circular adversarial", dist.NearlyEven(n, p)},
+			} {
+				var inputs [][]int64
+				if prof.name == "circular adversarial" {
+					inputs = dist.AdversarialCircular(prof.card)
+				} else {
+					inputs = dist.Values(r, prof.card)
+				}
+				rep := mustSort(inputs, k, core.AlgoColumnsortGather)
+				pred := max(n/k, prof.card.Max())
+				tb2.AddRow(prof.name, prof.card.Max(), pred, rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)/float64(pred),
+					float64(rep.Stats.Messages)/float64(n))
+			}
+			return []*stats.Table{tb, tb2}
+		})
+
+	register("E5",
+		"Channel scaling (Cor 3/Thm 4): even-sort cycles fall as 1/k; one-heavy cycles flatten at n_max",
+		func(quick bool) []*stats.Table {
+			n, p := 16384, 16
+			if quick {
+				n = 4096
+			}
+			ks := []int{1, 2, 4, 8, 16}
+			even := stats.NewTable(
+				fmt.Sprintf("E5a even sort cycles vs k, n=%d p=%d", n, p),
+				"k", "cycles", "cycles*k/n", "messages")
+			for _, k := range ks {
+				r := dist.NewRNG(uint64(k))
+				algo := core.AlgoColumnsortGather
+				if k == 1 {
+					algo = core.AlgoRankSort
+				}
+				rep := mustSort(dist.Values(r, dist.Even(n, p)), k, algo)
+				even.AddRow(k, rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)*float64(k)/float64(n), rep.Stats.Messages)
+			}
+			heavy := stats.NewTable(
+				fmt.Sprintf("E5b one-heavy (n_max=n/2) cycles vs k, n=%d p=%d — flattens at n_max", n, p),
+				"k", "cycles", "cycles/n_max")
+			card := dist.OneHeavy(n, p, 0.5)
+			for _, k := range []int{2, 4, 8, 16} {
+				r := dist.NewRNG(uint64(100 + k))
+				rep := mustSort(dist.Values(r, card), k, core.AlgoColumnsortGather)
+				heavy.AddRow(k, rep.Stats.Cycles,
+					float64(rep.Stats.Cycles)/float64(card.Max()))
+			}
+			return []*stats.Table{even, heavy}
+		})
+
+	register("E7",
+		"Single-channel sorts (Sec 6.1): Rank-Sort, Merge-Sort and gather Columnsort are all Theta(n) on k=1, with different constants and memory",
+		func(quick bool) []*stats.Table {
+			ns := []int{512, 1024, 2048, 4096}
+			if quick {
+				ns = []int{512, 1024}
+			}
+			p := 8
+			tb := stats.NewTable("E7 single-channel sorts, p=8 k=1",
+				"n", "algorithm", "cycles", "cycles/n", "messages", "msgs/n", "max aux words")
+			for _, n := range ns {
+				for _, algo := range []core.Algorithm{core.AlgoRankSort, core.AlgoMergeSort, core.AlgoColumnsortGather} {
+					r := dist.NewRNG(uint64(n))
+					rep := mustSort(dist.Values(r, dist.Even(n, p)), 1, algo)
+					tb.AddRow(n, algo.String(), rep.Stats.Cycles,
+						float64(rep.Stats.Cycles)/float64(n),
+						rep.Stats.Messages, float64(rep.Stats.Messages)/float64(n),
+						rep.Stats.MaxAux)
+				}
+			}
+			return []*stats.Table{tb}
+		})
+
+	register("E8",
+		"Recursive Columnsort (Cor 5 / Sec 6.2): for n < k^2(k-1), cycles ~ s*n/k instead of the direct algorithm's column-starved cost",
+		func(quick bool) []*stats.Table {
+			tb := stats.NewTable("E8 recursive vs direct on small n / large k (even distributions)",
+				"n", "p", "k", "k^2(k-1)", "algorithm", "columns", "cycles", "messages")
+			configs := []struct{ p, ni, k int }{
+				{16, 4, 16}, {32, 4, 16}, {64, 4, 16}, {64, 8, 16},
+			}
+			if quick {
+				configs = configs[:2]
+			}
+			for _, c := range configs {
+				n := c.p * c.ni
+				r := dist.NewRNG(uint64(n))
+				inputs := dist.Values(r, dist.Even(n, c.p))
+				repR := mustSort(inputs, c.k, core.AlgoColumnsortRecursive)
+				repG := mustSort(inputs, c.k, core.AlgoColumnsortGather)
+				lim := c.k * c.k * (c.k - 1)
+				tb.AddRow(n, c.p, c.k, lim, "recursive", repR.Columns, repR.Stats.Cycles, repR.Stats.Messages)
+				tb.AddRow(n, c.p, c.k, lim, "gather", repG.Columns, repG.Stats.Cycles, repG.Stats.Messages)
+			}
+			return []*stats.Table{tb}
+		})
+
+	register("E12",
+		"Lower bounds (Sec 4): every measured run sits above the adversary bounds; the gap is the constant factor",
+		func(quick bool) []*stats.Table {
+			tb := stats.NewTable("E12 measured vs lower bound",
+				"workload", "measured msgs", "LB msgs", "ratio", "measured cyc", "LB cyc", "ratio")
+			n, p, k := 8192, 16, 8
+			if quick {
+				n = 2048
+			}
+			type wl struct {
+				name string
+				card dist.Cardinalities
+			}
+			wls := []wl{
+				{"sort even", dist.Even(n, p)},
+				{"sort one-heavy", dist.OneHeavy(n, p, 0.5)},
+				{"sort circular", dist.NearlyEven(n, p)},
+			}
+			for _, w := range wls {
+				var inputs [][]int64
+				if w.name == "sort circular" {
+					inputs = dist.AdversarialCircular(w.card)
+				} else {
+					inputs = dist.Values(dist.NewRNG(7), w.card)
+				}
+				rep := mustSort(inputs, k, core.AlgoColumnsortGather)
+				lbM := adversary.SortingMessagesLB(w.card)
+				lbC := adversary.SortingCyclesLB(w.card, k)
+				tb.AddRow(w.name, rep.Stats.Messages, lbM,
+					float64(rep.Stats.Messages)/lbM,
+					rep.Stats.Cycles, lbC, float64(rep.Stats.Cycles)/lbC)
+			}
+			// Selection.
+			card := dist.Even(n, p)
+			inputs := dist.Values(dist.NewRNG(8), card)
+			rep := mustSelect(inputs, k, n/2, core.SelFiltering)
+			lbM := adversary.SelectionMessagesLB(card, n/2)
+			lbC := adversary.SelectionCyclesLB(card, n/2, k)
+			tb.AddRow("select median", rep.Stats.Messages, lbM,
+				float64(rep.Stats.Messages)/lbM,
+				rep.Stats.Cycles, lbC, float64(rep.Stats.Cycles)/lbC)
+			return []*stats.Table{tb}
+		})
+
+	register("E13",
+		"Memory modes (Sec 6.1): virtual columns cut per-processor auxiliary memory from O(n/k) to O(n_i), at ~2x cycles",
+		func(quick bool) []*stats.Table {
+			n, p, k := 16384, 32, 4
+			if quick {
+				n = 4096
+			}
+			tb := stats.NewTable(fmt.Sprintf("E13 gather vs virtual columns, n=%d p=%d k=%d", n, p, k),
+				"mode", "max aux words", "aux/(n/k)", "aux/(n/p)", "cycles", "messages")
+			r := dist.NewRNG(13)
+			inputs := dist.Values(r, dist.Even(n, p))
+			for _, algo := range []core.Algorithm{core.AlgoColumnsortGather, core.AlgoColumnsortVirtual} {
+				rep := mustSort(inputs, k, algo)
+				tb.AddRow(algo.String(), rep.Stats.MaxAux,
+					float64(rep.Stats.MaxAux)/(float64(n)/float64(k)),
+					float64(rep.Stats.MaxAux)/(float64(n)/float64(p)),
+					rep.Stats.Cycles, rep.Stats.Messages)
+			}
+			return []*stats.Table{tb}
+		})
+}

@@ -1,0 +1,208 @@
+package ipbam
+
+import (
+	"fmt"
+
+	"mcbnet/internal/mcb"
+)
+
+// FindMax locates the maximum of a distributed set of non-negative values
+// using the model's signature trick: collisions carry information. The
+// candidates descend the value bit by bit, from the most significant: every
+// processor whose best local candidate has the current bit set transmits; a
+// non-empty slot (single OR collision) tells everyone that a candidate with
+// the bit exists, eliminating all candidates without it. After B bit slots
+// exactly the maximum's holders remain; one more slot delivers the value
+// (the model resolves among identical survivors by processor id here: the
+// lowest-id survivor transmits).
+//
+// Cost: bits+1 slots — O(log beta), independent of both n and p — versus
+// Omega(p/k) cycles for the same task on a collision-free MCB. Requires
+// values in [0, 2^62).
+func FindMax(inputs [][]int64, cfg Config) (int64, *Result, error) {
+	p := len(inputs)
+	if p == 0 {
+		return 0, nil, fmt.Errorf("ipbam: no processors")
+	}
+	cfg.P = p
+	maxV := int64(0)
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+		for _, v := range in {
+			if v < 0 || v >= 1<<62 {
+				return 0, nil, fmt.Errorf("ipbam: FindMax requires values in [0, 2^62), got %d", v)
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if n == 0 {
+		return 0, nil, fmt.Errorf("ipbam: the distributed set is empty")
+	}
+	bits := 1
+	for 1<<bits <= maxV {
+		bits++
+	}
+
+	var result int64
+	progs := make([]func(*Proc), p)
+	for i := range progs {
+		id := i
+		in := inputs[i]
+		progs[i] = func(pr *Proc) {
+			local := int64(-1) // empty processors hold no candidate
+			for _, v := range in {
+				if v > local {
+					local = v
+				}
+			}
+			alive := len(in) > 0
+			prefix := int64(0)
+			for b := bits - 1; b >= 0; b-- {
+				bit := int64(1) << b
+				claim := alive && local&bit != 0
+				var fb Feedback
+				if claim {
+					fb, _ = pr.Transmit(mcb.MsgX(0x40, 1))
+				} else {
+					fb, _ = pr.Listen()
+				}
+				if fb != Empty {
+					prefix |= bit
+					if alive && local&bit == 0 {
+						alive = false
+					}
+				}
+			}
+			// Survivors all hold the maximum, but a joint transmission would
+			// collide; resolve to a single winner by the same collision
+			// trick over processor-id bits (log2 p slots): at each bit,
+			// survivors with the bit clear transmit, and a non-empty slot
+			// eliminates the survivors with the bit set.
+			idBits := 0
+			for 1<<idBits < p {
+				idBits++
+			}
+			for b := idBits - 1; b >= 0; b-- {
+				claim := alive && id&(1<<b) == 0
+				var fb Feedback
+				if claim {
+					fb, _ = pr.Transmit(mcb.MsgX(0x41, 1))
+				} else {
+					fb, _ = pr.Listen()
+				}
+				if fb != Empty && alive && id&(1<<b) != 0 {
+					alive = false
+				}
+			}
+			// Exactly one survivor remains; it announces the maximum.
+			var fb Feedback
+			var m Message
+			if alive {
+				fb, m = pr.Transmit(mcb.MsgX(0x42, prefix))
+			} else {
+				fb, m = pr.Listen()
+			}
+			if fb != Single {
+				pr.Abortf("ipbam: announcement slot was %v", fb)
+			}
+			if id == 0 {
+				result = m.X
+			}
+		}
+	}
+	res, err := Run(cfg, progs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return result, res, nil
+}
+
+// MCBNode adapts an IPBAM processor to the single-channel MCB node
+// interface: MCB(p, 1) is exactly the IPBAM restricted to collision-free
+// use, so the paper's Merge-Sort and Rank-Sort run on this channel without
+// ever causing a collision — Section 9's point about matching [Dech84]
+// without concurrent write. A collision through this adapter is an
+// algorithm bug and aborts.
+type MCBNode struct {
+	pr    *Proc
+	cycle int64
+	aux   int64
+}
+
+var _ mcb.Node = (*MCBNode)(nil)
+
+// NewMCBNode wraps an IPBAM processor as an MCB(p, 1) node.
+func NewMCBNode(pr *Proc) *MCBNode { return &MCBNode{pr: pr} }
+
+// ID returns the processor index.
+func (n *MCBNode) ID() int { return n.pr.ID() }
+
+// P returns the number of processors.
+func (n *MCBNode) P() int { return n.pr.P() }
+
+// K returns 1: the IPBAM has a single channel.
+func (n *MCBNode) K() int { return 1 }
+
+func (n *MCBNode) check(ch int) {
+	if ch != 0 {
+		n.pr.Abortf("ipbam: channel %d on a single-channel model", ch)
+	}
+}
+
+// WriteRead transmits and observes the slot (the writer hears itself).
+func (n *MCBNode) WriteRead(writeCh int, m mcb.Message, readCh int) (mcb.Message, bool) {
+	n.check(writeCh)
+	n.check(readCh)
+	n.cycle++
+	fb, got := n.pr.Transmit(m)
+	if fb == Collision {
+		n.pr.Abortf("ipbam: collision through the collision-free adapter")
+	}
+	return got, fb == Single
+}
+
+// Write transmits without caring about the feedback.
+func (n *MCBNode) Write(writeCh int, m mcb.Message) {
+	n.check(writeCh)
+	n.cycle++
+	fb, _ := n.pr.Transmit(m)
+	if fb == Collision {
+		n.pr.Abortf("ipbam: collision through the collision-free adapter")
+	}
+}
+
+// Read listens to the slot.
+func (n *MCBNode) Read(readCh int) (mcb.Message, bool) {
+	n.check(readCh)
+	n.cycle++
+	fb, got := n.pr.Listen()
+	if fb == Collision {
+		n.pr.Abortf("ipbam: collision through the collision-free adapter")
+	}
+	return got, fb == Single
+}
+
+// Idle listens without using the result.
+func (n *MCBNode) Idle() {
+	n.cycle++
+	_, _ = n.pr.Listen()
+}
+
+// IdleN idles nn slots.
+func (n *MCBNode) IdleN(nn int) {
+	for i := 0; i < nn; i++ {
+		n.Idle()
+	}
+}
+
+// Abortf fails the computation.
+func (n *MCBNode) Abortf(format string, args ...any) { n.pr.Abortf(format, args...) }
+
+// AccountAux tracks the auxiliary estimate locally.
+func (n *MCBNode) AccountAux(delta int64) { n.aux += delta }
+
+// Cycles returns the number of slots used through this adapter.
+func (n *MCBNode) Cycles() int64 { return n.cycle }

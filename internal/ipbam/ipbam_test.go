@@ -1,0 +1,271 @@
+package ipbam
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcbnet/internal/core"
+	"mcbnet/internal/dist"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/seq"
+)
+
+func cfg(p int) Config {
+	return Config{P: p, StallTimeout: 10 * time.Second}
+}
+
+func TestTernaryFeedback(t *testing.T) {
+	// Slot 1: silence. Slot 2: single. Slot 3: collision.
+	const p = 3
+	var fbs [3][p]Feedback
+	prog := func(pr *Proc) {
+		fbs[0][pr.ID()], _ = pr.Listen()
+		if pr.ID() == 1 {
+			fbs[1][pr.ID()], _ = pr.Transmit(mcb.MsgX(0, 5))
+		} else {
+			fbs[1][pr.ID()], _ = pr.Listen()
+		}
+		if pr.ID() <= 1 {
+			fbs[2][pr.ID()], _ = pr.Transmit(mcb.MsgX(0, int64(pr.ID())))
+		} else {
+			fbs[2][pr.ID()], _ = pr.Listen()
+		}
+	}
+	res, err := RunUniform(cfg(p), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if fbs[0][i] != Empty || fbs[1][i] != Single || fbs[2][i] != Collision {
+			t.Errorf("proc %d feedback = %v %v %v", i, fbs[0][i], fbs[1][i], fbs[2][i])
+		}
+	}
+	if res.Stats.Slots != 3 || res.Stats.Collisions != 1 || res.Stats.Transmissions != 3 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestSingleDeliversToAll(t *testing.T) {
+	const p = 5
+	got := make([]int64, p)
+	prog := func(pr *Proc) {
+		if pr.ID() == 3 {
+			_, m := pr.Transmit(mcb.MsgX(0, 99))
+			got[pr.ID()] = m.X
+		} else {
+			_, m := pr.Listen()
+			got[pr.ID()] = m.X
+		}
+	}
+	if _, err := RunUniform(cfg(p), prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if g != 99 {
+			t.Errorf("proc %d got %d", i, g)
+		}
+	}
+}
+
+func TestFindMaxBasic(t *testing.T) {
+	inputs := [][]int64{{3, 17, 5}, {12}, {9, 16}}
+	got, res, err := FindMax(inputs, cfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 17 {
+		t.Errorf("max = %d, want 17", got)
+	}
+	// bits(17)=5, +1 announcement slot.
+	if res.Stats.Slots > 5+2+1 { // 5 value bits + 2 id bits + announcement
+		t.Errorf("slots = %d, want <= 8", res.Stats.Slots)
+	}
+}
+
+func TestFindMaxEdgeValues(t *testing.T) {
+	cases := []struct {
+		inputs [][]int64
+		want   int64
+	}{
+		{[][]int64{{0}, {0}}, 0},
+		{[][]int64{{1}}, 1},
+		{[][]int64{{7, 7}, {7}}, 7}, // duplicated maximum across processors
+		{[][]int64{{1 << 40}, {1<<40 - 1}}, 1 << 40},
+	}
+	for _, c := range cases {
+		got, _, err := FindMax(c.inputs, cfg(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("FindMax(%v) = %d, want %d", c.inputs, got, c.want)
+		}
+	}
+}
+
+func TestFindMaxSlotsLogarithmicInValue(t *testing.T) {
+	// Slots depend on log2(max value), not on n or p.
+	r := dist.NewRNG(61)
+	mk := func(p, n int, maxVal int64) [][]int64 {
+		card := dist.NearlyEven(n, p)
+		out := make([][]int64, p)
+		for i, ni := range card {
+			out[i] = make([]int64, ni)
+			for j := range out[i] {
+				out[i][j] = int64(r.Intn(int(maxVal)))
+			}
+		}
+		return out
+	}
+	_, small, err := FindMax(mk(4, 16, 1<<10), cfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bigP, err := FindMax(mk(64, 1024, 1<<10), cfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bigP.Stats.Slots - small.Stats.Slots; d > 8 || d < -8 { // log2(64)-log2(4)=4 id-resolution slots
+		t.Errorf("slots should not depend on n, p: %d vs %d", small.Stats.Slots, bigP.Stats.Slots)
+	}
+	_, bigV, err := FindMax(mk(4, 16, 1<<40), cfg(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigV.Stats.Slots <= small.Stats.Slots+20 {
+		t.Errorf("slots should grow with log(value): %d vs %d", small.Stats.Slots, bigV.Stats.Slots)
+	}
+}
+
+func TestFindMaxProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := dist.NewRNG(seed)
+		p := 1 + r.Intn(8)
+		n := p + r.Intn(60)
+		card := dist.NearlyEven(n, p)
+		inputs := make([][]int64, p)
+		want := int64(0)
+		for i, ni := range card {
+			inputs[i] = make([]int64, ni)
+			for j := range inputs[i] {
+				inputs[i][j] = int64(r.Intn(1 << 20))
+				if inputs[i][j] > want {
+					want = inputs[i][j]
+				}
+			}
+		}
+		got, _, err := FindMax(inputs, cfg(0))
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindMaxRejectsNegative(t *testing.T) {
+	if _, _, err := FindMax([][]int64{{-1}}, cfg(0)); err == nil {
+		t.Error("expected error for negative values")
+	}
+}
+
+// TestMergeSortOnIPBAM is the Section 9 claim: the paper's single-channel
+// Merge-Sort runs on the IPBAM without a single collision (no concurrent
+// write needed).
+func TestMergeSortOnIPBAM(t *testing.T) {
+	const n, p = 240, 6
+	r := dist.NewRNG(62)
+	inputs := dist.Values(r, dist.RandomComposition(r, n, p))
+	outputs := make([][]int64, p)
+	res, err := RunUniform(cfg(p), func(pr *Proc) {
+		node := NewMCBNode(pr)
+		outputs[node.ID()] = core.SortNode(node, inputs[node.ID()], core.AlgoMergeSort)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Collisions != 0 {
+		t.Errorf("collision-free algorithm collided %d times", res.Stats.Collisions)
+	}
+	flat := dist.Flatten(inputs)
+	seq.SortInt64Desc(flat)
+	idx := 0
+	for i := range outputs {
+		for _, v := range outputs[i] {
+			if v != flat[idx] {
+				t.Fatalf("rank %d: got %d want %d", idx, v, flat[idx])
+			}
+			idx++
+		}
+	}
+	t.Logf("Merge-Sort on IPBAM: %d slots, 0 collisions", res.Stats.Slots)
+}
+
+func TestRankSortOnIPBAM(t *testing.T) {
+	const n, p = 120, 4
+	r := dist.NewRNG(63)
+	inputs := dist.Values(r, dist.NearlyEven(n, p))
+	outputs := make([][]int64, p)
+	res, err := RunUniform(cfg(p), func(pr *Proc) {
+		node := NewMCBNode(pr)
+		outputs[node.ID()] = core.SortNode(node, inputs[node.ID()], core.AlgoRankSort)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Collisions != 0 {
+		t.Errorf("collisions = %d", res.Stats.Collisions)
+	}
+	flat := dist.Flatten(inputs)
+	seq.SortInt64Desc(flat)
+	idx := 0
+	for i := range outputs {
+		for _, v := range outputs[i] {
+			if v != flat[idx] {
+				t.Fatalf("rank %d mismatch", idx)
+			}
+			idx++
+		}
+	}
+}
+
+func TestAdapterCollisionAborts(t *testing.T) {
+	// A buggy "MCB" program that writes concurrently must abort, not corrupt.
+	_, err := RunUniform(cfg(3), func(pr *Proc) {
+		node := NewMCBNode(pr)
+		node.Write(0, mcb.MsgX(0, int64(pr.ID())))
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+}
+
+func TestSlotLimit(t *testing.T) {
+	c := cfg(2)
+	c.MaxSlots = 3
+	_, err := RunUniform(c, func(pr *Proc) {
+		for {
+			pr.Listen()
+		}
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+}
+
+func TestFeedbackString(t *testing.T) {
+	if Empty.String() != "empty" || Single.String() != "single" || Collision.String() != "collision" {
+		t.Error("Feedback strings wrong")
+	}
+}
+
+func TestFindMaxEmptyProcessors(t *testing.T) {
+	got, _, err := FindMax([][]int64{{}, {8, 3}, {}}, cfg(0))
+	if err != nil || got != 8 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	if _, _, err := FindMax([][]int64{{}, {}}, cfg(0)); err == nil {
+		t.Error("expected error for empty set")
+	}
+}

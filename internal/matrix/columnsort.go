@@ -1,0 +1,111 @@
+package matrix
+
+import "mcbnet/internal/seq"
+
+// PhaseKind distinguishes local-sort phases from communication
+// (transformation) phases of the Columnsort pipeline.
+type PhaseKind uint8
+
+const (
+	// PhaseSort sorts each column locally in descending order.
+	PhaseSort PhaseKind = iota
+	// PhaseTransform permutes the matrix according to Phase.Transform.
+	PhaseTransform
+)
+
+// Phase is one step of the Columnsort pipeline.
+type Phase struct {
+	// Num is the paper's phase number (1..9).
+	Num int
+	// Kind selects sort vs. transform.
+	Kind PhaseKind
+	// Transform is the permutation for PhaseTransform phases.
+	Transform Transform
+	// SkipCol0 marks the paper's phase 7, which sorts every column except
+	// column 1 (the elements wrapped around by Up-Shift are shifted straight
+	// back by Down-Shift, so their order is immaterial).
+	SkipCol0 bool
+	// Name is the phase description used in traces and experiment output.
+	Name string
+}
+
+// Phases returns the paper's 9-phase Columnsort pipeline (Section 5.1 plus
+// the phase-9 local sort added in Section 5.2).
+func Phases() []Phase {
+	return []Phase{
+		{Num: 1, Kind: PhaseSort, Name: "sort columns"},
+		{Num: 2, Kind: PhaseTransform, Transform: Transpose, Name: "transpose"},
+		{Num: 3, Kind: PhaseSort, Name: "sort columns"},
+		{Num: 4, Kind: PhaseTransform, Transform: UnDiagonalize, Name: "un-diagonalize"},
+		{Num: 5, Kind: PhaseSort, Name: "sort columns"},
+		{Num: 6, Kind: PhaseTransform, Transform: UpShift, Name: "up-shift"},
+		{Num: 7, Kind: PhaseSort, SkipCol0: true, Name: "sort columns except column 1"},
+		{Num: 8, Kind: PhaseTransform, Transform: DownShift, Name: "down-shift"},
+		{Num: 9, Kind: PhaseSort, Name: "sort columns"},
+	}
+}
+
+// PhasesLeighton returns the pipeline with Leighton's original phase 4
+// (untranspose instead of un-diagonalize); kept for the scheduling ablation
+// and as a cross-check of the paper's variant.
+func PhasesLeighton() []Phase {
+	ph := Phases()
+	ph[3].Transform = Untranspose
+	ph[3].Name = "untranspose"
+	return ph
+}
+
+// ColumnsortDesc sorts data (column-major, length s.N()) in descending order
+// in memory by running the full pipeline. It is the reference oracle for the
+// distributed implementation; complexity O(n log m) time, O(n) space.
+func ColumnsortDesc(s Shape, data []int64) {
+	RunPipeline(s, data, Phases())
+}
+
+// RunPipeline executes an arbitrary phase pipeline on data in memory.
+func RunPipeline(s Shape, data []int64, phases []Phase) {
+	if len(data) != s.N() {
+		panic("matrix: bad data length")
+	}
+	buf := make([]int64, s.N())
+	for _, ph := range phases {
+		switch ph.Kind {
+		case PhaseSort:
+			for c := 0; c < s.K; c++ {
+				if ph.SkipCol0 && c == 0 {
+					continue
+				}
+				seq.SortInt64Desc(data[c*s.M : (c+1)*s.M])
+			}
+		case PhaseTransform:
+			Apply(s, data, ph.Transform, buf)
+			copy(data, buf)
+		}
+	}
+}
+
+// PlanColumns chooses the number of columns c and the (padded) column length
+// m for sorting n elements with at most kMax columns: the largest c <= kMax
+// minimizing m subject to m >= max(ceil(n/c), MinColLen(c)) and c | m.
+// Cycle cost of the distributed algorithm is proportional to m, so this
+// minimizes cycles; returns c = 1 (single column, m = n) when no multi-column
+// shape helps.
+func PlanColumns(n, kMax int) (c, m int) {
+	if n < 1 {
+		panic("matrix: empty input")
+	}
+	bestC, bestM := 1, n
+	for cand := 2; cand <= kMax; cand++ {
+		mm := (n + cand - 1) / cand
+		if lo := MinColLen(cand); mm < lo {
+			mm = lo
+		}
+		if r := mm % cand; r != 0 {
+			mm += cand - r
+		}
+		if mm < bestM {
+			bestC, bestM = cand, mm
+		}
+	}
+	return bestC, bestM
+}

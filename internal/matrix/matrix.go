@@ -1,0 +1,173 @@
+// Package matrix implements the matrix machinery of Leighton's Columnsort as
+// used in Section 5 of the paper: the four transformations (Transpose,
+// Un-Diagonalize, Up-Shift, Down-Shift) expressed as permutations of a
+// column-major linear list, the 9-phase sorting pipeline, and an in-memory
+// reference Columnsort used as the correctness oracle for the distributed
+// implementation.
+//
+// The input is viewed as an m x k matrix — k columns of length m — stored
+// column-major: linear position t corresponds to column t/m, row t%m. The
+// paper sorts in descending order: after Columnsort, the element of
+// (descending) rank t+1 is at linear position t.
+package matrix
+
+import "fmt"
+
+// Shape describes an m x k Columnsort matrix: K columns of length M.
+type Shape struct {
+	M int // column length
+	K int // number of columns
+}
+
+// N returns the total number of cells.
+func (s Shape) N() int { return s.M * s.K }
+
+// Validate checks the Columnsort feasibility conditions: the transformations
+// require K to divide M, and correctness requires M >= MinColLen(K).
+func (s Shape) Validate() error {
+	if s.M < 1 || s.K < 1 {
+		return fmt.Errorf("matrix: invalid shape m=%d k=%d", s.M, s.K)
+	}
+	if s.K > 1 {
+		if s.M%s.K != 0 {
+			return fmt.Errorf("matrix: column length %d not a multiple of column count %d", s.M, s.K)
+		}
+		if s.M < MinColLen(s.K) {
+			return fmt.Errorf("matrix: column length %d below minimum %d for %d columns", s.M, MinColLen(s.K), s.K)
+		}
+	}
+	return nil
+}
+
+// MinColLen returns the minimum column length for which the 9-phase pipeline
+// sorts every input with k columns. The paper states m >= k(k-1).
+func MinColLen(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return k * (k - 1)
+}
+
+// Col and Row convert a linear (column-major) position to coordinates.
+func (s Shape) Col(t int) int { return t / s.M }
+
+// Row returns the row of linear position t.
+func (s Shape) Row(t int) int { return t % s.M }
+
+// Pos converts (column, row) coordinates to a linear position.
+func (s Shape) Pos(col, row int) int { return col*s.M + row }
+
+// A Transform maps the linear position of an element before a transformation
+// phase to its position afterwards.
+type Transform func(s Shape, t int) int
+
+// Transpose implements the paper's Transpose: take the elements column after
+// column (i.e., in linear order) and store them row after row. The t-th
+// element in column-major order lands in the t-th row-major slot.
+func Transpose(s Shape, t int) int {
+	return s.Pos(t%s.K, t/s.K)
+}
+
+// Untranspose is the inverse of Transpose: the t-th element in row-major
+// order lands in the t-th column-major slot. (Leighton's original phase 4;
+// provided for the ablation against the paper's Un-Diagonalize.)
+func Untranspose(s Shape, t int) int {
+	col, row := s.Col(t), s.Row(t)
+	return row*s.K + col
+}
+
+// UnDiagonalize implements the paper's phase-4 transformation: take the
+// elements diagonal after diagonal — in the (column, row) order (1,1), (2,1),
+// (1,2), (3,1), (2,2), (1,3), ..., (k,m) — and store them column after
+// column. The element at position t lands in the slot equal to its index in
+// the diagonal enumeration.
+func UnDiagonalize(s Shape, t int) int {
+	c, r := s.Col(t), s.Row(t)
+	return diagIndex(s, c, r)
+}
+
+// diagIndex returns the 0-based index of cell (c, r) in the diagonal
+// enumeration: diagonals d = c+r in increasing order; within a diagonal,
+// decreasing column (the paper's (1,1),(2,1),(1,2),(3,1),(2,2),(1,3),...).
+func diagIndex(s Shape, c, r int) int {
+	d := c + r
+	// Number of cells in diagonals 0..d-1.
+	before := cellsBeforeDiag(s, d)
+	// Within diagonal d, cells are (cMax, d-cMax), (cMax-1, ...), ...,
+	// (cMin, d-cMin) with cMax = min(k-1, d), cMin = max(0, d-(m-1)).
+	cMax := min(s.K-1, d)
+	return before + (cMax - c)
+}
+
+// cellsBeforeDiag counts matrix cells on diagonals 0..d-1 in closed form
+// (diagonal index is col+row; the matrix has k columns and m rows, with
+// m >= k in all valid shapes). Diagonal i has i+1 cells for i < k, k cells
+// for k <= i < m, and k-(i-m+1) cells for i >= m.
+func cellsBeforeDiag(s Shape, d int) int {
+	k, m := s.K, s.M
+	if d <= 0 {
+		return 0
+	}
+	total := 0
+	d1 := min(d, k)
+	total += d1 * (d1 + 1) / 2
+	if d > k {
+		d2 := min(d, m)
+		total += (d2 - k) * k
+	}
+	if d > m {
+		j := d - m // diagonals m .. d-1
+		total += j*k - j*(j+1)/2
+	}
+	return total
+}
+
+// UpShift shifts each element floor(m/2) positions in the ascending
+// direction of the linear order; the last floor(m/2) elements wrap
+// circularly to the beginning.
+func UpShift(s Shape, t int) int {
+	return (t + s.M/2) % s.N()
+}
+
+// DownShift is the inverse of UpShift.
+func DownShift(s Shape, t int) int {
+	n := s.N()
+	return (t + n - s.M/2) % n
+}
+
+// Apply permutes data (column-major, length s.N()) according to f, writing
+// into out (which must have length s.N()) and returning it. out must not
+// alias data.
+func Apply(s Shape, data []int64, f Transform, out []int64) []int64 {
+	if len(data) != s.N() || len(out) != s.N() {
+		panic("matrix: bad slice length")
+	}
+	for t := range data {
+		out[f(s, t)] = data[t]
+	}
+	return out
+}
+
+// InvertPerm returns the inverse permutation table of f over shape s:
+// inv[dst] = src.
+func InvertPerm(s Shape, f Transform) []int {
+	inv := make([]int, s.N())
+	for t := 0; t < s.N(); t++ {
+		inv[f(s, t)] = t
+	}
+	return inv
+}
+
+// IsPermutation reports whether f is a bijection on [0, s.N()) — a sanity
+// check used by tests and by the schedule builder.
+func IsPermutation(s Shape, f Transform) bool {
+	seen := make([]bool, s.N())
+	for t := 0; t < s.N(); t++ {
+		d := f(s, t)
+		if d < 0 || d >= s.N() || seen[d] {
+			return false
+		}
+		seen[d] = true
+	}
+	return true
+}

@@ -1,0 +1,381 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcbnet/internal/seq"
+)
+
+// cellsBeforeDiagSlow is the O(d) oracle for the closed form.
+func cellsBeforeDiagSlow(s Shape, d int) int {
+	total := 0
+	for i := 0; i < d; i++ {
+		cMax := min(s.K-1, i)
+		cMin := max(0, i-(s.M-1))
+		if cMax >= cMin {
+			total += cMax - cMin + 1
+		}
+	}
+	return total
+}
+
+func TestCellsBeforeDiagClosedForm(t *testing.T) {
+	for _, sh := range []Shape{{M: 2, K: 2}, {M: 6, K: 3}, {M: 12, K: 4}, {M: 20, K: 5}, {M: 7, K: 7}, {M: 30, K: 3}} {
+		for d := 0; d <= sh.M+sh.K; d++ {
+			if got, want := cellsBeforeDiag(sh, d), cellsBeforeDiagSlow(sh, d); got != want {
+				t.Fatalf("shape %v d=%d: %d != %d", sh, d, got, want)
+			}
+		}
+	}
+}
+
+func TestTransformsArePermutations(t *testing.T) {
+	shapes := []Shape{{M: 2, K: 2}, {M: 4, K: 2}, {M: 6, K: 3}, {M: 12, K: 4}, {M: 24, K: 4}, {M: 20, K: 5}}
+	transforms := map[string]Transform{
+		"transpose":      Transpose,
+		"untranspose":    Untranspose,
+		"un-diagonalize": UnDiagonalize,
+		"up-shift":       UpShift,
+		"down-shift":     DownShift,
+	}
+	for _, sh := range shapes {
+		for name, f := range transforms {
+			if !IsPermutation(sh, f) {
+				t.Errorf("%s is not a permutation on %v", name, sh)
+			}
+		}
+	}
+}
+
+func TestUntransposeInvertsTranspose(t *testing.T) {
+	sh := Shape{M: 12, K: 4}
+	for t0 := 0; t0 < sh.N(); t0++ {
+		if got := Untranspose(sh, Transpose(sh, t0)); got != t0 {
+			t.Fatalf("untranspose(transpose(%d)) = %d", t0, got)
+		}
+	}
+}
+
+func TestDownShiftInvertsUpShift(t *testing.T) {
+	sh := Shape{M: 6, K: 3}
+	for t0 := 0; t0 < sh.N(); t0++ {
+		if got := DownShift(sh, UpShift(sh, t0)); got != t0 {
+			t.Fatalf("downshift(upshift(%d)) = %d", t0, got)
+		}
+	}
+}
+
+// TestFig1Transpose reproduces the shape of Figure 1's transpose example:
+// reading a 4x2 matrix column by column and writing row by row.
+func TestFig1Transpose(t *testing.T) {
+	sh := Shape{M: 4, K: 2}
+	data := []int64{1, 2, 3, 4, 5, 6, 7, 8} // columns: [1 2 3 4], [5 6 7 8]
+	out := Apply(sh, data, Transpose, make([]int64, 8))
+	// Row-major fill: rows become 1 5 / 2 6 / 3 7 / 4 8 read column-major:
+	// column 1 = 1 2 3 4 placed at rows 0..3 of alternating columns.
+	want := []int64{1, 3, 5, 7, 2, 4, 6, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("transpose = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestUnDiagonalizeSmall(t *testing.T) {
+	// 3 columns x 6 rows. Diagonal order (0-based (col,row)):
+	// (0,0) (1,0),(0,1) (2,0),(1,1),(0,2) (2,1),(1,2),(0,3) ...
+	sh := Shape{M: 6, K: 3}
+	// Element at (c,r) = linear c*6+r. Its destination is its diagonal index.
+	type cell struct{ c, r int }
+	order := []cell{}
+	for d := 0; d <= sh.K+sh.M-2; d++ {
+		for c := min(sh.K-1, d); c >= max(0, d-(sh.M-1)); c-- {
+			order = append(order, cell{c, d - c})
+		}
+	}
+	if len(order) != sh.N() {
+		t.Fatalf("diagonal enumeration covers %d cells, want %d", len(order), sh.N())
+	}
+	for idx, cl := range order {
+		if got := UnDiagonalize(sh, sh.Pos(cl.c, cl.r)); got != idx {
+			t.Fatalf("cell (%d,%d): diag index %d, want %d", cl.c, cl.r, got, idx)
+		}
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	cases := []struct {
+		sh Shape
+		ok bool
+	}{
+		{Shape{M: 1, K: 1}, true},
+		{Shape{M: 5, K: 1}, true},
+		{Shape{M: 2, K: 2}, true},
+		{Shape{M: 3, K: 2}, false}, // k does not divide m
+		{Shape{M: 4, K: 4}, false}, // m < k(k-1)
+		{Shape{M: 12, K: 4}, true}, // m = k(k-1)
+		{Shape{M: 0, K: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.sh.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%v: unexpected error %v", c.sh, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%v: expected error", c.sh)
+		}
+	}
+}
+
+func sortedDesc(in []int64) []int64 {
+	out := append([]int64(nil), in...)
+	seq.SortInt64Desc(out)
+	return out
+}
+
+func checkColumnsort(t *testing.T, sh Shape, data []int64, phases []Phase, label string) {
+	t.Helper()
+	want := sortedDesc(data)
+	got := append([]int64(nil), data...)
+	RunPipeline(sh, got, phases)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s shape %v: output not sorted at %d: got %v want %v (input %v)",
+				label, sh, i, got, want, data)
+		}
+	}
+}
+
+func TestColumnsortExhaustive01K2(t *testing.T) {
+	// 0-1 principle, exhaustively for k=2, m=2 (n=4) and m=4 (n=8).
+	for _, sh := range []Shape{{M: 2, K: 2}, {M: 4, K: 2}} {
+		n := sh.N()
+		for mask := 0; mask < 1<<n; mask++ {
+			data := make([]int64, n)
+			for i := range data {
+				data[i] = int64((mask >> i) & 1)
+			}
+			checkColumnsort(t, sh, data, Phases(), "paper")
+		}
+	}
+}
+
+func TestColumnsortExhaustive01K3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive 2^18 inputs")
+	}
+	sh := Shape{M: 6, K: 3}
+	n := sh.N()
+	for mask := 0; mask < 1<<n; mask++ {
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = int64((mask >> i) & 1)
+		}
+		checkColumnsort(t, sh, data, Phases(), "paper")
+	}
+}
+
+func TestColumnsortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := []Shape{
+		{M: 2, K: 2}, {M: 6, K: 3}, {M: 12, K: 4}, {M: 20, K: 5},
+		{M: 30, K: 6}, {M: 42, K: 7}, {M: 56, K: 8}, {M: 64, K: 8},
+		{M: 240, K: 4}, {M: 132, K: 12},
+	}
+	for _, sh := range shapes {
+		if err := sh.Validate(); err != nil {
+			t.Fatalf("shape %v invalid: %v", sh, err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			data := make([]int64, sh.N())
+			for i := range data {
+				data[i] = rng.Int63n(int64(sh.N()))
+			}
+			checkColumnsort(t, sh, data, Phases(), "paper")
+		}
+	}
+}
+
+func TestColumnsortLeightonVariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	shapes := []Shape{{M: 6, K: 3}, {M: 12, K: 4}, {M: 56, K: 8}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 40; trial++ {
+			data := make([]int64, sh.N())
+			for i := range data {
+				data[i] = rng.Int63n(int64(sh.N()))
+			}
+			checkColumnsort(t, sh, data, PhasesLeighton(), "leighton")
+		}
+	}
+}
+
+func TestColumnsort01Property(t *testing.T) {
+	// Randomized 0-1 principle testing on a larger shape.
+	sh := Shape{M: 12, K: 4}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]int64, sh.N())
+		ones := 0
+		for i := range data {
+			data[i] = int64(rng.Intn(2))
+			ones += int(data[i])
+		}
+		got := append([]int64(nil), data...)
+		ColumnsortDesc(sh, got)
+		for i := range got {
+			want := int64(0)
+			if i < ones {
+				want = 1
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnsortDuplicatesAndExtremes(t *testing.T) {
+	sh := Shape{M: 12, K: 4}
+	inputs := [][]int64{
+		make([]int64, sh.N()), // all zero
+	}
+	asc := make([]int64, sh.N())
+	desc := make([]int64, sh.N())
+	for i := range asc {
+		asc[i] = int64(i)
+		desc[i] = int64(sh.N() - i)
+	}
+	inputs = append(inputs, asc, desc)
+	for _, in := range inputs {
+		checkColumnsort(t, sh, in, Phases(), "paper")
+	}
+}
+
+func TestPlanColumns(t *testing.T) {
+	cases := []struct {
+		n, kMax int
+	}{
+		{1, 1}, {10, 1}, {100, 4}, {48, 4}, {1000, 8}, {7, 4}, {1 << 16, 16},
+	}
+	for _, c := range cases {
+		cols, m := PlanColumns(c.n, c.kMax)
+		if cols < 1 || cols > c.kMax {
+			t.Fatalf("PlanColumns(%d,%d) columns=%d", c.n, c.kMax, cols)
+		}
+		if cols > 1 {
+			sh := Shape{M: m, K: cols}
+			if err := sh.Validate(); err != nil {
+				t.Fatalf("PlanColumns(%d,%d) gave invalid shape %v: %v", c.n, c.kMax, sh, err)
+			}
+			if m*cols < c.n {
+				t.Fatalf("PlanColumns(%d,%d): capacity %d too small", c.n, c.kMax, m*cols)
+			}
+		} else if m != c.n {
+			t.Fatalf("PlanColumns(%d,%d): single column m=%d", c.n, c.kMax, m)
+		}
+	}
+	// Large n with k columns should beat a single column.
+	cols, m := PlanColumns(1<<16, 8)
+	if cols != 8 {
+		t.Errorf("PlanColumns(65536, 8) columns = %d, want 8", cols)
+	}
+	if m >= 1<<16 {
+		t.Errorf("PlanColumns(65536, 8) m = %d, no improvement", m)
+	}
+}
+
+func TestInvertPerm(t *testing.T) {
+	sh := Shape{M: 12, K: 4}
+	inv := InvertPerm(sh, UnDiagonalize)
+	for t0 := 0; t0 < sh.N(); t0++ {
+		if inv[UnDiagonalize(sh, t0)] != t0 {
+			t.Fatalf("bad inverse at %d", t0)
+		}
+	}
+}
+
+func TestMinColLenBoundary(t *testing.T) {
+	// m = k(k-1) is the smallest column length the paper admits; shapes just
+	// below must be rejected, and the boundary shape must sort correctly
+	// (covered by random tests above for several k).
+	if MinColLen(1) != 1 || MinColLen(2) != 2 || MinColLen(4) != 12 {
+		t.Fatalf("MinColLen values wrong")
+	}
+	sh := Shape{M: 8, K: 4} // multiple of k but < k(k-1)
+	if sh.Validate() == nil {
+		t.Fatal("expected validation failure for m < k(k-1)")
+	}
+}
+
+func TestColumnsortLeightonExhaustive01K2(t *testing.T) {
+	for _, sh := range []Shape{{M: 2, K: 2}, {M: 4, K: 2}} {
+		n := sh.N()
+		for mask := 0; mask < 1<<n; mask++ {
+			data := make([]int64, n)
+			for i := range data {
+				data[i] = int64((mask >> i) & 1)
+			}
+			checkColumnsort(t, sh, data, PhasesLeighton(), "leighton-01")
+		}
+	}
+}
+
+func TestPlanColumnsMinimizesColumnLength(t *testing.T) {
+	// The returned m must be minimal over all feasible column counts.
+	for _, c := range []struct{ n, k int }{{100, 4}, {5000, 8}, {48, 16}, {12, 3}} {
+		cols, m := PlanColumns(c.n, c.k)
+		for cand := 1; cand <= c.k; cand++ {
+			var mm int
+			if cand == 1 {
+				mm = c.n
+			} else {
+				mm = (c.n + cand - 1) / cand
+				if lo := MinColLen(cand); mm < lo {
+					mm = lo
+				}
+				if r := mm % cand; r != 0 {
+					mm += cand - r
+				}
+			}
+			if mm < m {
+				t.Errorf("PlanColumns(%d,%d)=(%d,%d) but %d columns give m=%d",
+					c.n, c.k, cols, m, cand, mm)
+			}
+		}
+	}
+}
+
+func TestRunPipelinePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad data length")
+		}
+	}()
+	RunPipeline(Shape{M: 2, K: 2}, []int64{1, 2, 3}, Phases())
+}
+
+func TestApplyPanicsOnAliasLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	sh := Shape{M: 2, K: 2}
+	Apply(sh, make([]int64, 4), Transpose, make([]int64, 3))
+}
+
+func TestShapeAccessorsRoundTrip(t *testing.T) {
+	sh := Shape{M: 7, K: 3}
+	for tpos := 0; tpos < sh.N(); tpos++ {
+		if sh.Pos(sh.Col(tpos), sh.Row(tpos)) != tpos {
+			t.Fatalf("round trip failed at %d", tpos)
+		}
+	}
+}

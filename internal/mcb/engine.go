@@ -1,0 +1,404 @@
+package mcb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes an MCB(p, k) network and run options.
+type Config struct {
+	// P is the number of processors (p >= 1).
+	P int
+	// K is the number of shared broadcast channels (1 <= k <= p).
+	K int
+	// Trace enables full per-cycle traffic recording (expensive; tests only).
+	Trace bool
+	// MaxCycles aborts the run once this many cycles have elapsed.
+	// Zero means no limit.
+	MaxCycles int64
+	// StallTimeout aborts the run if no cycle completes for this long,
+	// which indicates a processor program that stopped issuing cycle
+	// operations (a lock-step protocol bug). Zero means 30 seconds.
+	StallTimeout time.Duration
+	// MaxAbs, when positive, enforces the model's O(log beta) message-size
+	// rule at runtime: any broadcast payload field whose absolute value
+	// exceeds this budget aborts the run. Zero disables the check.
+	MaxAbs int64
+}
+
+func (c Config) validate() error {
+	if c.P < 1 {
+		return fmt.Errorf("mcb: P must be >= 1, got %d", c.P)
+	}
+	if c.K < 1 || c.K > c.P {
+		return fmt.Errorf("mcb: K must satisfy 1 <= K <= P, got K=%d P=%d", c.K, c.P)
+	}
+	return nil
+}
+
+// CollisionError reports a violation of the collision-freedom requirement:
+// two processors wrote the same channel in the same cycle. Per the model,
+// the computation fails.
+type CollisionError struct {
+	Cycle        int64
+	Ch           int
+	ProcA, ProcB int
+}
+
+func (e *CollisionError) Error() string {
+	return fmt.Sprintf("mcb: collision on channel %d at cycle %d (processors %d and %d)",
+		e.Ch, e.Cycle, e.ProcA, e.ProcB)
+}
+
+// ErrAborted is returned when the run was aborted (stall, cycle limit, or
+// a processor called Abortf); errors.Is works against it.
+var ErrAborted = errors.New("mcb: run aborted")
+
+// Result is the outcome of a completed run.
+type Result struct {
+	Stats Stats
+	Trace *Trace // nil unless Config.Trace
+}
+
+type opKind uint8
+
+const (
+	opIdle opKind = iota
+	opWrite
+	opRead
+	opWriteRead
+	opExit
+)
+
+type cycleOp struct {
+	kind    opKind
+	writeCh int32
+	readCh  int32
+	msg     Message
+}
+
+type readResult struct {
+	msg Message
+	ok  bool
+}
+
+type generation struct {
+	ch chan struct{}
+}
+
+// abortPanic unwinds processor goroutines when the engine has failed.
+type abortPanic struct{ err error }
+
+type engine struct {
+	cfg     Config
+	slots   []cycleOp
+	results []readResult
+	live    []bool
+	liveN   int
+
+	// channel registers for the cycle being resolved
+	chWriter []int // writer proc id per channel, -1 if none
+	chMsg    []Message
+
+	arrived  atomic.Int32
+	expected atomic.Int32
+	gen      atomic.Pointer[generation]
+
+	cycles   atomic.Int64 // progress counter for the watchdog
+	stats    Stats
+	trace    *Trace
+	failed   atomic.Bool
+	abortErr error
+	abortMu  sync.Mutex
+	aborted  chan struct{} // closed on failure
+	abortOne sync.Once
+	allDone  chan struct{} // closed when all processors exit
+
+	maxAux atomic.Int64
+}
+
+func (e *engine) abort(err error) {
+	e.abortMu.Lock()
+	if e.abortErr == nil {
+		e.abortErr = err
+	}
+	e.abortMu.Unlock()
+	e.failed.Store(true)
+	e.abortOne.Do(func() { close(e.aborted) })
+}
+
+func (e *engine) abortError() error {
+	e.abortMu.Lock()
+	defer e.abortMu.Unlock()
+	return e.abortErr
+}
+
+// softErr records a processor program error without tearing down the barrier
+// immediately; the processor exits normally and the run fails at the end.
+func (e *engine) softErr(err error) {
+	e.abortMu.Lock()
+	if e.abortErr == nil {
+		e.abortErr = err
+	}
+	e.abortMu.Unlock()
+}
+
+// step submits one cycle operation for processor id and, once every live
+// processor has submitted, resolves the cycle. It blocks until resolution
+// and returns the read result for reading ops.
+func (e *engine) step(id int, op cycleOp) readResult {
+	if e.failed.Load() {
+		panic(abortPanic{e.abortError()})
+	}
+	g := e.gen.Load()
+	e.slots[id] = op
+	if e.arrived.Add(1) == e.expected.Load() {
+		e.resolve(g)
+		if op.kind == opExit {
+			return readResult{}
+		}
+		if e.failed.Load() {
+			panic(abortPanic{e.abortError()})
+		}
+		return e.results[id]
+	}
+	if op.kind == opExit {
+		// Exiting processors do not wait for the cycle outcome.
+		return readResult{}
+	}
+	select {
+	case <-g.ch:
+	case <-e.aborted:
+		panic(abortPanic{e.abortError()})
+	}
+	if e.failed.Load() {
+		panic(abortPanic{e.abortError()})
+	}
+	return e.results[id]
+}
+
+// resolve is executed by exactly one goroutine per cycle (the last arriver)
+// and is therefore free of data races. It processes the submitted ops in
+// processor-id order, making runs deterministic.
+func (e *engine) resolve(g *generation) {
+	p := e.cfg.P
+	for c := range e.chWriter {
+		e.chWriter[c] = -1
+	}
+	sawWork := false
+	var tr *CycleTrace
+	if e.trace != nil {
+		tr = &CycleTrace{Cycle: e.stats.Cycles}
+	}
+	// Pass 1: writes, collision detection.
+	for id := 0; id < p; id++ {
+		if !e.live[id] {
+			continue
+		}
+		op := &e.slots[id]
+		switch op.kind {
+		case opWrite, opWriteRead:
+			sawWork = true
+			c := int(op.writeCh)
+			if c < 0 || c >= e.cfg.K {
+				e.abort(fmt.Errorf("%w: processor %d wrote invalid channel %d", ErrAborted, id, c))
+				close(g.ch)
+				return
+			}
+			if prev := e.chWriter[c]; prev >= 0 {
+				e.abort(&CollisionError{Cycle: e.stats.Cycles, Ch: c, ProcA: prev, ProcB: id})
+				close(g.ch)
+				return
+			}
+			e.chWriter[c] = id
+			e.chMsg[c] = op.msg
+			e.stats.Messages++
+			e.stats.PerProc[id]++
+			e.stats.PerChannel[c]++
+			if a := op.msg.maxAbs(); a > e.stats.MaxAbs {
+				e.stats.MaxAbs = a
+				if e.cfg.MaxAbs > 0 && a > e.cfg.MaxAbs {
+					e.abort(fmt.Errorf("%w: processor %d broadcast a payload of magnitude %d, exceeding the message-size budget %d",
+						ErrAborted, id, a, e.cfg.MaxAbs))
+					close(g.ch)
+					return
+				}
+			}
+			if tr != nil {
+				tr.Writes = append(tr.Writes, WriteEvent{Proc: id, Ch: c, Msg: op.msg})
+			}
+		case opRead, opIdle, opExit:
+			if op.kind != opExit {
+				sawWork = true
+			}
+		}
+	}
+	// Pass 2: reads.
+	for id := 0; id < p; id++ {
+		if !e.live[id] {
+			continue
+		}
+		op := &e.slots[id]
+		if op.kind != opRead && op.kind != opWriteRead {
+			continue
+		}
+		c := int(op.readCh)
+		if c < 0 || c >= e.cfg.K {
+			e.abort(fmt.Errorf("%w: processor %d read invalid channel %d", ErrAborted, id, c))
+			close(g.ch)
+			return
+		}
+		var rr readResult
+		if e.chWriter[c] >= 0 {
+			rr = readResult{msg: e.chMsg[c], ok: true}
+		}
+		e.results[id] = rr
+		if tr != nil {
+			tr.Reads = append(tr.Reads, ReadEvent{Proc: id, Ch: c, Msg: rr.msg, OK: rr.ok})
+		}
+	}
+	// Pass 3: exits.
+	for id := 0; id < p; id++ {
+		if e.live[id] && e.slots[id].kind == opExit {
+			e.live[id] = false
+			e.liveN--
+		}
+	}
+	if sawWork {
+		e.stats.Cycles++
+		e.cycles.Store(e.stats.Cycles)
+		if tr != nil {
+			e.trace.Cycles = append(e.trace.Cycles, *tr)
+		}
+	}
+	if e.cfg.MaxCycles > 0 && e.stats.Cycles > e.cfg.MaxCycles {
+		e.abort(fmt.Errorf("%w: cycle limit %d exceeded", ErrAborted, e.cfg.MaxCycles))
+		close(g.ch)
+		return
+	}
+	if e.liveN == 0 {
+		close(e.allDone)
+		close(g.ch)
+		return
+	}
+	// Open the next generation, then release this one. The channel close is
+	// the release barrier for all plain stores above.
+	e.arrived.Store(0)
+	e.expected.Store(int32(e.liveN))
+	e.gen.Store(&generation{ch: make(chan struct{})})
+	close(g.ch)
+}
+
+// Run executes one program per processor on an MCB(cfg.P, cfg.K) network.
+// programs[i] runs as processor i; it must follow the lock-step discipline
+// of issuing exactly one cycle operation (WriteRead, Write, Read or Idle)
+// whenever any other live processor does. Run returns when every program
+// has returned, or with an error on collision, abort, panic or stall.
+func Run(cfg Config, programs []func(Node)) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) != cfg.P {
+		return nil, fmt.Errorf("mcb: %d programs for %d processors", len(programs), cfg.P)
+	}
+	e := &engine{
+		cfg:      cfg,
+		slots:    make([]cycleOp, cfg.P),
+		results:  make([]readResult, cfg.P),
+		live:     make([]bool, cfg.P),
+		chWriter: make([]int, cfg.K),
+		chMsg:    make([]Message, cfg.K),
+		aborted:  make(chan struct{}),
+		allDone:  make(chan struct{}),
+	}
+	e.stats.PerProc = make([]int64, cfg.P)
+	e.stats.PerChannel = make([]int64, cfg.K)
+	if cfg.Trace {
+		e.trace = &Trace{}
+	}
+	for i := range e.live {
+		e.live[i] = true
+	}
+	e.liveN = cfg.P
+	e.expected.Store(int32(cfg.P))
+	e.gen.Store(&generation{ch: make(chan struct{})})
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.P; i++ {
+		p := &Proc{id: i, e: e}
+		prog := programs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				switch r := r.(type) {
+				case nil:
+					// Normal return: leave the lock-step protocol.
+					p.exit()
+				case abortPanic:
+					// Engine already failed; nobody waits for us.
+				default:
+					// Program bug: record it, then exit the protocol so the
+					// remaining processors are not deadlocked.
+					e.softErr(fmt.Errorf("%w: processor %d panicked: %v", ErrAborted, p.id, r))
+					p.exit()
+				}
+			}()
+			prog(p)
+		}()
+	}
+
+	stall := cfg.StallTimeout
+	if stall == 0 {
+		stall = 30 * time.Second
+	}
+	timer := time.NewTicker(stall)
+	defer timer.Stop()
+	last := int64(-1)
+	for {
+		select {
+		case <-e.allDone:
+			wg.Wait()
+			if err := e.abortError(); err != nil {
+				return nil, err
+			}
+			if aux := e.maxAux.Load(); aux > e.stats.MaxAux {
+				e.stats.MaxAux = aux
+			}
+			return &Result{Stats: e.stats, Trace: e.trace}, nil
+		case <-e.aborted:
+			// Give processor goroutines a chance to unwind; those blocked in
+			// local computation will hit the failed check on their next step.
+			// A program spinning forever without issuing cycle ops cannot be
+			// stopped; give up waiting after a grace period (its goroutine
+			// leaks, but Run still reports the abort).
+			unwound := make(chan struct{})
+			go func() { wg.Wait(); close(unwound) }()
+			select {
+			case <-unwound:
+			case <-time.After(2 * time.Second):
+			}
+			return nil, e.abortError()
+		case <-timer.C:
+			if c := e.cycles.Load(); c == last {
+				e.abort(fmt.Errorf("%w: no cycle completed in %v (processor stopped issuing cycle ops?)", ErrAborted, stall))
+			} else {
+				last = c
+			}
+		}
+	}
+}
+
+// RunUniform runs the same program on every processor; the program
+// distinguishes processors via Proc.ID.
+func RunUniform(cfg Config, program func(Node)) (*Result, error) {
+	progs := make([]func(Node), cfg.P)
+	for i := range progs {
+		progs[i] = program
+	}
+	return Run(cfg, progs)
+}

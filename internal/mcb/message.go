@@ -1,0 +1,62 @@
+// Package mcb implements the Multi-Channel Broadcast (MCB) network model of
+// Marberg and Gafni (1985): p independent processors communicating over k
+// shared broadcast channels, k <= p, in synchronous cycles.
+//
+// During each cycle every processor may write one channel, read one channel,
+// and then perform arbitrary local computation. A message written on a
+// channel in a cycle is received exactly by the processors reading that
+// channel in the same cycle; readers of an unwritten channel detect silence.
+// Algorithms must be collision-free: if two processors write the same channel
+// in the same cycle the computation fails, which the engine reports as an
+// error.
+//
+// Each processor runs as a goroutine executing an ordinary Go function; the
+// engine enforces lock-step cycle semantics with a barrier, resolves all
+// channel traffic centrally and deterministically, and accounts for the two
+// complexity measures of the model: total cycles and total broadcast
+// messages.
+package mcb
+
+import "fmt"
+
+// Message is the unit of broadcast communication. The model allows messages
+// of O(log beta) bits, where beta is the largest parameter or datum in the
+// computation; Message therefore carries a constant number of machine words:
+// a small tag identifying the protocol step and three integer fields whose
+// interpretation is up to the algorithm. The engine records the largest
+// absolute field value observed so that the O(log beta) claim can be checked
+// against the input magnitude.
+type Message struct {
+	Tag     uint8
+	X, Y, Z int64
+}
+
+// Msg is shorthand for constructing a Message.
+func Msg(tag uint8, x, y, z int64) Message { return Message{Tag: tag, X: x, Y: y, Z: z} }
+
+// MsgX constructs a Message carrying a single value.
+func MsgX(tag uint8, x int64) Message { return Message{Tag: tag, X: x} }
+
+func (m Message) String() string {
+	return fmt.Sprintf("{tag=%d x=%d y=%d z=%d}", m.Tag, m.X, m.Y, m.Z)
+}
+
+// maxAbs returns the largest absolute value among the payload fields,
+// saturating at MaxInt64 for MinInt64 inputs.
+func (m Message) maxAbs() int64 {
+	max := func(a, b int64) int64 {
+		if a < 0 {
+			a = -a
+		}
+		if a < 0 { // MinInt64
+			a = 1<<63 - 1
+		}
+		if a > b {
+			return a
+		}
+		return b
+	}
+	v := max(m.X, 0)
+	v = max(m.Y, v)
+	return max(m.Z, v)
+}

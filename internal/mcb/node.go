@@ -1,0 +1,60 @@
+package mcb
+
+import "fmt"
+
+// Node is the processor-side interface of the MCB model: everything an
+// algorithm needs to run in lock-step on a network. Both *Proc (a processor
+// of a real engine run) and *VProc (a processor of a simulated network,
+// Section 2) implement it, so every algorithm in this repository can run
+// natively or under simulation without change.
+type Node interface {
+	// ID returns the processor index in [0, P()).
+	ID() int
+	// P returns the number of processors.
+	P() int
+	// K returns the number of broadcast channels.
+	K() int
+	// WriteRead broadcasts on writeCh and reads readCh in the same cycle.
+	WriteRead(writeCh int, m Message, readCh int) (Message, bool)
+	// Write broadcasts on writeCh without reading this cycle.
+	Write(writeCh int, m Message)
+	// Read reads readCh; ok=false reports silence.
+	Read(readCh int) (Message, bool)
+	// Idle spends one cycle without touching any channel.
+	Idle()
+	// IdleN spends n cycles idle.
+	IdleN(n int)
+	// Abortf fails the whole computation with a formatted error.
+	Abortf(format string, args ...any)
+	// AccountAux adjusts the auxiliary-memory estimate by delta words.
+	AccountAux(delta int64)
+	// Cycles returns the number of cycles this processor has participated
+	// in so far.
+	Cycles() int64
+}
+
+var (
+	_ Node = (*Proc)(nil)
+	_ Node = (*VProc)(nil)
+)
+
+// IdleN spends n virtual cycles idle. n <= 0 is a no-op.
+func (v *VProc) IdleN(n int) {
+	for i := 0; i < n; i++ {
+		v.Idle()
+	}
+}
+
+// Abortf fails the computation. In a simulated network the panic unwinds the
+// virtual processor; the host driver reports it as a program error.
+func (v *VProc) Abortf(format string, args ...any) {
+	panic(fmt.Sprintf("vproc %d: %s", v.id, fmt.Sprintf(format, args...)))
+}
+
+// AccountAux is a no-op under simulation (the host engine owns the
+// accounting and cannot attribute virtual memory).
+func (v *VProc) AccountAux(delta int64) {}
+
+// Cycles returns the number of virtual cycles this processor has
+// participated in.
+func (v *VProc) Cycles() int64 { return v.vcycles }

@@ -1,0 +1,97 @@
+package mcb
+
+import "fmt"
+
+// Proc is the handle a processor program uses to interact with the network.
+// Exactly one of WriteRead, Write, Read or Idle must be called per cycle as
+// long as any other processor is still running; returning from the program
+// leaves the lock-step protocol.
+//
+// A Proc is confined to its program goroutine and must not be shared.
+type Proc struct {
+	id int
+	e  *engine
+
+	auxWords int64 // current auxiliary-memory estimate (words), see AccountAux
+	steps    int64 // cycles this processor has participated in
+}
+
+// Cycles returns the number of cycles this processor has participated in so
+// far. While every processor is live, this equals the global cycle count, so
+// algorithms use it to record phase boundaries.
+func (p *Proc) Cycles() int64 { return p.steps }
+
+// ID returns the processor index in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the number of processors in the network.
+func (p *Proc) P() int { return p.e.cfg.P }
+
+// K returns the number of broadcast channels.
+func (p *Proc) K() int { return p.e.cfg.K }
+
+// WriteRead broadcasts m on channel writeCh and reads channel readCh in the
+// same cycle. It returns the message observed on readCh and whether the
+// channel was written at all this cycle (ok=false reports silence). Reading
+// the channel just written observes the processor's own message.
+func (p *Proc) WriteRead(writeCh int, m Message, readCh int) (Message, bool) {
+	p.steps++
+	r := p.e.step(p.id, cycleOp{kind: opWriteRead, writeCh: int32(writeCh), readCh: int32(readCh), msg: m})
+	return r.msg, r.ok
+}
+
+// Write broadcasts m on channel writeCh and does not read this cycle.
+func (p *Proc) Write(writeCh int, m Message) {
+	p.steps++
+	p.e.step(p.id, cycleOp{kind: opWrite, writeCh: int32(writeCh), msg: m})
+}
+
+// Read reads channel readCh this cycle without writing. ok=false reports
+// that no processor wrote the channel (silence).
+func (p *Proc) Read(readCh int) (Message, bool) {
+	p.steps++
+	r := p.e.step(p.id, cycleOp{kind: opRead, readCh: int32(readCh)})
+	return r.msg, r.ok
+}
+
+// Idle spends one cycle without touching any channel.
+func (p *Proc) Idle() {
+	p.steps++
+	p.e.step(p.id, cycleOp{kind: opIdle})
+}
+
+// IdleN spends n cycles idle. n <= 0 is a no-op.
+func (p *Proc) IdleN(n int) {
+	for i := 0; i < n; i++ {
+		p.Idle()
+	}
+}
+
+// Abortf fails the whole computation with a formatted error. It is meant for
+// algorithm-level invariant violations; it does not return.
+func (p *Proc) Abortf(format string, args ...any) {
+	err := fmt.Errorf("%w: processor %d: %s", ErrAborted, p.id, fmt.Sprintf(format, args...))
+	p.e.abort(err)
+	panic(abortPanic{err})
+}
+
+// AccountAux adjusts this processor's auxiliary-memory estimate by delta
+// words and records the high-water mark in Stats.MaxAux. The engine does not
+// measure memory itself; algorithms call this to make their auxiliary-storage
+// claims (O(1), O(n_i), ...) observable in experiments.
+func (p *Proc) AccountAux(delta int64) {
+	p.auxWords += delta
+	for {
+		cur := p.e.maxAux.Load()
+		if p.auxWords <= cur || p.e.maxAux.CompareAndSwap(cur, p.auxWords) {
+			return
+		}
+	}
+}
+
+// exit leaves the lock-step protocol. Any engine-failure panic raised while
+// exiting is swallowed: the engine result is already determined.
+func (p *Proc) exit() {
+	defer func() { _ = recover() }()
+	p.e.step(p.id, cycleOp{kind: opExit})
+}

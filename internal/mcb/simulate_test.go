@@ -1,0 +1,179 @@
+package mcb
+
+import (
+	"testing"
+	"time"
+)
+
+func simCfg(p, k int) Config {
+	return Config{P: p, K: k, StallTimeout: 10 * time.Second}
+}
+
+func TestSimulateBroadcast(t *testing.T) {
+	// A virtual MCB(8, 4) broadcast observed by all virtual processors,
+	// hosted on MCB(2, 2).
+	const pv, kv = 8, 4
+	got := make([]int64, pv)
+	prog := func(v *VProc) {
+		if v.ID() == 5 {
+			m, ok := v.WriteRead(3, MsgX(1, 77), 3)
+			if !ok {
+				panic("writer lost own message")
+			}
+			got[v.ID()] = m.X
+			return
+		}
+		m, ok := v.Read(3)
+		if !ok {
+			panic("missing broadcast")
+		}
+		got[v.ID()] = m.X
+	}
+	res, err := SimulateUniform(simCfg(2, 2), pv, kv, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 77 {
+			t.Errorf("vproc %d got %d", i, v)
+		}
+	}
+	// One virtual cycle: q=4 slots, so q*q*G = 4*4*2 = 32 host cycles plus
+	// the termination reduction.
+	if res.Stats.Cycles < 32 {
+		t.Errorf("cycles = %d, expected >= 32", res.Stats.Cycles)
+	}
+}
+
+func TestSimulateParallelPairs(t *testing.T) {
+	// kv disjoint virtual conversations in one virtual cycle.
+	const pv, kv = 8, 4
+	got := make([]int64, pv)
+	prog := func(v *VProc) {
+		id := v.ID()
+		if id < kv {
+			v.Write(id, MsgX(0, int64(100+id)))
+			return
+		}
+		m, ok := v.Read(id - kv)
+		if !ok {
+			panic("silence")
+		}
+		got[id] = m.X
+	}
+	if _, err := SimulateUniform(simCfg(4, 2), pv, kv, prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := kv; i < pv; i++ {
+		if got[i] != int64(100+i-kv) {
+			t.Errorf("vproc %d got %d", i, got[i])
+		}
+	}
+}
+
+func TestSimulateSilence(t *testing.T) {
+	prog := func(v *VProc) {
+		if _, ok := v.Read(v.ID() % v.K()); ok {
+			panic("expected silence")
+		}
+	}
+	if _, err := SimulateUniform(simCfg(2, 1), 4, 3, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateVirtualCollision(t *testing.T) {
+	prog := func(v *VProc) {
+		v.Write(2, MsgX(0, int64(v.ID())))
+	}
+	if _, err := SimulateUniform(simCfg(2, 2), 4, 4, prog); err == nil {
+		t.Fatal("expected virtual collision to fail the computation")
+	}
+}
+
+func TestSimulateUnevenTermination(t *testing.T) {
+	// Virtual processors exit at different virtual times.
+	const pv = 6
+	count := make([]int, pv)
+	prog := func(v *VProc) {
+		for i := 0; i <= v.ID(); i++ {
+			v.Idle()
+			count[v.ID()]++
+		}
+	}
+	if _, err := SimulateUniform(simCfg(2, 2), pv, 2, prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range count {
+		if c != i+1 {
+			t.Errorf("vproc %d ran %d virtual cycles", i, c)
+		}
+	}
+}
+
+func TestSimulateMultiCycleProtocol(t *testing.T) {
+	// A sequential token pass over pv virtual cycles: in virtual cycle
+	// `turn`, vproc `turn` broadcasts and its successor records the value.
+	const pv, kv = 6, 3
+	token := make([]int64, pv)
+	prog := func(v *VProc) {
+		id := v.ID()
+		for turn := 0; turn < pv; turn++ {
+			if turn == id {
+				v.Write(0, MsgX(0, int64(id*10)))
+			} else {
+				m, ok := v.Read(0)
+				if !ok {
+					panic("token: silence")
+				}
+				if turn == (id+1)%pv {
+					token[id] = m.X
+				}
+			}
+		}
+	}
+	if _, err := SimulateUniform(simCfg(3, 2), pv, kv, prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := range token {
+		want := int64(((i + 1) % pv) * 10)
+		if token[i] != want {
+			t.Errorf("vproc %d token %d, want %d", i, token[i], want)
+		}
+	}
+}
+
+func TestSimulateRequiresLargerVirtual(t *testing.T) {
+	if _, err := SimulateUniform(simCfg(4, 2), 2, 2, func(v *VProc) {}); err == nil {
+		t.Error("expected error for pv < P")
+	}
+	if _, err := SimulateUniform(simCfg(2, 2), 4, 1, func(v *VProc) {}); err == nil {
+		t.Error("expected error for kv < K")
+	}
+}
+
+func TestSimulateOverheadScaling(t *testing.T) {
+	// Overhead per virtual cycle grows with q^2 * G (see simulate.go).
+	run := func(p, k, pv, kv int) int64 {
+		prog := func(v *VProc) {
+			for i := 0; i < 10; i++ {
+				if v.ID() == 0 {
+					v.Write(0, MsgX(0, int64(i)))
+				} else {
+					v.Read(0)
+				}
+			}
+		}
+		res, err := SimulateUniform(simCfg(p, k), pv, kv, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	c1 := run(8, 2, 8, 4) // q=1, G=2
+	c2 := run(4, 2, 8, 4) // q=2, G=2
+	c4 := run(2, 2, 8, 4) // q=4, G=2
+	if !(c1 < c2 && c2 < c4) {
+		t.Errorf("overhead not increasing: %d %d %d", c1, c2, c4)
+	}
+}

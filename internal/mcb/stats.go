@@ -1,0 +1,84 @@
+package mcb
+
+import "fmt"
+
+// Stats aggregates the two complexity measures of the MCB model, plus
+// secondary accounting useful for experiments.
+type Stats struct {
+	// Cycles is the total number of synchronous cycles consumed by the
+	// computation. Cycles advance globally: an idle processor still spends
+	// the cycle.
+	Cycles int64
+	// Messages is the total number of broadcast messages (channel writes).
+	Messages int64
+	// PerProc[i] is the number of messages written by processor i.
+	PerProc []int64
+	// PerChannel[c] is the number of messages carried by channel c.
+	PerChannel []int64
+	// MaxAbs is the largest absolute payload field value broadcast, used to
+	// validate the O(log beta) message-size assumption.
+	MaxAbs int64
+	// MaxAux is the largest auxiliary-memory watermark (in words) reported
+	// by any processor via Proc.AccountAux. Zero if never reported.
+	MaxAux int64
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d messages=%d maxabs=%d", s.Cycles, s.Messages, s.MaxAbs)
+}
+
+// Add accumulates t into s, summing counters and taking maxima of the
+// watermarks. It is used to combine stats from consecutive runs that model
+// phases of one computation.
+func (s *Stats) Add(t *Stats) {
+	s.Cycles += t.Cycles
+	s.Messages += t.Messages
+	if t.MaxAbs > s.MaxAbs {
+		s.MaxAbs = t.MaxAbs
+	}
+	if t.MaxAux > s.MaxAux {
+		s.MaxAux = t.MaxAux
+	}
+	s.PerProc = addVec(s.PerProc, t.PerProc)
+	s.PerChannel = addVec(s.PerChannel, t.PerChannel)
+}
+
+func addVec(a, b []int64) []int64 {
+	if len(b) > len(a) {
+		a = append(a, make([]int64, len(b)-len(a))...)
+	}
+	for i, v := range b {
+		a[i] += v
+	}
+	return a
+}
+
+// WriteEvent records one channel write in a trace.
+type WriteEvent struct {
+	Proc int
+	Ch   int
+	Msg  Message
+}
+
+// ReadEvent records one channel read in a trace. OK reports whether the
+// channel was written this cycle (false = silence observed).
+type ReadEvent struct {
+	Proc int
+	Ch   int
+	Msg  Message
+	OK   bool
+}
+
+// CycleTrace records all traffic of one cycle.
+type CycleTrace struct {
+	Cycle  int64
+	Writes []WriteEvent
+	Reads  []ReadEvent
+}
+
+// Trace is the full per-cycle communication record of a run. It is only
+// collected when Config.Trace is set; it exists for tests, debugging and
+// schedule validation, not for measurement.
+type Trace struct {
+	Cycles []CycleTrace
+}

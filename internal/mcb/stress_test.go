@@ -1,0 +1,154 @@
+package mcb
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"mcbnet/internal/dist"
+)
+
+// TestRandomLockStepStress drives the engine with randomized but
+// collision-free traffic and validates the trace against the model's
+// per-cycle constraints.
+func TestRandomLockStepStress(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		r := dist.NewRNG(uint64(1000 + trial))
+		p := 2 + r.Intn(12)
+		k := 1 + r.Intn(p)
+		cycles := 50 + r.Intn(200)
+		// Precompute a schedule: per cycle, a random subset of k' <= k
+		// distinct writers on distinct channels.
+		writers := make([][]int, cycles) // writers[c][ch] = proc or -1
+		for c := range writers {
+			writers[c] = make([]int, k)
+			perm := r.Perm(p)
+			nw := r.Intn(k + 1)
+			for ch := 0; ch < k; ch++ {
+				if ch < nw {
+					writers[c][ch] = perm[ch]
+				} else {
+					writers[c][ch] = -1
+				}
+			}
+		}
+		cfgT := Config{P: p, K: k, Trace: true, StallTimeout: 10 * time.Second}
+		res, err := RunUniform(cfgT, func(pr Node) {
+			id := pr.ID()
+			rl := dist.NewRNG(uint64(id))
+			for c := 0; c < cycles; c++ {
+				myCh := -1
+				for ch, w := range writers[c] {
+					if w == id {
+						myCh = ch
+					}
+				}
+				if myCh >= 0 {
+					pr.WriteRead(myCh, MsgX(1, int64(c)), rl.Intn(k))
+				} else {
+					pr.Read(rl.Intn(k))
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Stats.Cycles != int64(cycles) {
+			t.Fatalf("trial %d: cycles %d, want %d", trial, res.Stats.Cycles, cycles)
+		}
+		// Validate trace against the schedule.
+		var wantMsgs int64
+		for c := range writers {
+			for _, w := range writers[c] {
+				if w >= 0 {
+					wantMsgs++
+				}
+			}
+		}
+		if res.Stats.Messages != wantMsgs {
+			t.Fatalf("trial %d: messages %d, want %d", trial, res.Stats.Messages, wantMsgs)
+		}
+		for c, tr := range res.Trace.Cycles {
+			for _, w := range tr.Writes {
+				if writers[c][w.Ch] != w.Proc {
+					t.Fatalf("trial %d cycle %d: writer %d on ch %d, want %d",
+						trial, c, w.Proc, w.Ch, writers[c][w.Ch])
+				}
+			}
+			for _, e := range tr.Reads {
+				wrote := writers[c][e.Ch] >= 0
+				if e.OK != wrote {
+					t.Fatalf("trial %d cycle %d: read ok=%v but channel written=%v",
+						trial, c, e.OK, wrote)
+				}
+			}
+		}
+	}
+}
+
+// TestNoGoroutineLeakAcrossRuns churns many engine runs and checks the
+// goroutine count returns to baseline.
+func TestNoGoroutineLeakAcrossRuns(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		_, err := RunUniform(Config{P: 8, K: 2}, func(pr Node) {
+			for c := 0; c < 5; c++ {
+				if pr.ID() == c%8 {
+					pr.Write(0, MsgX(0, int64(c)))
+				} else {
+					pr.Read(0)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+5 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d at start, %d after 200 runs", base, runtime.NumGoroutine())
+}
+
+// TestManyProcessorsOneCycle exercises the barrier at larger p.
+func TestManyProcessorsOneCycle(t *testing.T) {
+	const p = 512
+	res, err := RunUniform(Config{P: p, K: 16, StallTimeout: 20 * time.Second}, func(pr Node) {
+		if pr.ID() < 16 {
+			pr.Write(pr.ID(), MsgX(0, int64(pr.ID())))
+		} else {
+			m, ok := pr.Read(pr.ID() % 16)
+			if !ok || m.X != int64(pr.ID()%16) {
+				pr.Abortf("bad read")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != 1 || res.Stats.Messages != 16 {
+		t.Errorf("cycles=%d messages=%d", res.Stats.Cycles, res.Stats.Messages)
+	}
+}
+
+// TestAbortDuringSimulation covers the failure path of the simulation
+// driver: a virtual program that aborts must surface as a host error.
+func TestAbortDuringSimulation(t *testing.T) {
+	_, err := SimulateUniform(Config{P: 2, K: 1, StallTimeout: 5 * time.Second}, 4, 2,
+		func(v *VProc) {
+			v.Idle()
+			if v.ID() == 2 {
+				v.Abortf("virtual invariant broken")
+			}
+			v.Idle()
+		})
+	if err == nil {
+		t.Fatal("expected simulation abort")
+	}
+}

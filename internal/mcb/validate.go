@@ -1,0 +1,94 @@
+package mcb
+
+import "fmt"
+
+// ValidateTrace checks a recorded trace against the MCB model's rules for a
+// network with k channels and p processors:
+//
+//   - no two writes on the same channel in one cycle (collision-freedom —
+//     the engine enforces this during the run, so a violation here means the
+//     trace itself is corrupt);
+//   - every processor writes at most once and reads at most once per cycle;
+//   - channel and processor indices are in range;
+//   - a read reports ok exactly when its channel was written that cycle,
+//     and then carries that message.
+//
+// It exists so tests and tools can audit full runs end to end, independent
+// of the engine's own checks.
+func ValidateTrace(tr *Trace, p, k int) error {
+	if tr == nil {
+		return fmt.Errorf("mcb: nil trace")
+	}
+	for ci, cyc := range tr.Cycles {
+		written := make(map[int]Message, k)
+		wrote := map[int]bool{}
+		read := map[int]bool{}
+		for _, w := range cyc.Writes {
+			if w.Ch < 0 || w.Ch >= k {
+				return fmt.Errorf("mcb: cycle %d: write on channel %d out of range", ci, w.Ch)
+			}
+			if w.Proc < 0 || w.Proc >= p {
+				return fmt.Errorf("mcb: cycle %d: writer %d out of range", ci, w.Proc)
+			}
+			if _, dup := written[w.Ch]; dup {
+				return fmt.Errorf("mcb: cycle %d: channel %d written twice", ci, w.Ch)
+			}
+			if wrote[w.Proc] {
+				return fmt.Errorf("mcb: cycle %d: processor %d writes twice", ci, w.Proc)
+			}
+			written[w.Ch] = w.Msg
+			wrote[w.Proc] = true
+		}
+		for _, e := range cyc.Reads {
+			if e.Ch < 0 || e.Ch >= k {
+				return fmt.Errorf("mcb: cycle %d: read on channel %d out of range", ci, e.Ch)
+			}
+			if e.Proc < 0 || e.Proc >= p {
+				return fmt.Errorf("mcb: cycle %d: reader %d out of range", ci, e.Proc)
+			}
+			if read[e.Proc] {
+				return fmt.Errorf("mcb: cycle %d: processor %d reads twice", ci, e.Proc)
+			}
+			read[e.Proc] = true
+			msg, wroteCh := written[e.Ch]
+			if e.OK != wroteCh {
+				return fmt.Errorf("mcb: cycle %d: read ok=%v but channel %d written=%v", ci, e.OK, e.Ch, wroteCh)
+			}
+			if e.OK && msg != e.Msg {
+				return fmt.Errorf("mcb: cycle %d: read message %v differs from written %v", ci, e.Msg, msg)
+			}
+		}
+	}
+	return nil
+}
+
+// Utilization summarizes channel usage over a trace: the fraction of
+// channel-cycles carrying a message, per channel and overall.
+type Utilization struct {
+	PerChannel []float64
+	Overall    float64
+}
+
+// TraceUtilization computes channel utilization from a trace.
+func TraceUtilization(tr *Trace, k int) Utilization {
+	u := Utilization{PerChannel: make([]float64, k)}
+	if tr == nil || len(tr.Cycles) == 0 || k == 0 {
+		return u
+	}
+	counts := make([]int64, k)
+	var total int64
+	for _, cyc := range tr.Cycles {
+		for _, w := range cyc.Writes {
+			if w.Ch >= 0 && w.Ch < k {
+				counts[w.Ch]++
+				total++
+			}
+		}
+	}
+	cycles := float64(len(tr.Cycles))
+	for c := range counts {
+		u.PerChannel[c] = float64(counts[c]) / cycles
+	}
+	u.Overall = float64(total) / (cycles * float64(k))
+	return u
+}

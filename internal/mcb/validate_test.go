@@ -1,0 +1,84 @@
+package mcb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTraceAcceptsRealRun(t *testing.T) {
+	c := cfg(8, 4)
+	c.Trace = true
+	res, err := RunUniform(c, func(pr Node) {
+		id := pr.ID()
+		for i := 0; i < 20; i++ {
+			if id < 4 {
+				pr.WriteRead(id, MsgX(1, int64(i)), (id+1)%4)
+			} else {
+				pr.Read(id % 4)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(res.Trace, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	u := TraceUtilization(res.Trace, 4)
+	if u.Overall != 1.0 {
+		t.Errorf("overall utilization = %f, want 1.0 (all channels busy every cycle)", u.Overall)
+	}
+	for ch, f := range u.PerChannel {
+		if f != 1.0 {
+			t.Errorf("channel %d utilization %f", ch, f)
+		}
+	}
+}
+
+func TestValidateTraceRejectsCorruptTraces(t *testing.T) {
+	mk := func(cycles ...CycleTrace) *Trace { return &Trace{Cycles: cycles} }
+	msg := MsgX(0, 1)
+	cases := []struct {
+		name string
+		tr   *Trace
+		want string
+	}{
+		{"nil", nil, "nil trace"},
+		{"channel-collision", mk(CycleTrace{Writes: []WriteEvent{{Proc: 0, Ch: 0, Msg: msg}, {Proc: 1, Ch: 0, Msg: msg}}}), "written twice"},
+		{"double-write", mk(CycleTrace{Writes: []WriteEvent{{Proc: 0, Ch: 0, Msg: msg}, {Proc: 0, Ch: 1, Msg: msg}}}), "writes twice"},
+		{"double-read", mk(CycleTrace{Reads: []ReadEvent{{Proc: 0, Ch: 0}, {Proc: 0, Ch: 1}}}), "reads twice"},
+		{"bad-channel", mk(CycleTrace{Writes: []WriteEvent{{Proc: 0, Ch: 9, Msg: msg}}}), "out of range"},
+		{"bad-proc", mk(CycleTrace{Writes: []WriteEvent{{Proc: 42, Ch: 0, Msg: msg}}}), "out of range"},
+		{"phantom-read", mk(CycleTrace{Reads: []ReadEvent{{Proc: 0, Ch: 0, OK: true, Msg: msg}}}), "written=false"},
+		{"wrong-payload", mk(CycleTrace{
+			Writes: []WriteEvent{{Proc: 0, Ch: 0, Msg: msg}},
+			Reads:  []ReadEvent{{Proc: 1, Ch: 0, OK: true, Msg: MsgX(0, 2)}},
+		}), "differs"},
+	}
+	for _, c := range cases {
+		err := ValidateTrace(c.tr, 4, 2)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTraceUtilizationPartial(t *testing.T) {
+	tr := &Trace{Cycles: []CycleTrace{
+		{Writes: []WriteEvent{{Proc: 0, Ch: 0, Msg: MsgX(0, 1)}}},
+		{Writes: []WriteEvent{{Proc: 0, Ch: 0, Msg: MsgX(0, 1)}, {Proc: 1, Ch: 1, Msg: MsgX(0, 2)}}},
+		{},
+		{Writes: []WriteEvent{{Proc: 1, Ch: 1, Msg: MsgX(0, 3)}}},
+	}}
+	u := TraceUtilization(tr, 2)
+	if u.PerChannel[0] != 0.5 || u.PerChannel[1] != 0.5 {
+		t.Errorf("per-channel = %v", u.PerChannel)
+	}
+	if u.Overall != 0.5 {
+		t.Errorf("overall = %f", u.Overall)
+	}
+	empty := TraceUtilization(nil, 2)
+	if empty.Overall != 0 {
+		t.Errorf("nil trace utilization = %f", empty.Overall)
+	}
+}

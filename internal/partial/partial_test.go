@@ -1,0 +1,209 @@
+package partial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mcbnet/internal/mcb"
+)
+
+func runSums(t *testing.T, p, k int, vals []int64, op Op) (before, at, next []int64, stats mcb.Stats) {
+	t.Helper()
+	before = make([]int64, p)
+	at = make([]int64, p)
+	next = make([]int64, p)
+	res, err := mcb.RunUniform(mcb.Config{P: p, K: k, StallTimeout: 10 * time.Second}, func(pr mcb.Node) {
+		b, a, n := Sums(pr, vals[pr.ID()], op)
+		before[pr.ID()], at[pr.ID()], next[pr.ID()] = b, a, n
+	})
+	if err != nil {
+		t.Fatalf("p=%d k=%d: %v", p, k, err)
+	}
+	return before, at, next, res.Stats
+}
+
+func TestSumsPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	configs := []struct{ p, k int }{
+		{1, 1}, {2, 1}, {2, 2}, {3, 1}, {4, 2}, {5, 2}, {7, 3}, {8, 8},
+		{9, 4}, {16, 4}, {17, 4}, {31, 5}, {32, 8}, {33, 1}, {64, 16},
+	}
+	for _, c := range configs {
+		vals := make([]int64, c.p)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000) - 500
+		}
+		before, at, next, _ := runSums(t, c.p, c.k, vals, Sum)
+		acc := int64(0)
+		for i := 0; i < c.p; i++ {
+			if before[i] != acc {
+				t.Fatalf("p=%d k=%d: before[%d] = %d, want %d", c.p, c.k, i, before[i], acc)
+			}
+			acc += vals[i]
+			if at[i] != acc {
+				t.Fatalf("p=%d k=%d: at[%d] = %d, want %d", c.p, c.k, i, at[i], acc)
+			}
+		}
+		for i := 0; i < c.p-1; i++ {
+			if next[i] != at[i+1] {
+				t.Fatalf("p=%d k=%d: next[%d] = %d, want %d", c.p, c.k, i, next[i], at[i+1])
+			}
+		}
+		if next[c.p-1] != Sum.Identity {
+			t.Fatalf("p=%d k=%d: last next = %d", c.p, c.k, next[c.p-1])
+		}
+	}
+}
+
+func TestSumsMaxOperator(t *testing.T) {
+	vals := []int64{3, -7, 12, 5, 12, 1, 0, 99}
+	_, at, _, _ := runSums(t, len(vals), 2, vals, Max)
+	m := Max.Identity
+	for i, v := range vals {
+		if v > m {
+			m = v
+		}
+		if at[i] != m {
+			t.Fatalf("at[%d] = %d, want %d", i, at[i], m)
+		}
+	}
+}
+
+func TestSumsMinOperator(t *testing.T) {
+	vals := []int64{5, 2, 9, -4, 7}
+	_, at, _, _ := runSums(t, len(vals), 2, vals, Min)
+	if at[len(vals)-1] != -4 {
+		t.Fatalf("total min = %d, want -4", at[len(vals)-1])
+	}
+}
+
+func TestTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, c := range []struct{ p, k int }{{1, 1}, {2, 1}, {8, 2}, {13, 3}, {32, 8}} {
+		vals := make([]int64, c.p)
+		want := int64(0)
+		for i := range vals {
+			vals[i] = rng.Int63n(100)
+			want += vals[i]
+		}
+		got := make([]int64, c.p)
+		_, err := mcb.RunUniform(mcb.Config{P: c.p, K: c.k}, func(pr mcb.Node) {
+			got[pr.ID()] = Total(pr, vals[pr.ID()], Sum)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, g := range got {
+			if g != want {
+				t.Fatalf("p=%d k=%d proc %d: total = %d, want %d", c.p, c.k, i, g, want)
+			}
+		}
+	}
+}
+
+func TestSumsComplexity(t *testing.T) {
+	// O(p/k + log k) cycles per phase; with three phases plus the neighbor
+	// exchange, the constant is small. Verify cycles <= 6*(p/k) + 8*log2(p)+8
+	// and messages <= 4p.
+	for _, c := range []struct{ p, k int }{{16, 1}, {64, 4}, {256, 16}, {128, 128}, {100, 7}} {
+		vals := make([]int64, c.p)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		_, _, _, stats := runSums(t, c.p, c.k, vals, Sum)
+		lg := 0
+		for 1<<lg < c.p {
+			lg++
+		}
+		cycleBound := int64(6*(c.p/c.k) + 8*lg + 8)
+		if stats.Cycles > cycleBound {
+			t.Errorf("p=%d k=%d: %d cycles > bound %d", c.p, c.k, stats.Cycles, cycleBound)
+		}
+		if stats.Messages > int64(4*c.p) {
+			t.Errorf("p=%d k=%d: %d messages > 4p", c.p, c.k, stats.Messages)
+		}
+	}
+}
+
+func TestSumsProperty(t *testing.T) {
+	f := func(raw []int16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		p := len(raw)
+		k := int(kRaw)%p + 1
+		vals := make([]int64, p)
+		for i, r := range raw {
+			vals[i] = int64(r)
+		}
+		before := make([]int64, p)
+		res := make([]int64, p)
+		_, err := mcb.RunUniform(mcb.Config{P: p, K: k}, func(pr mcb.Node) {
+			b, a, _ := Sums(pr, vals[pr.ID()], Sum)
+			before[pr.ID()], res[pr.ID()] = b, a
+		})
+		if err != nil {
+			return false
+		}
+		acc := int64(0)
+		for i := 0; i < p; i++ {
+			if before[i] != acc {
+				return false
+			}
+			acc += vals[i]
+			if res[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumsNoNeighborCheaper(t *testing.T) {
+	const p, k = 32, 4
+	vals := make([]int64, p)
+	for i := range vals {
+		vals[i] = 1
+	}
+	run := func(withNeighbor bool) int64 {
+		res, err := mcb.RunUniform(mcb.Config{P: p, K: k}, func(pr mcb.Node) {
+			if withNeighbor {
+				Sums(pr, vals[pr.ID()], Sum)
+			} else {
+				SumsNoNeighbor(pr, vals[pr.ID()], Sum)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	with, without := run(true), run(false)
+	if without >= with {
+		t.Errorf("SumsNoNeighbor (%d cycles) not cheaper than Sums (%d)", without, with)
+	}
+}
+
+func BenchmarkPartialSums(b *testing.B) {
+	const p, k = 256, 16
+	vals := make([]int64, p)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := mcb.RunUniform(mcb.Config{P: p, K: k}, func(pr mcb.Node) {
+			Sums(pr, vals[pr.ID()], Sum)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

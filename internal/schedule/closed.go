@@ -1,0 +1,79 @@
+package schedule
+
+import "mcbnet/internal/matrix"
+
+// TransposeClosed is the paper's closed-form transpose schedule (Section
+// 5.2): during cycle j, column i broadcasts the element in row (i+j) mod m on
+// channel i, and column d reads channel (d-j) mod k. It completes in exactly
+// m cycles with one message per column per cycle.
+//
+// Correctness: the element of column i at row r = (i+j) mod m has linear
+// position t = i*m + r and destination t' = Transpose(t) in column t mod k =
+// (i*m + r) mod k = r mod k = (i+j) mod k (k divides m). For fixed j the k
+// senders hit k distinct destination columns, so every column receives
+// exactly one element per cycle.
+func TransposeClosed(sh matrix.Shape) *Schedule {
+	m, k := sh.M, sh.K
+	out := &Schedule{Cycles: make([][]Assign, m)}
+	for j := 0; j < m; j++ {
+		cyc := make([]Assign, 0, k)
+		for i := 0; i < k; i++ {
+			r := (i + j) % m
+			src := sh.Pos(i, r)
+			dst := matrix.Transpose(sh, src)
+			if sh.Col(dst) == i {
+				continue // intra-column move: local copy, no message
+			}
+			cyc = append(cyc, Assign{Src: src, Dst: dst, Ch: i})
+		}
+		out.Cycles[j] = cyc
+	}
+	return out
+}
+
+// UpShiftClosed schedules the Up-Shift: column i must send its last
+// floor(m/2) elements to column (i+1) mod k (the rest move within the
+// column, for free). During cycle j, column i broadcasts the element in row
+// m - floor(m/2) + j on channel i; column i reads channel (i-1) mod k.
+// floor(m/2) cycles, one message per column per cycle.
+func UpShiftClosed(sh matrix.Shape) *Schedule {
+	m, k := sh.M, sh.K
+	s := m / 2
+	out := &Schedule{Cycles: make([][]Assign, s)}
+	for j := 0; j < s; j++ {
+		cyc := make([]Assign, 0, k)
+		for i := 0; i < k; i++ {
+			src := sh.Pos(i, m-s+j)
+			dst := matrix.UpShift(sh, src)
+			if sh.Col(dst) == i {
+				continue // k == 1
+			}
+			cyc = append(cyc, Assign{Src: src, Dst: dst, Ch: i})
+		}
+		out.Cycles[j] = cyc
+	}
+	return out
+}
+
+// DownShiftClosed schedules the Down-Shift: column i sends its first
+// floor(m/2) elements to column (i-1) mod k. During cycle j, column i
+// broadcasts the element in row j on channel i; column i reads channel
+// (i+1) mod k.
+func DownShiftClosed(sh matrix.Shape) *Schedule {
+	m, k := sh.M, sh.K
+	s := m / 2
+	out := &Schedule{Cycles: make([][]Assign, s)}
+	for j := 0; j < s; j++ {
+		cyc := make([]Assign, 0, k)
+		for i := 0; i < k; i++ {
+			src := sh.Pos(i, j)
+			dst := matrix.DownShift(sh, src)
+			if sh.Col(dst) == i {
+				continue
+			}
+			cyc = append(cyc, Assign{Src: src, Dst: dst, Ch: i})
+		}
+		out.Cycles[j] = cyc
+	}
+	return out
+}

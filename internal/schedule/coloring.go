@@ -1,0 +1,140 @@
+package schedule
+
+// Bipartite edge coloring. By König's edge-coloring theorem every bipartite
+// multigraph can be properly edge-colored with Delta colors (Delta = maximum
+// degree); for a Delta-regular graph each color class is then a perfect
+// matching. The algorithm below is the classical alternating-path method:
+// insert edges one at a time; if the first free color alpha at u differs
+// from the first free color beta at v, flip the alpha/beta alternating path
+// starting at v (which provably does not reach u), freeing alpha at both
+// endpoints. Complexity O(E * L) where L is the flipped path length
+// (bounded by the number of vertices).
+
+// Edge is an edge of a bipartite multigraph between left vertex U and right
+// vertex V.
+type Edge struct {
+	U, V int
+}
+
+// ColorBipartite returns a proper edge coloring of the bipartite multigraph
+// using exactly Delta colors (numColors = Delta): colors[i] is the color of
+// edges[i], and no two edges sharing an endpoint have the same color.
+func ColorBipartite(edges []Edge, nU, nV int) (colors []int, numColors int) {
+	if len(edges) == 0 {
+		return nil, 0
+	}
+	degU := make([]int, nU)
+	degV := make([]int, nV)
+	for _, e := range edges {
+		degU[e.U]++
+		degV[e.V]++
+	}
+	delta := 0
+	for _, d := range degU {
+		if d > delta {
+			delta = d
+		}
+	}
+	for _, d := range degV {
+		if d > delta {
+			delta = d
+		}
+	}
+	// slotU[u*delta+c] = edge index colored c at u, or -1. hintU[u] is a
+	// lower bound on the smallest free color at u, making the free-color
+	// scan amortized O(1): it only moves forward except when a flip frees a
+	// smaller color, which resets it.
+	slotU := newSlots(nU * delta)
+	slotV := newSlots(nV * delta)
+	hintU := make([]int32, nU)
+	hintV := make([]int32, nV)
+	colors = make([]int, len(edges))
+	for i := range colors {
+		colors[i] = -1
+	}
+	freeAt := func(slots []int32, hints []int32, vert int) int {
+		base := vert * delta
+		c := int(hints[vert])
+		for ; c < delta; c++ {
+			if slots[base+c] < 0 {
+				break
+			}
+		}
+		if c >= delta {
+			panic("schedule: no free color (degree exceeds delta?)")
+		}
+		hints[vert] = int32(c)
+		return c
+	}
+	freeColor := func(hints []int32, vert, c int) {
+		if int32(c) < hints[vert] {
+			hints[vert] = int32(c)
+		}
+	}
+	var path []int32 // reused buffer of edge indices along the flip path
+	for ei, e := range edges {
+		alpha := freeAt(slotU, hintU, e.U)
+		beta := freeAt(slotV, hintV, e.V)
+		if alpha != beta {
+			// Walk the alternating path from v: edges colored alpha, beta,
+			// alpha, ... starting with the alpha edge at v.
+			path = path[:0]
+			onRight := true
+			vert := e.V
+			want := alpha
+			for {
+				var eid int32
+				if onRight {
+					eid = slotV[vert*delta+want]
+				} else {
+					eid = slotU[vert*delta+want]
+				}
+				if eid < 0 {
+					break
+				}
+				path = append(path, eid)
+				pe := edges[eid]
+				if onRight {
+					vert = pe.U
+				} else {
+					vert = pe.V
+				}
+				onRight = !onRight
+				if want == alpha {
+					want = beta
+				} else {
+					want = alpha
+				}
+			}
+			// Flip colors along the path: clear all slots first, then re-add
+			// with swapped colors (avoids transient conflicts).
+			for _, eid := range path {
+				pe := edges[eid]
+				c := colors[eid]
+				slotU[pe.U*delta+c] = -1
+				slotV[pe.V*delta+c] = -1
+				freeColor(hintU, pe.U, c)
+				freeColor(hintV, pe.V, c)
+			}
+			for _, eid := range path {
+				pe := edges[eid]
+				c := alpha + beta - colors[eid] // swap alpha <-> beta
+				colors[eid] = c
+				slotU[pe.U*delta+c] = eid
+				slotV[pe.V*delta+c] = eid
+			}
+		}
+		colors[ei] = alpha
+		slotU[e.U*delta+alpha] = int32(ei)
+		slotV[e.V*delta+alpha] = int32(ei)
+	}
+	return colors, delta
+}
+
+func newSlots(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}

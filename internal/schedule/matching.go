@@ -1,0 +1,37 @@
+package schedule
+
+import "mcbnet/internal/matrix"
+
+// RouteMatching builds a transformation schedule at column granularity in
+// which every cycle is a perfect matching over the columns: each column
+// sends at most one element and receives at most one element, and — crucial
+// for the virtual-column mode of Section 6.1 — a column receives in a cycle
+// if and only if it also sends in that cycle (intra-column moves count as
+// silent self-loops). This is what allows a virtual processor to store the
+// element received during a cycle over the one just sent, using O(1)
+// auxiliary memory.
+//
+// The construction colors the m-regular column-to-column multigraph of the
+// permutation (self-loops included) with exactly m colors; each color class
+// is a perfect matching and becomes one cycle. Channels are assigned by
+// source column, matching the paper's convention. Self-loop edges produce no
+// Assign (no message is sent), so intra-column content simply stays put.
+func RouteMatching(sh matrix.Shape, f matrix.Transform) *Schedule {
+	n := sh.N()
+	edges := make([]Edge, n)
+	moves := make([]Move, n)
+	for t := 0; t < n; t++ {
+		d := f(sh, t)
+		edges[t] = Edge{U: sh.Col(t), V: sh.Col(d)}
+		moves[t] = Move{Src: t, Dst: d}
+	}
+	colors, numColors := ColorBipartite(edges, sh.K, sh.K)
+	out := &Schedule{Cycles: make([][]Assign, numColors)}
+	for i, c := range colors {
+		if edges[i].U == edges[i].V {
+			continue // self-loop: content stays, no message
+		}
+		out.Cycles[c] = append(out.Cycles[c], Assign{Src: moves[i].Src, Dst: moves[i].Dst, Ch: edges[i].U})
+	}
+	return out
+}

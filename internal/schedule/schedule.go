@@ -1,0 +1,211 @@
+// Package schedule builds collision-free broadcast schedules for the
+// transformation phases of the distributed Columnsort (Section 5.2 of the
+// paper).
+//
+// A transformation phase must move every element of the matrix to a new
+// position while respecting the MCB constraints: per cycle, each processor
+// writes at most one channel, reads at most one channel, no two processors
+// write the same channel, and at most k channels exist. The paper gives a
+// closed-form schedule for the transpose and remarks that "similar schemes
+// can be devised" for the other transformations. This package provides both:
+//
+//   - closed-form schedules for Transpose, Up-Shift and Down-Shift; and
+//   - a general scheduler for any permutation, based on bipartite
+//     edge coloring: the moves between owners form a bipartite multigraph
+//     whose proper edge coloring with Delta colors (König's theorem) yields a
+//     schedule of exactly max-degree cycles; color classes larger than k are
+//     split to respect the channel budget.
+//
+// Schedules depend only on globally known quantities (shape, cardinalities),
+// so every processor computes the identical schedule locally — no
+// coordination messages are needed, exactly as the paper assumes.
+package schedule
+
+import (
+	"fmt"
+
+	"mcbnet/internal/matrix"
+)
+
+// Move is a single element relocation between abstract positions.
+type Move struct {
+	Src, Dst int
+}
+
+// Assign is a scheduled move: in its cycle, the owner of Src broadcasts on
+// channel Ch and the owner of Dst reads channel Ch.
+type Assign struct {
+	Src, Dst, Ch int
+}
+
+// Schedule lists, for each cycle, the assignments executed in that cycle.
+type Schedule struct {
+	Cycles [][]Assign
+}
+
+// NumCycles returns the schedule length.
+func (s *Schedule) NumCycles() int { return len(s.Cycles) }
+
+// NumMoves returns the total number of scheduled moves.
+func (s *Schedule) NumMoves() int {
+	n := 0
+	for _, c := range s.Cycles {
+		n += len(c)
+	}
+	return n
+}
+
+// Validate checks the MCB constraints against owner maps: per cycle each
+// owner sends at most once and receives at most once, no channel is written
+// twice, channels are within [0, k), and no move is intra-owner (those must
+// be performed locally, without a message).
+func (s *Schedule) Validate(srcOwner, dstOwner func(pos int) int, k int) error {
+	for cyc, assigns := range s.Cycles {
+		usedCh := map[int]int{}
+		sent := map[int]bool{}
+		rcvd := map[int]bool{}
+		for _, a := range assigns {
+			if a.Ch < 0 || a.Ch >= k {
+				return fmt.Errorf("schedule: cycle %d: channel %d out of range", cyc, a.Ch)
+			}
+			su, du := srcOwner(a.Src), dstOwner(a.Dst)
+			if su == du {
+				return fmt.Errorf("schedule: cycle %d: intra-owner move %d->%d (owner %d)", cyc, a.Src, a.Dst, su)
+			}
+			if prev, ok := usedCh[a.Ch]; ok {
+				return fmt.Errorf("schedule: cycle %d: channel %d written by owners %d and %d (collision)", cyc, a.Ch, prev, su)
+			}
+			usedCh[a.Ch] = su
+			if sent[su] {
+				return fmt.Errorf("schedule: cycle %d: owner %d sends twice", cyc, su)
+			}
+			sent[su] = true
+			if rcvd[du] {
+				return fmt.Errorf("schedule: cycle %d: owner %d receives twice", cyc, du)
+			}
+			rcvd[du] = true
+		}
+	}
+	return nil
+}
+
+// Route schedules the given moves (intra-owner moves are dropped — they are
+// free local copies) on k channels. Owners are identified by srcOwner/
+// dstOwner over positions. The schedule length is at most
+// ceil(Delta * ceil(c/k)) where Delta is the maximum per-owner degree and c
+// the largest color class; for a Delta-regular move set with at most k
+// senders, the length is exactly Delta.
+func Route(moves []Move, srcOwner, dstOwner func(pos int) int, k int) *Schedule {
+	// Filter local moves and build the bipartite multigraph on owner ids.
+	type edge struct {
+		u, v int // src owner, dst owner
+		mv   Move
+	}
+	var edges []edge
+	maxOwner := -1
+	for _, m := range moves {
+		su, du := srcOwner(m.Src), dstOwner(m.Dst)
+		if su > maxOwner {
+			maxOwner = su
+		}
+		if du > maxOwner {
+			maxOwner = du
+		}
+		if su == du {
+			continue
+		}
+		edges = append(edges, edge{u: su, v: du, mv: m})
+	}
+	if len(edges) == 0 {
+		return &Schedule{}
+	}
+	nOwners := maxOwner + 1
+	es := make([]Edge, len(edges))
+	for i, e := range edges {
+		es[i] = Edge{U: e.u, V: e.v}
+	}
+	colors, numColors := ColorBipartite(es, nOwners, nOwners)
+	// Group by color; split classes over k channels into sub-cycles.
+	classes := make([][]int, numColors)
+	for i, c := range colors {
+		classes[c] = append(classes[c], i)
+	}
+	var out Schedule
+	for _, class := range classes {
+		for off := 0; off < len(class); off += k {
+			end := off + k
+			if end > len(class) {
+				end = len(class)
+			}
+			cyc := make([]Assign, 0, end-off)
+			for ch, ei := range class[off:end] {
+				cyc = append(cyc, Assign{Src: edges[ei].mv.Src, Dst: edges[ei].mv.Dst, Ch: ch})
+			}
+			out.Cycles = append(out.Cycles, cyc)
+		}
+	}
+	return &out
+}
+
+// ColumnOwner returns the owner map for column-granularity scheduling over
+// shape sh: the owner of a linear position is its column.
+func ColumnOwner(sh matrix.Shape) func(pos int) int {
+	return func(pos int) int { return sh.Col(pos) }
+}
+
+// TransformMoves expands a matrix transform into explicit moves.
+func TransformMoves(sh matrix.Shape, f matrix.Transform) []Move {
+	out := make([]Move, sh.N())
+	for t := 0; t < sh.N(); t++ {
+		out[t] = Move{Src: t, Dst: f(sh, t)}
+	}
+	return out
+}
+
+// ForTransform builds a schedule for transform f at column granularity
+// (processor i holds column i, channel i belongs to column i when possible).
+// Known transforms use closed forms completing in the optimal number of
+// cycles; others fall back to the general Route scheduler.
+func ForTransform(sh matrix.Shape, kind TransformKind) *Schedule {
+	switch kind {
+	case KindTranspose:
+		return TransposeClosed(sh)
+	case KindUpShift:
+		return UpShiftClosed(sh)
+	case KindDownShift:
+		return DownShiftClosed(sh)
+	case KindUnDiagonalize:
+		return RouteMatching(sh, matrix.UnDiagonalize)
+	case KindUntranspose:
+		return RouteMatching(sh, matrix.Untranspose)
+	}
+	panic("schedule: unknown transform kind")
+}
+
+// TransformKind names the Columnsort transformations for schedule selection.
+type TransformKind uint8
+
+const (
+	KindTranspose TransformKind = iota
+	KindUnDiagonalize
+	KindUpShift
+	KindDownShift
+	KindUntranspose
+)
+
+// KindOf maps a pipeline phase transform name to its kind.
+func KindOf(name string) (TransformKind, bool) {
+	switch name {
+	case "transpose":
+		return KindTranspose, true
+	case "un-diagonalize":
+		return KindUnDiagonalize, true
+	case "up-shift":
+		return KindUpShift, true
+	case "down-shift":
+		return KindDownShift, true
+	case "untranspose":
+		return KindUntranspose, true
+	}
+	return 0, false
+}

@@ -1,0 +1,312 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcbnet/internal/matrix"
+)
+
+// checkColoring verifies a proper edge coloring.
+func checkColoring(t *testing.T, edges []Edge, colors []int, numColors, nU, nV int) {
+	t.Helper()
+	seenU := map[[2]int]bool{}
+	seenV := map[[2]int]bool{}
+	for i, e := range edges {
+		c := colors[i]
+		if c < 0 || c >= numColors {
+			t.Fatalf("edge %d color %d out of range [0,%d)", i, c, numColors)
+		}
+		if seenU[[2]int{e.U, c}] {
+			t.Fatalf("color %d repeated at left vertex %d", c, e.U)
+		}
+		if seenV[[2]int{e.V, c}] {
+			t.Fatalf("color %d repeated at right vertex %d", c, e.V)
+		}
+		seenU[[2]int{e.U, c}] = true
+		seenV[[2]int{e.V, c}] = true
+	}
+}
+
+func maxDegree(edges []Edge, nU, nV int) int {
+	du := make([]int, nU)
+	dv := make([]int, nV)
+	d := 0
+	for _, e := range edges {
+		du[e.U]++
+		dv[e.V]++
+		if du[e.U] > d {
+			d = du[e.U]
+		}
+		if dv[e.V] > d {
+			d = dv[e.V]
+		}
+	}
+	return d
+}
+
+func TestColorBipartiteSmall(t *testing.T) {
+	edges := []Edge{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {0, 0}} // multigraph
+	colors, nc := ColorBipartite(edges, 2, 2)
+	if want := maxDegree(edges, 2, 2); nc != want {
+		t.Fatalf("numColors = %d, want Delta = %d", nc, want)
+	}
+	checkColoring(t, edges, colors, nc, 2, 2)
+}
+
+func TestColorBipartiteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nU := 1 + rng.Intn(8)
+		nV := 1 + rng.Intn(8)
+		ne := rng.Intn(120)
+		edges := make([]Edge, ne)
+		for i := range edges {
+			edges[i] = Edge{U: rng.Intn(nU), V: rng.Intn(nV)}
+		}
+		colors, nc := ColorBipartite(edges, nU, nV)
+		if ne == 0 {
+			continue
+		}
+		if want := maxDegree(edges, nU, nV); nc != want {
+			t.Fatalf("trial %d: numColors = %d, want %d", trial, nc, want)
+		}
+		checkColoring(t, edges, colors, nc, nU, nV)
+	}
+}
+
+func TestColorBipartiteRegularIsPerfectMatchings(t *testing.T) {
+	// A random d-regular bipartite multigraph: each color class must contain
+	// exactly n edges (a perfect matching).
+	rng := rand.New(rand.NewSource(12))
+	n, d := 6, 5
+	var edges []Edge
+	for rep := 0; rep < d; rep++ {
+		perm := rng.Perm(n)
+		for u, v := range perm {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+	}
+	colors, nc := ColorBipartite(edges, n, n)
+	if nc != d {
+		t.Fatalf("numColors = %d, want %d", nc, d)
+	}
+	checkColoring(t, edges, colors, nc, n, n)
+	count := make([]int, nc)
+	for _, c := range colors {
+		count[c]++
+	}
+	for c, cnt := range count {
+		if cnt != n {
+			t.Fatalf("color %d has %d edges, want %d", c, cnt, n)
+		}
+	}
+}
+
+func TestColorBipartiteProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const nU, nV = 5, 7
+		edges := make([]Edge, 0, len(raw))
+		for _, r := range raw {
+			edges = append(edges, Edge{U: int(r) % nU, V: int(r>>4) % nV})
+		}
+		colors, nc := ColorBipartite(edges, nU, nV)
+		if len(edges) == 0 {
+			return true
+		}
+		if nc != maxDegree(edges, nU, nV) {
+			return false
+		}
+		seen := map[[3]int]bool{}
+		for i, e := range edges {
+			if colors[i] < 0 || colors[i] >= nc {
+				return false
+			}
+			ku := [3]int{0, e.U, colors[i]}
+			kv := [3]int{1, e.V, colors[i]}
+			if seen[ku] || seen[kv] {
+				return false
+			}
+			seen[ku] = true
+			seen[kv] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// applySchedule plays a schedule over an in-memory matrix plus the free
+// intra-column moves, and checks it implements the transform.
+func applySchedule(t *testing.T, sh matrix.Shape, f matrix.Transform, s *Schedule) {
+	t.Helper()
+	own := ColumnOwner(sh)
+	if err := s.Validate(own, own, sh.K); err != nil {
+		t.Fatal(err)
+	}
+	n := sh.N()
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(i + 1)
+	}
+	out := make([]int64, n)
+	// Free local moves.
+	moved := make([]bool, n)
+	for src := 0; src < n; src++ {
+		dst := f(sh, src)
+		if sh.Col(src) == sh.Col(dst) {
+			out[dst] = data[src]
+			moved[src] = true
+		}
+	}
+	for _, cyc := range s.Cycles {
+		for _, a := range cyc {
+			if moved[a.Src] {
+				t.Fatalf("position %d scheduled but is a local move", a.Src)
+			}
+			if want := f(sh, a.Src); want != a.Dst {
+				t.Fatalf("move %d->%d disagrees with transform dst %d", a.Src, a.Dst, want)
+			}
+			out[a.Dst] = data[a.Src]
+			moved[a.Src] = true
+		}
+	}
+	for i, ok := range moved {
+		if !ok {
+			t.Fatalf("position %d never moved", i)
+		}
+	}
+	for dst := 0; dst < n; dst++ {
+		// out[f(src)] == data[src] for all src <=> out is the permuted data.
+		if out[dst] == 0 {
+			t.Fatalf("destination %d never written", dst)
+		}
+	}
+}
+
+func TestTransposeClosedMatchesPaperBound(t *testing.T) {
+	for _, sh := range []matrix.Shape{{M: 2, K: 2}, {M: 6, K: 3}, {M: 12, K: 4}, {M: 64, K: 8}} {
+		s := TransposeClosed(sh)
+		if s.NumCycles() != sh.M {
+			t.Errorf("shape %v: %d cycles, want m=%d", sh, s.NumCycles(), sh.M)
+		}
+		applySchedule(t, sh, matrix.Transpose, s)
+	}
+}
+
+func TestShiftClosedSchedules(t *testing.T) {
+	for _, sh := range []matrix.Shape{{M: 6, K: 3}, {M: 12, K: 4}, {M: 64, K: 8}} {
+		up := UpShiftClosed(sh)
+		if up.NumCycles() != sh.M/2 {
+			t.Errorf("upshift %v: %d cycles, want %d", sh, up.NumCycles(), sh.M/2)
+		}
+		applySchedule(t, sh, matrix.UpShift, up)
+		down := DownShiftClosed(sh)
+		if down.NumCycles() != sh.M/2 {
+			t.Errorf("downshift %v: %d cycles, want %d", sh, down.NumCycles(), sh.M/2)
+		}
+		applySchedule(t, sh, matrix.DownShift, down)
+	}
+}
+
+func TestRouteImplementsAllTransforms(t *testing.T) {
+	shapes := []matrix.Shape{{M: 6, K: 3}, {M: 12, K: 4}, {M: 20, K: 5}}
+	transforms := map[string]matrix.Transform{
+		"transpose":      matrix.Transpose,
+		"untranspose":    matrix.Untranspose,
+		"un-diagonalize": matrix.UnDiagonalize,
+		"up-shift":       matrix.UpShift,
+		"down-shift":     matrix.DownShift,
+	}
+	for _, sh := range shapes {
+		own := ColumnOwner(sh)
+		for name, f := range transforms {
+			s := Route(TransformMoves(sh, f), own, own, sh.K)
+			if s.NumCycles() > sh.M {
+				t.Errorf("%s %v: %d cycles > m=%d (suboptimal class split?)", name, sh, s.NumCycles(), sh.M)
+			}
+			applySchedule(t, sh, f, s)
+		}
+	}
+}
+
+func TestForTransformDispatch(t *testing.T) {
+	sh := matrix.Shape{M: 12, K: 4}
+	kinds := map[TransformKind]matrix.Transform{
+		KindTranspose:     matrix.Transpose,
+		KindUnDiagonalize: matrix.UnDiagonalize,
+		KindUpShift:       matrix.UpShift,
+		KindDownShift:     matrix.DownShift,
+		KindUntranspose:   matrix.Untranspose,
+	}
+	for kind, f := range kinds {
+		applySchedule(t, sh, f, ForTransform(sh, kind))
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	for _, name := range []string{"transpose", "un-diagonalize", "up-shift", "down-shift", "untranspose"} {
+		if _, ok := KindOf(name); !ok {
+			t.Errorf("KindOf(%q) not found", name)
+		}
+	}
+	if _, ok := KindOf("sort columns"); ok {
+		t.Error("KindOf should reject sort phases")
+	}
+}
+
+func TestRouteChannelCap(t *testing.T) {
+	// More simultaneous senders than channels: schedule must split classes.
+	// 8 owners each send one element to owner (i+1)%8, with only 2 channels.
+	var moves []Move
+	for i := 0; i < 8; i++ {
+		moves = append(moves, Move{Src: i, Dst: (i+1)%8 + 100})
+	}
+	srcOwn := func(pos int) int { return pos % 100 }
+	dstOwn := func(pos int) int { return pos % 100 }
+	s := Route(moves, srcOwn, dstOwn, 2)
+	if err := s.Validate(srcOwn, dstOwn, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumMoves() != 8 {
+		t.Fatalf("moves = %d, want 8", s.NumMoves())
+	}
+	if s.NumCycles() != 4 {
+		t.Errorf("cycles = %d, want 4 (8 moves / 2 channels)", s.NumCycles())
+	}
+}
+
+func TestRouteDropsLocalMoves(t *testing.T) {
+	moves := []Move{{0, 1}, {2, 3}}
+	own := func(pos int) int { return pos / 2 } // 0,1 same owner; 2,3 same owner
+	s := Route(moves, own, own, 4)
+	if s.NumMoves() != 0 {
+		t.Fatalf("local moves scheduled: %d", s.NumMoves())
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	own := func(pos int) int { return pos }
+	bad := []*Schedule{
+		{Cycles: [][]Assign{{{Src: 0, Dst: 1, Ch: 0}, {Src: 2, Dst: 3, Ch: 0}}}}, // channel collision
+		{Cycles: [][]Assign{{{Src: 0, Dst: 1, Ch: 0}, {Src: 0, Dst: 2, Ch: 1}}}}, // double send
+		{Cycles: [][]Assign{{{Src: 0, Dst: 1, Ch: 0}, {Src: 2, Dst: 1, Ch: 1}}}}, // double receive
+		{Cycles: [][]Assign{{{Src: 0, Dst: 1, Ch: 7}}}},                          // channel out of range
+		{Cycles: [][]Assign{{{Src: 1, Dst: 1, Ch: 0}}}},                          // intra-owner
+	}
+	for i, s := range bad {
+		if err := s.Validate(own, own, 2); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func BenchmarkColorBipartiteRegular(b *testing.B) {
+	// The un-diagonalize coloring workload at m=4096, k=16.
+	sh := matrix.Shape{M: 4096, K: 16}
+	for i := 0; i < b.N; i++ {
+		RouteMatching(sh, matrix.UnDiagonalize)
+	}
+}

@@ -1,0 +1,131 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// White-box coverage of the introsort internals: each path (insertion sort,
+// heapsort fallback, partition) verified directly.
+
+func TestInsertionSortDirect(t *testing.T) {
+	s := []int64{5, 2, 8, 1, 9, 3}
+	insertionSort(s, func(a, b int64) bool { return a < b })
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			t.Fatalf("not sorted: %v", s)
+		}
+	}
+	// Empty and single-element inputs.
+	insertionSort([]int64{}, func(a, b int64) bool { return a < b })
+	insertionSort([]int64{1}, func(a, b int64) bool { return a < b })
+}
+
+func TestHeapsortDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = rng.Int63n(50)
+		}
+		heapsort(s, func(a, b int64) bool { return a < b })
+		for i := 1; i < n; i++ {
+			if s[i-1] > s[i] {
+				t.Fatalf("n=%d not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	less := func(a, b int64) bool { return a < b }
+	for trial := 0; trial < 200; trial++ {
+		n := 17 + rng.Intn(100) // above the insertion threshold
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = rng.Int63n(30)
+		}
+		p := partition(s, less)
+		for i := 0; i < p; i++ {
+			if s[i] > s[p] {
+				t.Fatalf("left[%d]=%d > pivot %d", i, s[i], s[p])
+			}
+		}
+		for i := p + 1; i < n; i++ {
+			if s[i] < s[p] {
+				t.Fatalf("right[%d]=%d < pivot %d", i, s[i], s[p])
+			}
+		}
+	}
+}
+
+func TestIntrosortDepthLimitFallsBackToHeapsort(t *testing.T) {
+	// Force the fallback by calling with limit 0: must still sort.
+	rng := rand.New(rand.NewSource(11))
+	s := make([]int64, 5000)
+	for i := range s {
+		s[i] = rng.Int63n(100)
+	}
+	introsort(s, func(a, b int64) bool { return a < b }, 0)
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			t.Fatal("depth-limited introsort failed to sort")
+		}
+	}
+}
+
+func TestIlog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for n, want := range cases {
+		if got := ilog2(n); got != want {
+			t.Errorf("ilog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMedianOfMediansPivotQuality(t *testing.T) {
+	// The BFPRT pivot must land within the middle 40-ish percent for large
+	// inputs (the linear-time guarantee); verify the rank bound loosely.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		n := 100 + rng.Intn(400)
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = rng.Int63()
+		}
+		pivot := medianOfMedians(s)
+		rank := 0
+		for _, v := range s {
+			if v < pivot {
+				rank++
+			}
+		}
+		if rank < n/10 || rank > n-n/10 {
+			t.Fatalf("n=%d: pivot rank %d outside [n/10, 9n/10]", n, rank)
+		}
+	}
+}
+
+func TestThreeWayPartitionBounds(t *testing.T) {
+	s := []int64{3, 1, 3, 2, 3, 5, 0, 3}
+	lt, gt := threeWayPartition(s, 3)
+	for i := 0; i < lt; i++ {
+		if s[i] >= 3 {
+			t.Fatalf("prefix violation at %d: %v", i, s)
+		}
+	}
+	for i := lt; i < gt; i++ {
+		if s[i] != 3 {
+			t.Fatalf("middle violation at %d: %v", i, s)
+		}
+	}
+	for i := gt; i < len(s); i++ {
+		if s[i] <= 3 {
+			t.Fatalf("suffix violation at %d: %v", i, s)
+		}
+	}
+	if gt-lt != 4 {
+		t.Fatalf("equal run length %d, want 4", gt-lt)
+	}
+}

@@ -1,0 +1,131 @@
+package seq
+
+// This file implements worst-case linear-time selection by rank — the BFPRT
+// median-of-medians algorithm of Blum, Floyd, Pratt, Rivest and Tarjan
+// ("Time bounds for selection", 1973), which the paper cites as [Blum73] for
+// computing local medians during the filtering phases of the selection
+// algorithm.
+
+// KthSmallest returns the k-th smallest element of s, k in [1, len(s)].
+// It runs in O(n) worst case and does not modify s.
+func KthSmallest(s []int64, k int) int64 {
+	if k < 1 || k > len(s) {
+		panic("seq: rank out of range")
+	}
+	buf := make([]int64, len(s))
+	copy(buf, s)
+	return selectInPlace(buf, k-1)
+}
+
+// KthLargest returns the element of rank d in the paper's descending order
+// (d = 1 is the maximum), d in [1, len(s)]. It does not modify s.
+func KthLargest(s []int64, d int) int64 {
+	return KthSmallest(s, len(s)-d+1)
+}
+
+// Median returns the paper's median of s: the element of descending rank
+// ceil(n/2) (equivalently, ascending rank floor(n/2)+1), where rank 1 is the
+// largest. s must be non-empty; s is not modified.
+func Median(s []int64) int64 {
+	return KthLargest(s, (len(s)+1)/2)
+}
+
+// SelectInPlace returns the k-th smallest (0-based) element of s,
+// partitioning s as a side effect: afterwards s[k] holds the answer, with
+// smaller-or-equal elements before it and greater-or-equal after it.
+func SelectInPlace(s []int64, k int) int64 {
+	if k < 0 || k >= len(s) {
+		panic("seq: rank out of range")
+	}
+	return selectInPlace(s, k)
+}
+
+func selectInPlace(s []int64, k int) int64 {
+	for {
+		n := len(s)
+		if n <= 10 {
+			insertionSort(s, func(a, b int64) bool { return a < b })
+			return s[k]
+		}
+		pivot := medianOfMedians(s)
+		lt, gt := threeWayPartition(s, pivot)
+		switch {
+		case k < lt:
+			s = s[:lt]
+		case k >= gt:
+			s = s[gt:]
+			k -= gt
+		default:
+			return pivot
+		}
+	}
+}
+
+// medianOfMedians computes the BFPRT pivot: the median of the medians of
+// groups of five, found recursively. It reorders prefixes of s.
+func medianOfMedians(s []int64) int64 {
+	n := len(s)
+	groups := (n + 4) / 5
+	for g := 0; g < groups; g++ {
+		lo := g * 5
+		hi := lo + 5
+		if hi > n {
+			hi = n
+		}
+		insertionSort(s[lo:hi], func(a, b int64) bool { return a < b })
+		mid := lo + (hi-lo)/2
+		s[g], s[mid] = s[mid], s[g]
+	}
+	if groups == 1 {
+		return s[0]
+	}
+	return selectInPlace(s[:groups], groups/2)
+}
+
+// threeWayPartition rearranges s into [< pivot | == pivot | > pivot] and
+// returns the boundaries (lt, gt): s[:lt] < pivot, s[lt:gt] == pivot,
+// s[gt:] > pivot.
+func threeWayPartition(s []int64, pivot int64) (lt, gt int) {
+	lo, mid, hi := 0, 0, len(s)
+	for mid < hi {
+		switch {
+		case s[mid] < pivot:
+			s[lo], s[mid] = s[mid], s[lo]
+			lo++
+			mid++
+		case s[mid] > pivot:
+			hi--
+			s[mid], s[hi] = s[hi], s[mid]
+		default:
+			mid++
+		}
+	}
+	return lo, hi
+}
+
+// Rank returns how many elements of s are greater than or equal to x — the
+// descending rank x would have if it were inserted into s (when x is present,
+// this is its rank). Runs in O(n); s need not be sorted.
+func Rank(s []int64, x int64) int {
+	r := 0
+	for _, v := range s {
+		if v >= x {
+			r++
+		}
+	}
+	return r
+}
+
+// CountGE returns the number of elements >= x.
+func CountGE(s []int64, x int64) int { return Rank(s, x) }
+
+// CountLE returns the number of elements <= x.
+func CountLE(s []int64, x int64) int {
+	r := 0
+	for _, v := range s {
+		if v <= x {
+			r++
+		}
+	}
+	return r
+}

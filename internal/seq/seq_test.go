@@ -1,0 +1,343 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refSortedAsc(s []int64) []int64 {
+	out := make([]int64, len(s))
+	copy(out, s)
+	// Reference: simple bottom-up merge sort, independent of the code under test.
+	for width := 1; width < len(out); width *= 2 {
+		tmp := make([]int64, len(out))
+		for lo := 0; lo < len(out); lo += 2 * width {
+			mid := min(lo+width, len(out))
+			hi := min(lo+2*width, len(out))
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if out[i] <= out[j] {
+					tmp[k] = out[i]
+					i++
+				} else {
+					tmp[k] = out[j]
+					j++
+				}
+				k++
+			}
+			for i < mid {
+				tmp[k] = out[i]
+				i++
+				k++
+			}
+			for j < hi {
+				tmp[k] = out[j]
+				j++
+				k++
+			}
+		}
+		copy(out, tmp)
+	}
+	return out
+}
+
+func TestSortInt64AscBasic(t *testing.T) {
+	cases := [][]int64{
+		{}, {1}, {2, 1}, {1, 2}, {3, 3, 3},
+		{5, 4, 3, 2, 1}, {1, 2, 3, 4, 5},
+		{7, 1, 7, 1, 7, 1, 0, -3, 9},
+	}
+	for _, c := range cases {
+		s := append([]int64(nil), c...)
+		SortInt64Asc(s)
+		want := refSortedAsc(c)
+		for i := range s {
+			if s[i] != want[i] {
+				t.Errorf("SortInt64Asc(%v) = %v, want %v", c, s, want)
+				break
+			}
+		}
+	}
+}
+
+func TestSortProperty(t *testing.T) {
+	f := func(in []int64) bool {
+		s := append([]int64(nil), in...)
+		SortInt64Asc(s)
+		want := refSortedAsc(in)
+		if len(s) != len(want) {
+			return false
+		}
+		for i := range s {
+			if s[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortDescProperty(t *testing.T) {
+	f := func(in []int64) bool {
+		s := append([]int64(nil), in...)
+		SortInt64Desc(s)
+		return IsSorted(s, func(a, b int64) bool { return a > b })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortLargeSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{15, 16, 17, 100, 1000, 65536} {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = rng.Int63n(int64(n) * 4)
+		}
+		want := refSortedAsc(s)
+		SortInt64Asc(s)
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("n=%d mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortAdversarialPatterns(t *testing.T) {
+	// Patterns that degrade naive quicksort; introsort must stay O(n log n)
+	// and correct.
+	n := 4096
+	patterns := map[string]func(i int) int64{
+		"sorted":    func(i int) int64 { return int64(i) },
+		"reverse":   func(i int) int64 { return int64(n - i) },
+		"constant":  func(i int) int64 { return 7 },
+		"organpipe": func(i int) int64 { return int64(min(i, n-i)) },
+		"twovalue":  func(i int) int64 { return int64(i % 2) },
+		"sawtooth":  func(i int) int64 { return int64(i % 17) },
+	}
+	for name, f := range patterns {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = f(i)
+		}
+		want := refSortedAsc(s)
+		SortInt64Asc(s)
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("%s: mismatch at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestGenericSortPairs(t *testing.T) {
+	type pair struct{ k, v int64 }
+	rng := rand.New(rand.NewSource(2))
+	s := make([]pair, 500)
+	for i := range s {
+		s[i] = pair{rng.Int63n(50), int64(i)}
+	}
+	Sort(s, func(a, b pair) bool { return a.k < b.k || (a.k == b.k && a.v < b.v) })
+	for i := 1; i < len(s); i++ {
+		if s[i-1].k > s[i].k || (s[i-1].k == s[i].k && s[i-1].v > s[i].v) {
+			t.Fatalf("pairs out of order at %d", i)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	less := func(a, b int64) bool { return a < b }
+	a := []int64{1, 3, 5}
+	b := []int64{2, 3, 4, 8}
+	got := Merge(a, b, less)
+	want := []int64{1, 2, 3, 3, 4, 5, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Merge = %v, want %v", got, want)
+		}
+	}
+	if got := Merge(nil, b, less); len(got) != len(b) {
+		t.Fatalf("Merge(nil, b) = %v", got)
+	}
+	// Merge must be stable with respect to a (ties take from a first).
+	got = Merge([]int64{3}, []int64{3}, less)
+	if len(got) != 2 || got[0] != 3 {
+		t.Fatalf("stability check failed: %v", got)
+	}
+}
+
+func TestKthSmallestExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 24; n++ {
+		for trial := 0; trial < 20; trial++ {
+			s := make([]int64, n)
+			for i := range s {
+				s[i] = rng.Int63n(10)
+			}
+			sorted := refSortedAsc(s)
+			for k := 1; k <= n; k++ {
+				if got := KthSmallest(s, k); got != sorted[k-1] {
+					t.Fatalf("KthSmallest(%v, %d) = %d, want %d", s, k, got, sorted[k-1])
+				}
+			}
+		}
+	}
+}
+
+func TestKthLargestAndMedian(t *testing.T) {
+	s := []int64{10, 40, 30, 20, 50}
+	if got := KthLargest(s, 1); got != 50 {
+		t.Errorf("KthLargest d=1: %d", got)
+	}
+	if got := KthLargest(s, 5); got != 10 {
+		t.Errorf("KthLargest d=5: %d", got)
+	}
+	// n=5: median = descending rank 3 = 30.
+	if got := Median(s); got != 30 {
+		t.Errorf("Median = %d, want 30", got)
+	}
+	// n=4: descending rank ceil(4/2)=2 -> second largest.
+	if got := Median([]int64{1, 2, 3, 4}); got != 3 {
+		t.Errorf("Median(1..4) = %d, want 3", got)
+	}
+	if got := Median([]int64{9}); got != 9 {
+		t.Errorf("Median([9]) = %d", got)
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	f := func(in []int64, kRaw uint) bool {
+		if len(in) == 0 {
+			return true
+		}
+		k := int(kRaw%uint(len(in))) + 1
+		sorted := refSortedAsc(in)
+		return KthSmallest(in, k) == sorted[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectDoesNotModifyInput(t *testing.T) {
+	s := []int64{5, 1, 4, 2, 3}
+	orig := append([]int64(nil), s...)
+	_ = KthSmallest(s, 3)
+	for i := range s {
+		if s[i] != orig[i] {
+			t.Fatalf("input modified: %v", s)
+		}
+	}
+}
+
+func TestSelectInPlacePartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := make([]int64, 200)
+	for i := range s {
+		s[i] = rng.Int63n(100)
+	}
+	k := 77
+	v := SelectInPlace(s, k)
+	if s[k] != v {
+		t.Fatalf("s[k]=%d, want %d", s[k], v)
+	}
+	for i := 0; i < k; i++ {
+		if s[i] > v {
+			t.Fatalf("left side has %d > pivot %d", s[i], v)
+		}
+	}
+	for i := k + 1; i < len(s); i++ {
+		if s[i] < v {
+			t.Fatalf("right side has %d < pivot %d", s[i], v)
+		}
+	}
+}
+
+func TestSelectLinearComparisonPattern(t *testing.T) {
+	// Worst-case-ish inputs: sorted, reverse, many duplicates. BFPRT must
+	// return the correct value on all of them.
+	n := 10000
+	mk := func(f func(int) int64) []int64 {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = f(i)
+		}
+		return s
+	}
+	inputs := [][]int64{
+		mk(func(i int) int64 { return int64(i) }),
+		mk(func(i int) int64 { return int64(n - i) }),
+		mk(func(i int) int64 { return int64(i % 3) }),
+	}
+	for _, s := range inputs {
+		sorted := refSortedAsc(s)
+		for _, k := range []int{1, 2, n / 4, n / 2, n - 1, n} {
+			if got := KthSmallest(s, k); got != sorted[k-1] {
+				t.Fatalf("k=%d got %d want %d", k, got, sorted[k-1])
+			}
+		}
+	}
+}
+
+func TestRankCounts(t *testing.T) {
+	s := []int64{5, 3, 8, 3, 1}
+	if got := Rank(s, 3); got != 4 {
+		t.Errorf("Rank(3) = %d, want 4", got)
+	}
+	if got := Rank(s, 9); got != 0 {
+		t.Errorf("Rank(9) = %d, want 0", got)
+	}
+	if got := CountLE(s, 3); got != 3 {
+		t.Errorf("CountLE(3) = %d, want 3", got)
+	}
+	if got := CountGE(s, 100); got != 0 {
+		t.Errorf("CountGE(100) = %d", got)
+	}
+}
+
+func TestRankOutOfRangePanics(t *testing.T) {
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			KthSmallest([]int64{1, 2, 3}, k)
+		}()
+	}
+}
+
+func BenchmarkSortInt64_64k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	src := make([]int64, 65536)
+	for i := range src {
+		src[i] = rng.Int63()
+	}
+	buf := make([]int64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		SortInt64Asc(buf)
+	}
+}
+
+func BenchmarkSelect_64k(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	src := make([]int64, 65536)
+	for i := range src {
+		src[i] = rng.Int63()
+	}
+	buf := make([]int64, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		SelectInPlace(buf, len(buf)/2)
+	}
+}

@@ -1,0 +1,170 @@
+// Package seq provides the sequential building blocks the MCB algorithms run
+// locally at each processor: comparison sorting (the paper's [Knut73]
+// reference) and worst-case linear-time selection by rank (the paper's
+// [Blum73] reference, the BFPRT median-of-medians algorithm).
+//
+// The package is self-contained — the algorithm path does not rely on the
+// standard library's sort — so that local computation is part of the
+// reproduction rather than assumed.
+package seq
+
+// Sort sorts s in place using less as a strict weak ordering. It is an
+// introsort: quicksort with median-of-three pivots, switching to heapsort
+// past a depth limit and to insertion sort on small ranges, giving
+// O(n log n) worst case and no allocation.
+func Sort[T any](s []T, less func(a, b T) bool) {
+	if len(s) < 2 {
+		return
+	}
+	limit := 2 * ilog2(len(s))
+	introsort(s, less, limit)
+}
+
+// SortInt64Desc sorts s in place in descending order, the paper's canonical
+// order (rank 1 = largest).
+func SortInt64Desc(s []int64) {
+	Sort(s, func(a, b int64) bool { return a > b })
+}
+
+// SortInt64Asc sorts s in place in ascending order.
+func SortInt64Asc(s []int64) {
+	Sort(s, func(a, b int64) bool { return a < b })
+}
+
+// IsSorted reports whether s is ordered under less (no element is strictly
+// less than its predecessor).
+func IsSorted[T any](s []T, less func(a, b T) bool) bool {
+	for i := 1; i < len(s); i++ {
+		if less(s[i], s[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func ilog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+const insertionThreshold = 16
+
+func introsort[T any](s []T, less func(a, b T) bool, limit int) {
+	for len(s) > insertionThreshold {
+		if limit == 0 {
+			heapsort(s, less)
+			return
+		}
+		limit--
+		p := partition(s, less)
+		// Recurse into the smaller side, loop on the larger: O(log n) stack.
+		if p < len(s)-p-1 {
+			introsort(s[:p], less, limit)
+			s = s[p+1:]
+		} else {
+			introsort(s[p+1:], less, limit)
+			s = s[:p]
+		}
+	}
+	insertionSort(s, less)
+}
+
+// partition places a median-of-three pivot and returns its final index.
+func partition[T any](s []T, less func(a, b T) bool) int {
+	n := len(s)
+	m := n / 2
+	// Order s[0], s[m], s[n-1]; use s[m] as pivot moved to s[n-2]... simpler:
+	// median-of-three into s[0] as sentinel arrangement.
+	if less(s[m], s[0]) {
+		s[m], s[0] = s[0], s[m]
+	}
+	if less(s[n-1], s[0]) {
+		s[n-1], s[0] = s[0], s[n-1]
+	}
+	if less(s[n-1], s[m]) {
+		s[n-1], s[m] = s[m], s[n-1]
+	}
+	// Pivot = s[m]; stash it at n-2 and partition s[1:n-2].
+	s[m], s[n-2] = s[n-2], s[m]
+	pivot := s[n-2]
+	i, j := 0, n-2
+	for {
+		i++
+		for less(s[i], pivot) {
+			i++
+		}
+		j--
+		for less(pivot, s[j]) {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+	}
+	s[i], s[n-2] = s[n-2], s[i]
+	return i
+}
+
+func insertionSort[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && less(v, s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+func heapsort[T any](s []T, less func(a, b T) bool) {
+	n := len(s)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(s, i, n, less)
+	}
+	for i := n - 1; i > 0; i-- {
+		s[0], s[i] = s[i], s[0]
+		siftDown(s, 0, i, less)
+	}
+}
+
+func siftDown[T any](s []T, root, hi int, less func(a, b T) bool) {
+	for {
+		child := 2*root + 1
+		if child >= hi {
+			return
+		}
+		if child+1 < hi && less(s[child], s[child+1]) {
+			child++
+		}
+		if !less(s[root], s[child]) {
+			return
+		}
+		s[root], s[child] = s[child], s[root]
+		root = child
+	}
+}
+
+// Merge merges two slices each sorted under less into a freshly allocated
+// sorted slice.
+func Merge[T any](a, b []T, less func(x, y T) bool) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,261 @@
+package shoutecho
+
+import (
+	"fmt"
+
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/seq"
+)
+
+// This file ports the paper's Section 8 selection algorithm to the
+// Shout-Echo model, the adaptation Section 9 reports as [Marb85]. The
+// filtering idea is identical, but a shout-echo round gathers one value from
+// every processor at once, so the coordinator (P_1) computes the weighted
+// median of the local medians exactly — no distributed sort or Partial-Sums
+// is needed — and each filtering phase costs a constant number of rounds.
+// With at least a quarter of the candidates purged per phase, selection
+// takes O(log n) rounds, an O(log p) improvement over the tournament-style
+// approach of the earlier Shout-Echo literature.
+
+const (
+	tagQuery   uint8 = 0x30 // coordinator asks for (med, count)
+	tagMed     uint8 = 0x31 // echo: X=med.V, Y=med.T, Z=count
+	tagCount   uint8 = 0x32 // coordinator shouts med*; echo: X=count >= med*
+	tagVerdict uint8 = 0x33 // coordinator shouts (case, mGE) to finish the phase
+	tagDone    uint8 = 0x34 // coordinator shouts the selected value
+)
+
+// SelectReport carries the cost and diagnostics of a Shout-Echo selection.
+type SelectReport struct {
+	Stats        Stats
+	FilterPhases int
+}
+
+// Select returns the element of descending rank d (1 = maximum) of the set
+// distributed as inputs over a Shout-Echo network with p = len(inputs)
+// processors. Processor 0 coordinates.
+func Select(inputs [][]int64, d int, cfg Config) (int64, *SelectReport, error) {
+	p := len(inputs)
+	if p == 0 {
+		return 0, nil, fmt.Errorf("shoutecho: no processors")
+	}
+	cfg.P = p
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	if n == 0 {
+		return 0, nil, fmt.Errorf("shoutecho: the distributed set is empty")
+	}
+	if d < 1 || d > n {
+		return 0, nil, fmt.Errorf("shoutecho: rank %d out of [1, %d]", d, n)
+	}
+
+	report := &SelectReport{}
+	var result int64
+	progs := make([]func(*Proc), p)
+	for i := range progs {
+		id := i
+		in := inputs[i]
+		progs[i] = func(pr *Proc) {
+			v, phases := selectProgram(pr, id, in, d)
+			if id == 0 {
+				result = v
+				report.FilterPhases = phases
+			}
+		}
+	}
+	res, err := Run(cfg, progs)
+	if err != nil {
+		return 0, nil, err
+	}
+	report.Stats = res.Stats
+	return result, report, nil
+}
+
+// pair is a distinct element (value, tiebreak), the paper's lexicographic
+// triple folded into two words.
+type pair struct{ v, t int64 }
+
+func (a pair) greater(b pair) bool {
+	if a.v != b.v {
+		return a.v > b.v
+	}
+	return a.t > b.t
+}
+
+func selectProgram(pr *Proc, id int, in []int64, d int) (int64, int) {
+	// Candidates, kept sorted descending.
+	cands := make([]pair, len(in))
+	for j, v := range in {
+		cands[j] = pair{v: v, t: int64(id)<<31 | int64(j)}
+	}
+	seq.Sort(cands, func(a, b pair) bool { return a.greater(b) })
+
+	countGE := func(x pair) int {
+		lo, hi := 0, len(cands)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if x.greater(cands[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+
+	phases := 0
+	for {
+		phases++
+		// Round 1: coordinator collects (median, count) from everyone.
+		var meds []mcb.Message
+		var myMed mcb.Message
+		if len(cands) > 0 {
+			med := cands[(len(cands)+1)/2-1]
+			myMed = mcb.Msg(tagMed, med.v, med.t, int64(len(cands)))
+		} else {
+			myMed = mcb.Msg(tagMed, -1<<63, -(int64(id) + 1), 0)
+		}
+		if id == 0 {
+			meds = pr.Shout(mcb.MsgX(tagQuery, 0))
+			meds[0] = myMed
+		} else {
+			pr.Echo(func(Message) Message { return myMed })
+		}
+
+		// Coordinator: weighted median of the medians.
+		var medStar pair
+		if id == 0 {
+			type mc struct {
+				med pair
+				c   int64
+			}
+			list := make([]mc, 0, pr.P())
+			total := int64(0)
+			for _, m := range meds {
+				list = append(list, mc{med: pair{v: m.X, t: m.Y}, c: m.Z})
+				total += m.Z
+			}
+			seq.Sort(list, func(a, b mc) bool { return a.med.greater(b.med) })
+			half := (total + 1) / 2
+			acc := int64(0)
+			for _, e := range list {
+				acc += e.c
+				if acc >= half {
+					medStar = e.med
+					break
+				}
+			}
+		}
+
+		// Round 2: coordinator shouts med*; echoes return local counts >= med*.
+		var mGE int
+		if id == 0 {
+			echoes := pr.Shout(mcb.Msg(tagCount, medStar.v, medStar.t, 0))
+			mGE = countGE(medStar)
+			for j, m := range echoes {
+				if j != 0 {
+					mGE += int(m.X)
+				}
+			}
+		} else {
+			shout := pr.Echo(func(s Message) Message {
+				medStar = pair{v: s.X, t: s.Y}
+				return mcb.MsgX(tagCount, int64(countGE(pair{v: s.X, t: s.Y})))
+			})
+			medStar = pair{v: shout.X, t: shout.Y}
+		}
+
+		// Round 3: coordinator announces the verdict (everyone needs mGE and
+		// the case to purge consistently); or the final answer.
+		if id == 0 {
+			verdict := int64(0) // 0: done, 1: keep >, 2: keep <
+			switch {
+			case mGE == d:
+				verdict = 0
+			case mGE > d:
+				verdict = 1
+			default:
+				verdict = 2
+			}
+			pr.Shout(mcb.Msg(tagVerdict, verdict, int64(mGE), medStar.v))
+			switch verdict {
+			case 0:
+				return medStar.v, phases
+			case 1:
+				keep := countGE(medStar)
+				if keep > 0 && cands[keep-1] == medStar {
+					keep--
+				}
+				cands = cands[:keep]
+			case 2:
+				cands = cands[countGE(medStar):]
+				d -= mGE
+			}
+		} else {
+			var verdict int64
+			var mGE64 int64
+			pr.Echo(func(s Message) Message {
+				verdict, mGE64 = s.X, s.Y
+				return mcb.MsgX(tagDone, 0)
+			})
+			switch verdict {
+			case 0:
+				return medStar.v, phases // medStar.v carried in the verdict too
+			case 1:
+				keep := countGE(medStar)
+				if keep > 0 && cands[keep-1] == medStar {
+					keep--
+				}
+				cands = cands[:keep]
+			case 2:
+				cands = cands[countGE(medStar):]
+				d -= int(mGE64)
+			}
+		}
+	}
+}
+
+// Max returns the maximum of the distributed set in two rounds: the
+// coordinator collects local maxima, then announces the winner.
+func Max(inputs [][]int64, cfg Config) (int64, *Result, error) {
+	p := len(inputs)
+	if p == 0 {
+		return 0, nil, fmt.Errorf("shoutecho: no processors")
+	}
+	cfg.P = p
+	var result int64
+	progs := make([]func(*Proc), p)
+	for i := range progs {
+		id := i
+		in := inputs[i]
+		progs[i] = func(pr *Proc) {
+			local := in[0]
+			for _, v := range in[1:] {
+				if v > local {
+					local = v
+				}
+			}
+			if id == 0 {
+				echoes := pr.Shout(mcb.MsgX(tagQuery, 0))
+				best := local
+				for j, m := range echoes {
+					if j != 0 && m.X > best {
+						best = m.X
+					}
+				}
+				pr.Shout(mcb.MsgX(tagDone, best))
+				result = best
+			} else {
+				pr.Echo(func(Message) Message { return mcb.MsgX(tagMed, local) })
+				pr.Echo(func(Message) Message { return mcb.MsgX(tagDone, 0) })
+			}
+		}
+	}
+	res, err := Run(cfg, progs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return result, res, nil
+}

@@ -1,0 +1,348 @@
+// Package shoutecho implements the Shout-Echo broadcast model of Santoro
+// and Sidney ([Sant82, Sant83] in the paper) and the port of the paper's
+// selection algorithm to it, which Section 9 reports improves the previous
+// best Shout-Echo selection bound by a factor of O(log p) ([Marb85]).
+//
+// In the Shout-Echo model a basic communication activity (a "round")
+// consists of one processor broadcasting a message (the shout) and receiving
+// a reply from every other processor (the echoes). Unlike the MCB model,
+// a round is a single indivisible activity involving all processors; the
+// complexity measures are the number of rounds and the total number of
+// messages (one shout plus p-1 echoes per round).
+package shoutecho
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mcbnet/internal/mcb"
+)
+
+// Message reuses the MCB message format (a tag plus three words).
+type Message = mcb.Message
+
+// Config describes a Shout-Echo network.
+type Config struct {
+	// P is the number of processors.
+	P int
+	// MaxRounds aborts runaway computations; zero means no limit.
+	MaxRounds int64
+	// StallTimeout aborts when no round completes for this long (default
+	// 30s).
+	StallTimeout time.Duration
+}
+
+// Stats counts the model's costs.
+type Stats struct {
+	// Rounds is the number of shout-echo activities.
+	Rounds int64
+	// Messages counts one shout plus p-1 echoes per round.
+	Messages int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Stats Stats
+}
+
+// ErrAborted is wrapped by all abort errors.
+var ErrAborted = errors.New("shoutecho: run aborted")
+
+type opKind uint8
+
+const (
+	opShout opKind = iota
+	opEcho
+	opExit
+)
+
+type roundOp struct {
+	kind  opKind
+	shout Message
+	reply func(Message) Message
+}
+
+type roundResult struct {
+	shout  Message   // for echoers: the shout heard
+	echoes []Message // for the shouter: replies indexed by processor
+}
+
+// Proc is the per-processor handle. In every round each live processor must
+// call exactly one of Shout or Echo; returning from the program leaves the
+// protocol.
+type Proc struct {
+	id int
+	e  *engine
+}
+
+// ID returns the processor index in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// P returns the number of processors.
+func (p *Proc) P() int { return p.e.cfg.P }
+
+// Shout broadcasts m and returns the echoes, indexed by processor id (the
+// shouter's own slot is the zero Message).
+func (p *Proc) Shout(m Message) []Message {
+	r := p.e.step(p.id, roundOp{kind: opShout, shout: m})
+	return r.echoes
+}
+
+// Echo participates in the round as a replier: reply is called with the
+// shout and must return this processor's echo. Echo returns the shout heard.
+func (p *Proc) Echo(reply func(shout Message) Message) Message {
+	r := p.e.step(p.id, roundOp{kind: opEcho, reply: reply})
+	return r.shout
+}
+
+// Abortf fails the whole computation.
+func (p *Proc) Abortf(format string, args ...any) {
+	err := fmt.Errorf("%w: processor %d: %s", ErrAborted, p.id, fmt.Sprintf(format, args...))
+	p.e.abort(err)
+	panic(seAbort{err})
+}
+
+type seAbort struct{ err error }
+
+type generation struct{ ch chan struct{} }
+
+type engine struct {
+	cfg     Config
+	slots   []roundOp
+	results []roundResult
+	live    []bool
+	liveN   int
+
+	arrived  int32
+	expected int32
+	mu       sync.Mutex // guards arrived (simplicity over throughput)
+	gen      *generation
+
+	stats    Stats
+	rounds   int64
+	failed   bool
+	abortErr error
+	aborted  chan struct{}
+	abortOne sync.Once
+	allDone  chan struct{}
+}
+
+func (e *engine) abort(err error) {
+	e.mu.Lock()
+	if e.abortErr == nil {
+		e.abortErr = err
+	}
+	e.failed = true
+	e.mu.Unlock()
+	e.abortOne.Do(func() { close(e.aborted) })
+}
+
+func (e *engine) isFailed() (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failed, e.abortErr
+}
+
+func (e *engine) step(id int, op roundOp) roundResult {
+	if failed, err := e.isFailed(); failed {
+		panic(seAbort{err})
+	}
+	e.mu.Lock()
+	g := e.gen
+	e.slots[id] = op
+	e.arrived++
+	leader := e.arrived == e.expected
+	e.mu.Unlock()
+	if leader {
+		e.resolve(g)
+		if op.kind == opExit {
+			return roundResult{}
+		}
+		if failed, err := e.isFailed(); failed {
+			panic(seAbort{err})
+		}
+		return e.results[id]
+	}
+	if op.kind == opExit {
+		return roundResult{}
+	}
+	select {
+	case <-g.ch:
+	case <-e.aborted:
+		_, err := e.isFailed()
+		panic(seAbort{err})
+	}
+	if failed, err := e.isFailed(); failed {
+		panic(seAbort{err})
+	}
+	return e.results[id]
+}
+
+func (e *engine) resolve(g *generation) {
+	p := e.cfg.P
+	shouter := -1
+	anyWork := false
+	for id := 0; id < p; id++ {
+		if !e.live[id] {
+			continue
+		}
+		switch e.slots[id].kind {
+		case opShout:
+			if shouter >= 0 {
+				e.abort(fmt.Errorf("%w: processors %d and %d shout in the same round", ErrAborted, shouter, id))
+				close(g.ch)
+				return
+			}
+			shouter = id
+			anyWork = true
+		case opEcho:
+			anyWork = true
+		}
+	}
+	if anyWork {
+		if shouter < 0 {
+			e.abort(fmt.Errorf("%w: round with echoes but no shouter", ErrAborted))
+			close(g.ch)
+			return
+		}
+		shout := e.slots[shouter].shout
+		echoes := make([]Message, p)
+		for id := 0; id < p; id++ {
+			if !e.live[id] || id == shouter {
+				continue
+			}
+			if e.slots[id].kind == opEcho {
+				echoes[id] = e.slots[id].reply(shout)
+			}
+		}
+		e.results[shouter] = roundResult{echoes: echoes}
+		for id := 0; id < p; id++ {
+			if e.live[id] && id != shouter && e.slots[id].kind == opEcho {
+				e.results[id] = roundResult{shout: shout}
+			}
+		}
+		e.stats.Rounds++
+		e.stats.Messages += int64(e.liveN) // 1 shout + liveN-1 echoes
+		e.rounds = e.stats.Rounds
+	}
+	for id := 0; id < p; id++ {
+		if e.live[id] && e.slots[id].kind == opExit {
+			e.live[id] = false
+			e.liveN--
+		}
+	}
+	if e.cfg.MaxRounds > 0 && e.stats.Rounds > e.cfg.MaxRounds {
+		e.abort(fmt.Errorf("%w: round limit %d exceeded", ErrAborted, e.cfg.MaxRounds))
+		close(g.ch)
+		return
+	}
+	if e.liveN == 0 {
+		close(e.allDone)
+		close(g.ch)
+		return
+	}
+	e.mu.Lock()
+	e.arrived = 0
+	e.expected = int32(e.liveN)
+	e.gen = &generation{ch: make(chan struct{})}
+	e.mu.Unlock()
+	close(g.ch)
+}
+
+// Run executes one program per processor.
+func Run(cfg Config, programs []func(*Proc)) (*Result, error) {
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("shoutecho: P must be >= 1, got %d", cfg.P)
+	}
+	if len(programs) != cfg.P {
+		return nil, fmt.Errorf("shoutecho: %d programs for %d processors", len(programs), cfg.P)
+	}
+	e := &engine{
+		cfg:     cfg,
+		slots:   make([]roundOp, cfg.P),
+		results: make([]roundResult, cfg.P),
+		live:    make([]bool, cfg.P),
+		aborted: make(chan struct{}),
+		allDone: make(chan struct{}),
+	}
+	for i := range e.live {
+		e.live[i] = true
+	}
+	e.liveN = cfg.P
+	e.expected = int32(cfg.P)
+	e.gen = &generation{ch: make(chan struct{})}
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.P; i++ {
+		pr := &Proc{id: i, e: e}
+		prog := programs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				switch r := recover().(type) {
+				case nil:
+					pr.exit()
+				case seAbort:
+					// engine already failed
+				default:
+					e.abort(fmt.Errorf("%w: processor %d panicked: %v", ErrAborted, pr.id, r))
+					pr.exit()
+				}
+			}()
+			prog(pr)
+		}()
+	}
+
+	stall := cfg.StallTimeout
+	if stall == 0 {
+		stall = 30 * time.Second
+	}
+	tick := time.NewTicker(stall)
+	defer tick.Stop()
+	last := int64(-1)
+	for {
+		select {
+		case <-e.allDone:
+			wg.Wait()
+			if _, err := e.isFailed(); err != nil {
+				return nil, err
+			}
+			return &Result{Stats: e.stats}, nil
+		case <-e.aborted:
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+			}
+			_, err := e.isFailed()
+			return nil, err
+		case <-tick.C:
+			e.mu.Lock()
+			cur := e.rounds
+			e.mu.Unlock()
+			if cur == last {
+				e.abort(fmt.Errorf("%w: no round completed in %v", ErrAborted, stall))
+			} else {
+				last = cur
+			}
+		}
+	}
+}
+
+// RunUniform runs the same program on every processor.
+func RunUniform(cfg Config, program func(*Proc)) (*Result, error) {
+	progs := make([]func(*Proc), cfg.P)
+	for i := range progs {
+		progs[i] = program
+	}
+	return Run(cfg, progs)
+}
+
+func (p *Proc) exit() {
+	defer func() { _ = recover() }()
+	p.e.step(p.id, roundOp{kind: opExit})
+}

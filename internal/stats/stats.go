@@ -1,0 +1,164 @@
+// Package stats provides the small measurement toolkit used by the
+// experiment harness: aligned text tables, series, and least-squares fits
+// for verifying asymptotic claims (e.g. that measured cycles grow linearly
+// in n/k).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table: a header row plus data rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		case float32:
+			row[i] = formatFloat(float64(x))
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 1:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.4f", x)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// LogLogSlope fits log(y) = a + b*log(x) by least squares and returns the
+// exponent b — the empirical growth order of y in x. Points with
+// non-positive coordinates are skipped; at least two valid points are
+// required (returns NaN otherwise).
+func LogLogSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	return slope(lx, ly)
+}
+
+// LinearSlope fits y = a + b*x by least squares and returns b.
+func LinearSlope(xs, ys []float64) float64 { return slope(xs, ys) }
+
+func slope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Ratio summarizes y/x over a series: min, max and mean. It is used to show
+// that a measured quantity is a constant multiple of a predicted one.
+type Ratio struct {
+	Min, Max, Mean float64
+}
+
+// Ratios computes the ratio summary of ys[i]/xs[i], skipping zero xs.
+func Ratios(xs, ys []float64) Ratio {
+	r := Ratio{Min: math.Inf(1), Max: math.Inf(-1)}
+	n := 0
+	sum := 0.0
+	for i := range xs {
+		if xs[i] == 0 {
+			continue
+		}
+		v := ys[i] / xs[i]
+		if v < r.Min {
+			r.Min = v
+		}
+		if v > r.Max {
+			r.Max = v
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return Ratio{}
+	}
+	r.Mean = sum / float64(n)
+	return r
+}
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("min=%.3f mean=%.3f max=%.3f", r.Min, r.Mean, r.Max)
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "n", "cycles", "ratio")
+	tb.AddRow(1024, int64(256), 0.25)
+	tb.AddRow(2048, int64(512), 0.25)
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "cycles") || !strings.Contains(s, "2048") {
+		t.Errorf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 3x^2 -> slope 2.
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slope = %f, want 2", got)
+	}
+	// Linear: slope 1.
+	for i, x := range xs {
+		ys[i] = 7 * x
+	}
+	if got := LogLogSlope(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("slope = %f, want 1", got)
+	}
+}
+
+func TestLogLogSlopeSkipsNonPositive(t *testing.T) {
+	xs := []float64{0, 1, 2, 4}
+	ys := []float64{5, 2, 4, 8}
+	if got := LogLogSlope(xs, ys); math.Abs(got-1) > 1e-9 {
+		t.Errorf("slope = %f, want 1", got)
+	}
+	if !math.IsNaN(LogLogSlope([]float64{1}, []float64{1})) {
+		t.Error("expected NaN for single point")
+	}
+}
+
+func TestLinearSlope(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11}
+	if got := LinearSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slope = %f, want 2", got)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{1, 2, 0, 4}, []float64{2, 6, 9, 4})
+	if r.Min != 1 || r.Max != 3 || math.Abs(r.Mean-2) > 1e-9 {
+		t.Errorf("ratios = %+v", r)
+	}
+	if got := Ratios(nil, nil); got.Mean != 0 {
+		t.Errorf("empty ratios = %+v", got)
+	}
+	if !strings.Contains(r.String(), "mean=2.000") {
+		t.Errorf("String() = %s", r.String())
+	}
+}

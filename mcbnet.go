@@ -1,0 +1,99 @@
+// Package mcbnet is a faithful implementation of the multi-channel
+// broadcast (MCB) network model and the distributed sorting and selection
+// algorithms of Marberg and Gafni, "Sorting and Selection in Multi-Channel
+// Broadcast Networks" (UCLA CSD-850002 / ICPP 1985).
+//
+// An MCB(p, k) network has p processors sharing k broadcast channels; in
+// each synchronous cycle a processor may write one channel, read one
+// channel, and compute locally. The package simulates the model exactly
+// (counting the paper's two cost measures, cycles and messages) and provides
+// the paper's algorithms over it:
+//
+//   - Sort: Columnsort-based distributed sorting — Theta(n) messages and
+//     Theta(max{n/k, n_max}) cycles — with gathered-column, virtual-column
+//     (memory-efficient), single-channel (Rank-Sort, Merge-Sort) and
+//     recursive variants.
+//   - Select: selection by rank via median-of-medians filtering —
+//     Theta(p log(kn/p)) messages and Theta((p/k) log(kn/p)) cycles.
+//
+// This file re-exports the library's public surface; the implementation
+// lives under internal/ (see DESIGN.md for the system inventory).
+package mcbnet
+
+import "mcbnet/internal/core"
+
+// Sort options and results.
+type (
+	// SortOptions configures a distributed sort; see core.SortOptions.
+	SortOptions = core.SortOptions
+	// Report carries the model costs and diagnostics of a sort.
+	Report = core.Report
+	// Order selects descending (the paper's canonical order) or ascending.
+	Order = core.Order
+	// Algorithm names a sorting algorithm.
+	Algorithm = core.Algorithm
+)
+
+// Selection options and results.
+type (
+	// SelectOptions configures a distributed selection.
+	SelectOptions = core.SelectOptions
+	// SelectReport carries the model costs and filtering diagnostics.
+	SelectReport = core.SelectReport
+	// SelectAlgorithm names a selection strategy.
+	SelectAlgorithm = core.SelectAlgorithm
+)
+
+// Sorting order constants.
+const (
+	Descending = core.Descending
+	Ascending  = core.Ascending
+)
+
+// Sorting algorithm constants.
+const (
+	AlgoAuto                = core.AlgoAuto
+	AlgoColumnsortGather    = core.AlgoColumnsortGather
+	AlgoColumnsortVirtual   = core.AlgoColumnsortVirtual
+	AlgoRankSort            = core.AlgoRankSort
+	AlgoMergeSort           = core.AlgoMergeSort
+	AlgoColumnsortRecursive = core.AlgoColumnsortRecursive
+)
+
+// Selection algorithm constants.
+const (
+	SelFiltering    = core.SelFiltering
+	SelSortBaseline = core.SelSortBaseline
+)
+
+// Sort sorts a set distributed as inputs[i] at processor i over an
+// MCB(len(inputs), opts.K) network, preserving per-processor cardinalities:
+// under the default Descending order, processor 0 receives the largest
+// elements. See core.Sort.
+func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
+	return core.Sort(inputs, opts)
+}
+
+// Select returns the element of descending rank opts.D (1 = maximum) of the
+// distributed set. See core.Select.
+func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) {
+	return core.Select(inputs, opts)
+}
+
+// MultiSelect finds several ranks in one network computation (the filtering
+// selections run back to back in lock-step); results are in the order of ds.
+// See core.MultiSelect.
+func MultiSelect(inputs [][]int64, ds []int, opts SelectOptions) ([]int64, *SelectReport, error) {
+	return core.MultiSelect(inputs, ds, opts)
+}
+
+// Median selects the paper's median — the element of descending rank
+// ceil(n/2) — of the distributed set.
+func Median(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) {
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	opts.D = (n + 1) / 2
+	return core.Select(inputs, opts)
+}

@@ -1,0 +1,110 @@
+package mcbnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mcbnet"
+)
+
+func ExampleSort() {
+	inputs := [][]int64{
+		{42, 7, 19},
+		{3, 88},
+		{55, 21, 64, 10},
+		{30},
+	}
+	outputs, _, err := mcbnet.Sort(inputs, mcbnet.SortOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	for i, out := range outputs {
+		fmt.Printf("P%d: %v\n", i+1, out)
+	}
+	// Output:
+	// P1: [88 64 55]
+	// P2: [42 30]
+	// P3: [21 19 10 7]
+	// P4: [3]
+}
+
+func ExampleSelect() {
+	inputs := [][]int64{{9, 3}, {7}, {1, 5, 4}}
+	median, _, err := mcbnet.Select(inputs, mcbnet.SelectOptions{K: 2, D: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(median)
+	// Output: 5
+}
+
+func ExampleMultiSelect() {
+	inputs := [][]int64{{10, 40}, {20, 60}, {30, 50}}
+	vals, _, err := mcbnet.MultiSelect(inputs, []int{1, 3, 6}, mcbnet.SelectOptions{K: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(vals)
+	// Output: [60 40 10]
+}
+
+func TestFacadeSortAscending(t *testing.T) {
+	inputs := [][]int64{{5, 1}, {3}, {4, 2}}
+	outputs, rep, err := mcbnet.Sort(inputs, mcbnet.SortOptions{K: 2, Order: mcbnet.Ascending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{1, 2}, {3}, {4, 5}}
+	for i := range want {
+		for j := range want[i] {
+			if outputs[i][j] != want[i][j] {
+				t.Fatalf("outputs = %v, want %v", outputs, want)
+			}
+		}
+	}
+	if rep.Stats.Cycles == 0 {
+		t.Error("no cycles recorded")
+	}
+}
+
+func TestFacadeAlgorithmConstants(t *testing.T) {
+	inputs := [][]int64{{4, 2}, {3, 1}}
+	for _, algo := range []mcbnet.Algorithm{
+		mcbnet.AlgoAuto, mcbnet.AlgoColumnsortGather, mcbnet.AlgoColumnsortVirtual,
+		mcbnet.AlgoRankSort, mcbnet.AlgoMergeSort, mcbnet.AlgoColumnsortRecursive,
+	} {
+		outputs, _, err := mcbnet.Sort(inputs, mcbnet.SortOptions{K: 2, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if outputs[0][0] != 4 || outputs[1][1] != 1 {
+			t.Fatalf("%v: outputs = %v", algo, outputs)
+		}
+	}
+}
+
+func TestFacadeSelectBaseline(t *testing.T) {
+	inputs := [][]int64{{10, 30}, {20}}
+	got, rep, err := mcbnet.Select(inputs, mcbnet.SelectOptions{K: 1, D: 2, Algorithm: mcbnet.SelSortBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("got %d, want 20", got)
+	}
+	if rep.Algorithm != mcbnet.SelSortBaseline {
+		t.Errorf("algorithm = %v", rep.Algorithm)
+	}
+}
+
+func TestFacadeMedian(t *testing.T) {
+	inputs := [][]int64{{1, 9}, {5, 3}, {7}}
+	got, _, err := mcbnet.Median(inputs, mcbnet.SelectOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=5, descending rank 3 = 5.
+	if got != 5 {
+		t.Errorf("median = %d, want 5", got)
+	}
+}
