@@ -1,0 +1,22 @@
+# Development targets. `make verify` is the gate CI and pre-commit use.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -7,21 +7,39 @@
 //	mcbbench -quick     # smaller sweeps
 //	mcbbench -exp E3    # one experiment
 //	mcbbench -list      # list experiments and their claims
+//	mcbbench -json      # emit results as JSON instead of text tables
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"mcbnet/internal/experiments"
+	"mcbnet/internal/stats"
 )
+
+// jsonTable and jsonExperiment are the -json output schema: the experiment
+// id and claim plus each table's title, headers and formatted rows.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonExperiment struct {
+	ID     string      `json:"id"`
+	Claim  string      `json:"claim"`
+	Tables []jsonTable `json:"tables"`
+}
 
 func main() {
 	exp := flag.String("exp", "", "run a single experiment id (e.g. E3); empty = all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	list := flag.Bool("list", false, "list experiments")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
 	flag.Parse()
 
 	if *list {
@@ -31,7 +49,14 @@ func main() {
 		return
 	}
 
+	var collected []jsonExperiment
 	run := func(e experiments.Experiment) {
+		if *jsonOut {
+			collected = append(collected, jsonExperiment{
+				ID: e.ID, Claim: e.Claim, Tables: toJSONTables(e.Run(*quick)),
+			})
+			return
+		}
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Claim)
 		start := time.Now()
 		for _, tb := range e.Run(*quick) {
@@ -47,9 +72,26 @@ func main() {
 			os.Exit(1)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range experiments.All() {
+			run(e)
+		}
 	}
-	for _, e := range experiments.All() {
-		run(e)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbbench:", err)
+			os.Exit(1)
+		}
 	}
+}
+
+func toJSONTables(tbs []*stats.Table) []jsonTable {
+	out := make([]jsonTable, len(tbs))
+	for i, tb := range tbs {
+		out[i] = jsonTable{Title: tb.Title, Headers: tb.Headers, Rows: tb.Rows}
+	}
+	return out
 }

@@ -4,10 +4,12 @@
 // Usage:
 //
 //	mcbselect -n 65536 -p 16 -k 8 [-d 0] [-algo filter|sort]
-//	          [-dist even|random|oneheavy|geometric] [-seed 1] [-v]
+//	          [-dist even|random|oneheavy|geometric] [-seed 1] [-v] [-json]
 //
 // -d is the descending rank (1 = maximum); 0 means the median. -v prints
-// the per-phase candidate counts and purge fractions (Figure 2).
+// the per-phase candidate counts and purge fractions (Figure 2). -json
+// replaces the text output with a machine-readable mcb.Report whose phases
+// carry the per-filter-iteration costs and candidate counts.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"mcbnet/internal/adversary"
 	"mcbnet/internal/core"
 	"mcbnet/internal/dist"
+	"mcbnet/internal/mcb"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 	heavy := flag.Float64("heavy", 0.5, "n_max/n fraction for -dist oneheavy")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print filtering phase details")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	flag.Parse()
 
 	rank := *d
@@ -59,6 +63,27 @@ func main() {
 		fatal(err)
 	}
 	wall := time.Since(start)
+
+	if *jsonOut {
+		jr := mcb.NewReport(mcb.Config{P: *p, K: *k}, &rep.Stats)
+		jr.Extra = map[string]any{
+			"op":              "select",
+			"n":               *n,
+			"d":               rank,
+			"algorithm":       rep.Algorithm.String(),
+			"dist":            *distName,
+			"seed":            *seed,
+			"value":           val,
+			"filter_phases":   rep.FilterPhases,
+			"candidates":      rep.Candidates,
+			"purge_fractions": rep.PurgeFractions,
+			"wall_ms":         wall.Milliseconds(),
+		}
+		if err := jr.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("selected rank %d of n=%d on MCB(p=%d, k=%d) with %s: value = %d\n",
 		rank, *n, *p, *k, rep.Algorithm, val)

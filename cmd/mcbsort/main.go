@@ -4,10 +4,12 @@
 // Usage:
 //
 //	mcbsort -n 65536 -p 16 -k 8 [-algo auto|gather|virtual|rank|merge|recursive]
-//	        [-dist even|random|oneheavy|geometric] [-seed 1] [-asc] [-v]
+//	        [-dist even|random|oneheavy|geometric] [-seed 1] [-asc] [-v] [-json]
 //
 // The workload is generated deterministically from -seed; -v prints the
 // per-phase cycle breakdown and the sorted boundaries of each processor.
+// -json replaces the text output with a machine-readable mcb.Report
+// (including the per-phase breakdown) on stdout.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"mcbnet/internal/adversary"
 	"mcbnet/internal/core"
 	"mcbnet/internal/dist"
+	"mcbnet/internal/mcb"
 )
 
 func main() {
@@ -31,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	asc := flag.Bool("asc", false, "sort ascending instead of the paper's descending order")
 	verbose := flag.Bool("v", false, "print phase breakdown and processor boundaries")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 	flag.Parse()
 
 	algorithm, err := parseAlgo(*algo)
@@ -54,6 +58,26 @@ func main() {
 		fatal(err)
 	}
 	wall := time.Since(start)
+
+	if *jsonOut {
+		jr := mcb.NewReport(mcb.Config{P: *p, K: *k}, &rep.Stats)
+		jr.Extra = map[string]any{
+			"op":        "sort",
+			"n":         *n,
+			"algorithm": rep.Algorithm.String(),
+			"dist":      *distName,
+			"seed":      *seed,
+			"wall_ms":   wall.Milliseconds(),
+		}
+		if rep.Columns > 0 {
+			jr.Extra["columns"] = rep.Columns
+			jr.Extra["column_len"] = rep.ColumnLen
+		}
+		if err := jr.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fmt.Printf("sorted n=%d on MCB(p=%d, k=%d) with %s\n", *n, *p, *k, rep.Algorithm)
 	if rep.Columns > 0 {

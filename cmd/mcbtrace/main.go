@@ -8,7 +8,9 @@
 //
 // Each line is one cycle; each column is one channel, showing `Pi>v` when
 // processor i broadcast value v and `.` for silence. The reader set is shown
-// when -readers is given.
+// when -readers is given. Phase boundaries (from the engine's phase
+// accounting) are rendered as separator lines, and a per-phase cost summary
+// precedes the cycle listing.
 package main
 
 import (
@@ -60,16 +62,31 @@ func main() {
 	util := mcb.TraceUtilization(trace, *k)
 	fmt.Printf("%s of n=%d on MCB(p=%d, k=%d): %d cycles, %d messages, %.1f%% channel utilization (trace validated)\n\n",
 		*op, *n, *p, *k, stats.Cycles, stats.Messages, util.Overall*100)
+
+	if len(stats.Phases) > 0 {
+		fmt.Println("phases:")
+		for _, ph := range stats.Phases {
+			fmt.Printf("  %-32s %6d cycles  %6d messages  %5.1f%% util\n",
+				ph.Name, ph.Cycles, ph.Messages, ph.Utilization*100)
+		}
+		fmt.Println()
+	}
+
 	fmt.Printf("%6s", "cycle")
 	for c := 0; c < *k; c++ {
 		fmt.Printf("  %-12s", fmt.Sprintf("ch%d", c))
 	}
 	fmt.Println()
 	shown := 0
+	curPhase := ""
 	for _, cyc := range trace.Cycles {
 		if *limit > 0 && shown >= *limit {
 			fmt.Printf("... (%d more cycles)\n", int64(len(trace.Cycles))-int64(shown))
 			break
+		}
+		if cyc.Phase != curPhase {
+			curPhase = cyc.Phase
+			fmt.Printf("------ phase: %s ------\n", curPhase)
 		}
 		cells := make([]string, *k)
 		for i := range cells {

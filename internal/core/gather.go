@@ -16,12 +16,12 @@ import (
 // two columns can read both. Dummy padding cells are never broadcast;
 // receivers observe silence. Total cost: O(n) messages and O(n/k + n_max)
 // cycles.
-func gatherSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []elem {
+func gatherSort(pr mcb.Node, mine []elem, rec *phaser, rep *Report) []elem {
 	id := pr.ID()
 	ni := len(mine)
 
-	g := formGroups(pr, ni, pr.K())
 	rec.mark("phase0a:formation")
+	g := formGroups(pr, ni, pr.K())
 	G := len(g.groups)
 	m := g.paddedColLen()
 	sh := matrix.Shape{M: m, K: G}
@@ -46,6 +46,7 @@ func gatherSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []ele
 	// Phase 0b: element collection, m cycles. Group members broadcast their
 	// elements consecutively on the group channel, offset by their prefix
 	// within the group; the representative (last member) listens.
+	rec.mark("phase0b:collection")
 	for c := 0; c < m; c++ {
 		switch {
 		case !isRep && c >= g.myOffset && c < g.myOffset+ni:
@@ -60,21 +61,19 @@ func gatherSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []ele
 			pr.Idle()
 		}
 	}
-	rec.mark("phase0b:collection")
 
 	// Phases 1-9 among representatives.
 	runColumnsortPhases(pr, sh, isRep, myCol, col, rec)
 
 	// Phase 10: redistribution.
-	out := redistribute(pr, sh, g, isRep, myCol, col, ni)
 	rec.mark("phase10:redistribution")
-	return out
+	return redistribute(pr, sh, g, isRep, myCol, col, ni)
 }
 
 // runColumnsortPhases executes the 9-phase pipeline with columns held at
 // representatives. Non-representatives idle through the transformation
 // cycles (they recompute the same schedules from the shared shape).
-func runColumnsortPhases(pr mcb.Node, sh matrix.Shape, isRep bool, myCol int, col []cell, rec *phaseRecorder) {
+func runColumnsortPhases(pr mcb.Node, sh matrix.Shape, isRep bool, myCol int, col []cell, rec *phaser) {
 	if sh.K == 1 {
 		if isRep {
 			sortCells(col)
@@ -95,8 +94,8 @@ func runColumnsortPhases(pr mcb.Node, sh matrix.Shape, isRep bool, myCol int, co
 				pr.Abortf("core: unknown transform %q", ph.Name)
 			}
 			sched := scheduleFor(sh, kind)
-			runTransform(pr, sh, ph.Transform, sched, isRep, myCol, col)
 			rec.mark("phase" + itoa(ph.Num) + ":" + ph.Name)
+			runTransform(pr, sh, ph.Transform, sched, isRep, myCol, col)
 		}
 	}
 }

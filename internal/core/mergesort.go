@@ -24,9 +24,10 @@ const (
 //
 // Complexity: 4 cycles and at most 4 messages per output element, plus the
 // O(p) list construction — O(n) cycles and messages total on one channel.
-func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
+func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaser) []elem {
 	p, id := pr.P(), pr.ID()
 	ni := len(mine)
+	rec.mark("mergesort:prefix+localsort")
 	prefix, n := prefixAndTotal(pr, ni)
 	lo, hi := prefix-ni, prefix
 
@@ -38,7 +39,6 @@ func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 	if p == 1 {
 		return in
 	}
-	rec.mark("mergesort:prefix+localsort")
 
 	// Linked-list state. A processor with no elements never joins the list
 	// (rank 0) and only observes.
@@ -50,6 +50,7 @@ func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 	// Initial construction: every processor broadcasts its top in id order
 	// (silence for an empty processor); all listeners fold each top into
 	// (rank, ptr) on the fly.
+	rec.mark("mergesort:list-construction")
 	var myTop elem
 	if ni > 0 {
 		myTop = inList[0]
@@ -76,7 +77,6 @@ func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 			ptr, hasPtr = e, true
 		}
 	}
-	rec.mark("mergesort:list-construction")
 
 	step := func(write bool, msg mcb.Message) (mcb.Message, bool) {
 		if write {
@@ -85,6 +85,7 @@ func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 		return pr.Read(0)
 	}
 
+	rec.mark("mergesort:rounds")
 	for r := 0; r < n; r++ {
 		isHead := rank == 1
 		isTarget := r >= lo && r < hi
@@ -177,7 +178,6 @@ func mergeSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 			}
 		}
 	}
-	rec.mark("mergesort:rounds")
 	return out
 }
 

@@ -51,12 +51,10 @@ func MultiSelect(inputs [][]int64, ds []int, opts SelectOptions) ([]int64, *Sele
 		in := inputs[i]
 		progs[i] = func(pr mcb.Node) {
 			mine := makeElems(id, in)
-			var rep *SelectReport
-			if id == 0 {
-				rep = report
-			}
 			for qi, d := range ds {
-				got := selectFiltering(pr, mine, d, threshold, rep)
+				// Per-query phase prefixes keep the queries' filter phases
+				// distinct in Stats.Phases (same-name phases merge).
+				got := selectFiltering(pr, mine, d, threshold, fmt.Sprintf("select:q%02d:", qi))
 				if id == 0 {
 					results[qi] = got.V
 				}
@@ -70,5 +68,6 @@ func MultiSelect(inputs [][]int64, ds []int, opts SelectOptions) ([]int64, *Sele
 	}
 	report.Stats = res.Stats
 	report.Trace = res.Trace
+	report.derivePhaseDiagnostics()
 	return results, report, nil
 }

@@ -58,7 +58,7 @@ func SelectNode(pr mcb.Node, vals []int64, d, threshold int) int64 {
 		}
 	}
 	mine := makeElems(pr.ID(), vals)
-	return selectFiltering(pr, mine, d, threshold, nil).V
+	return selectFiltering(pr, mine, d, threshold, "").V
 }
 
 // MaxNode returns the maximum element of the distributed set: a single

@@ -101,8 +101,9 @@ type Report struct {
 	Columns int
 	// ColumnLen is the padded column length m (0 for non-Columnsort).
 	ColumnLen int
-	// PhaseCycles maps phase labels to the cycle count spent, recorded at
-	// processor 0.
+	// PhaseCycles maps phase labels to the cycle count spent, derived from
+	// the engine's per-phase accounting (Stats.Phases carries the full
+	// breakdown including messages and per-channel counts).
 	PhaseCycles []PhaseCycle
 	// Trace is the engine trace when requested.
 	Trace *mcb.Trace
@@ -114,23 +115,29 @@ type PhaseCycle struct {
 	Cycles int64
 }
 
-// phaseRecorder accumulates phase boundaries at a single processor.
-type phaseRecorder struct {
-	proc mcb.Node
-	last int64
-	out  []PhaseCycle
-}
+// phaser forwards phase-start marks to the node's engine-side accounting
+// (mcb.Stats.Phases). A nil phaser silences marking, so an algorithm invoked
+// as a subroutine (e.g. the pair sort inside each selection filter phase)
+// does not split its caller's phase.
+type phaser struct{ pr mcb.Node }
 
-func newPhaseRecorder(p mcb.Node) *phaseRecorder {
-	return &phaseRecorder{proc: p}
-}
-
-// mark records the cycles consumed since the previous mark under label.
-func (r *phaseRecorder) mark(label string) {
-	if r == nil {
-		return
+// mark declares that the named phase starts with this processor's next
+// cycle operation.
+func (r *phaser) mark(label string) {
+	if r != nil {
+		r.pr.Phase(label)
 	}
-	now := r.proc.Cycles()
-	r.out = append(r.out, PhaseCycle{Label: label, Cycles: now - r.last})
-	r.last = now
+}
+
+// phaseCyclesFrom projects the engine's per-phase breakdown onto the legacy
+// label/cycles pairs of Report.PhaseCycles.
+func phaseCyclesFrom(phases []mcb.PhaseStats) []PhaseCycle {
+	if len(phases) == 0 {
+		return nil
+	}
+	out := make([]PhaseCycle, len(phases))
+	for i, ph := range phases {
+		out[i] = PhaseCycle{Label: ph.Name, Cycles: ph.Cycles}
+	}
+	return out
 }

@@ -34,11 +34,11 @@ func prefixAndTotal(pr mcb.Node, ni int) (prefix, n int) {
 // processor — elements already at their target move locally without a
 // message. 2n cycles (plus the Partial-Sums prologue) and at most 2n
 // messages; O(n_i) auxiliary words per processor.
-func rankSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
+func rankSortWhole(pr mcb.Node, mine []elem, rec *phaser) []elem {
 	ni := len(mine)
+	rec.mark("ranksort:prefix")
 	prefix, n := prefixAndTotal(pr, ni)
 	lo, hi := prefix-ni, prefix
-	rec.mark("ranksort:prefix")
 
 	// Local descending sort so each broadcast updates ranks in O(log n_i).
 	sorted := append([]elem(nil), mine...)
@@ -50,6 +50,7 @@ func rankSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 	// reads its own channel so all processors see the identical stream.
 	// rank(x) = #{e : e > x}; each broadcast e increments the rank of the
 	// suffix of sorted[] that is smaller than e.
+	rec.mark("ranksort:phaseA")
 	for t := 0; t < n; t++ {
 		var msg mcb.Message
 		var ok bool
@@ -73,10 +74,10 @@ func rankSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 		acc += diff[i]
 		ranks[i] = acc
 	}
-	rec.mark("ranksort:phaseA")
 
 	// Phase B: broadcast in rank order; target processors collect their
 	// segment [lo, hi).
+	rec.mark("ranksort:phaseB")
 	out := make([]elem, ni)
 	send := 0 // next local element (by ascending rank) to broadcast
 	for r := 0; r < n; r++ {
@@ -100,7 +101,6 @@ func rankSortWhole(pr mcb.Node, mine []elem, rec *phaseRecorder) []elem {
 			pr.Idle()
 		}
 	}
-	rec.mark("ranksort:phaseB")
 	pr.AccountAux(int64(-(3*ni + 1)))
 	return out
 }

@@ -24,7 +24,7 @@ import (
 //
 // Positions coincide with target ranks throughout (even distribution, no
 // padding), so no redistribution phase is needed.
-func recursiveSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []elem {
+func recursiveSort(pr mcb.Node, mine []elem, rec *phaser, rep *Report) []elem {
 	p, k := pr.P(), pr.K()
 	ni := len(mine)
 	cells := append([]elem(nil), mine...)
@@ -37,8 +37,8 @@ func recursiveSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []
 			rep.ColumnLen = p * ni / rep.Columns
 		}
 	}
-	st.sort(0, p, 0, k)
 	rec.mark("recursive-columnsort")
+	st.sort(0, p, 0, k)
 	return st.cells
 }
 

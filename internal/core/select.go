@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"time"
 
 	"mcbnet/internal/mcb"
@@ -50,7 +52,11 @@ type SelectOptions struct {
 	Trace        bool
 }
 
-// SelectReport carries the run statistics and filtering diagnostics.
+// SelectReport carries the run statistics and filtering diagnostics. The
+// diagnostics are derived from the engine's per-phase accounting
+// (Stats.Phases): candidate counts are globally known, so the filtering
+// program encodes them in its phase names and no side-channel counters are
+// needed.
 type SelectReport struct {
 	Stats     mcb.Stats
 	Algorithm SelectAlgorithm
@@ -62,7 +68,25 @@ type SelectReport struct {
 	// PurgeFractions[i] is the fraction of candidates purged by phase i
 	// (Figure 2's invariant: at least 1/4 unless the phase terminated).
 	PurgeFractions []float64
-	Trace          *mcb.Trace
+	// Filter is the per-filter-phase breakdown: candidates, purge fraction
+	// and the engine cost of each iteration.
+	Filter []FilterPhase
+	Trace  *mcb.Trace
+}
+
+// FilterPhase is the accounting of one filtering iteration, derived from the
+// engine phase of the same name.
+type FilterPhase struct {
+	// Name is the engine phase name (e.g. "select:filter:03:m=117").
+	Name string
+	// Candidates is the candidate count entering the iteration.
+	Candidates int
+	// PurgedFraction is the fraction of candidates the iteration purged
+	// (1 when it terminated by finding the answer).
+	PurgedFraction float64
+	// Cycles and Messages are the engine cost of the iteration.
+	Cycles   int64
+	Messages int64
 }
 
 // Select finds the value of descending rank opts.D among the elements
@@ -101,15 +125,11 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 		id := i
 		progs[i] = func(pr mcb.Node) {
 			mine := makeElems(id, in)
-			var rep *SelectReport
-			if id == 0 {
-				rep = report
-			}
 			var got elem
 			if opts.Algorithm == SelSortBaseline {
-				got = selectBySorting(pr, mine, opts.D)
+				got = selectBySorting(pr, mine, opts.D, "select:")
 			} else {
-				got = selectFiltering(pr, mine, opts.D, threshold, rep)
+				got = selectFiltering(pr, mine, opts.D, threshold, "select:")
 			}
 			if id == 0 {
 				result = got.V
@@ -123,7 +143,66 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 	}
 	report.Stats = res.Stats
 	report.Trace = res.Trace
+	report.derivePhaseDiagnostics()
 	return result, report, nil
+}
+
+// derivePhaseDiagnostics rebuilds the filtering diagnostics (FilterPhases,
+// Candidates, PurgeFractions, Filter) from Stats.Phases. The filtering
+// program encodes the globally known candidate count in each phase name
+// ("...filter:NN:m=M", "...collect:m=M"), so the purge fraction of phase i
+// is 1 - m_{i+1}/m_i; a "...found" phase closes its iteration with fraction
+// 1 (the iteration located the answer exactly).
+func (r *SelectReport) derivePhaseDiagnostics() {
+	prev := 0
+	open := false // a filter iteration awaiting its successor's count
+	closeWith := func(f float64) {
+		if !open {
+			return
+		}
+		r.Filter[len(r.Filter)-1].PurgedFraction = f
+		r.PurgeFractions = append(r.PurgeFractions, f)
+		open = false
+	}
+	for i := range r.Stats.Phases {
+		ph := &r.Stats.Phases[i]
+		switch {
+		case strings.Contains(ph.Name, "filter:"):
+			m, ok := phaseCandidates(ph.Name)
+			if !ok {
+				continue
+			}
+			closeWith(1 - float64(m)/float64(prev))
+			r.FilterPhases++
+			r.Candidates = append(r.Candidates, m)
+			r.Filter = append(r.Filter, FilterPhase{
+				Name: ph.Name, Candidates: m,
+				Cycles: ph.Cycles, Messages: ph.Messages,
+			})
+			prev = m
+			open = true
+		case strings.Contains(ph.Name, "collect:"):
+			m, ok := phaseCandidates(ph.Name)
+			if !ok {
+				continue
+			}
+			closeWith(1 - float64(m)/float64(prev))
+			r.Candidates = append(r.Candidates, m)
+		case strings.HasSuffix(ph.Name, "found"):
+			closeWith(1)
+		}
+	}
+}
+
+// phaseCandidates extracts the candidate count from a phase name carrying a
+// trailing "m=<count>".
+func phaseCandidates(name string) (int, bool) {
+	i := strings.LastIndex(name, "m=")
+	if i < 0 {
+		return 0, false
+	}
+	m, err := strconv.Atoi(name[i+2:])
+	return m, err == nil
 }
 
 // selectFiltering is the Section 8 algorithm. Every processor keeps its
@@ -135,17 +214,28 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 // it), count the candidates >= med* network-wide, then keep one side. At
 // least a quarter of the candidates are purged per phase; once at most m*
 // remain they are collected at P_1, which selects locally and broadcasts.
-func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, rep *SelectReport) elem {
+//
+// phases is the phase-name prefix for engine-side accounting: each filter
+// iteration is its own phase, named with the (globally known) candidate
+// count so diagnostics derive from mcb.Stats.Phases alone (see
+// SelectReport.derivePhaseDiagnostics). Empty disables marking, for use as
+// a subroutine inside another program's phases.
+func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, phases string) elem {
 	id := pr.ID()
 	cands := append([]elem(nil), mine...)
 	seq.Sort(cands, func(a, b elem) bool { return a.greater(b) })
 	pr.AccountAux(int64(len(cands)))
 
-	m := int(partial.Total(pr, int64(len(cands)), partial.Sum))
+	var m int
+	if phases != "" {
+		m = int(partial.PhasedTotal(pr, int64(len(cands)), partial.Sum, phases+"init"))
+	} else {
+		m = int(partial.Total(pr, int64(len(cands)), partial.Sum))
+	}
 
-	for m > threshold {
-		if rep != nil {
-			rep.Candidates = append(rep.Candidates, m)
+	for iter := 0; m > threshold; iter++ {
+		if phases != "" {
+			pr.Phase(fmt.Sprintf("%sfilter:%02d:m=%d", phases, iter, m))
 		}
 		// Local median: descending rank ceil(mi/2); a dummy below all real
 		// elements when no candidates remain here.
@@ -183,9 +273,11 @@ func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, rep *SelectRepo
 
 		switch {
 		case mGE == d:
-			if rep != nil {
-				rep.FilterPhases++
-				rep.PurgeFractions = append(rep.PurgeFractions, 1)
+			// med* is the answer: close this iteration's phase with a
+			// zero-cycle marker (it rides on the processor's next cycle op,
+			// the exit at the latest).
+			if phases != "" {
+				pr.Phase(phases + "found")
 			}
 			return medStar
 		case mGE > d:
@@ -196,28 +288,20 @@ func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, rep *SelectRepo
 				keep--
 			}
 			cands = cands[:keep]
-			if rep != nil {
-				rep.FilterPhases++
-				rep.PurgeFractions = append(rep.PurgeFractions, 1-float64(mGE-1)/float64(m))
-			}
 			m = mGE - 1
 		default:
 			// The target is below med*: purge everything >= med*.
 			cands = cands[localGE:]
-			if rep != nil {
-				rep.FilterPhases++
-				rep.PurgeFractions = append(rep.PurgeFractions, float64(mGE)/float64(m))
-			}
 			d -= mGE
 			m -= mGE
 		}
 	}
-	if rep != nil {
-		rep.Candidates = append(rep.Candidates, m)
-	}
 
 	// Termination: collect the m survivors at P_1 in prefix order; it
 	// selects rank d locally and broadcasts the result.
+	if phases != "" {
+		pr.Phase(fmt.Sprintf("%scollect:m=%d", phases, m))
+	}
 	before, _, _ := partial.Sums(pr, int64(len(cands)), partial.Sum)
 	offset := int(before)
 	var collected []elem
@@ -256,13 +340,23 @@ func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, rep *SelectRepo
 }
 
 // selectBySorting is the naive baseline: sort everything, then the processor
-// owning global rank d broadcasts it.
-func selectBySorting(pr mcb.Node, mine []elem, d int) elem {
+// owning global rank d broadcasts it. phases is the phase-name prefix for
+// engine-side accounting; empty disables marking.
+func selectBySorting(pr mcb.Node, mine []elem, d int, phases string) elem {
 	ni := len(mine)
+	if phases != "" {
+		pr.Phase(phases + "sort")
+	}
 	out := gatherSort(pr, mine, nil, nil)
 	// Recover my rank range: sorting preserves cardinalities, so it is the
 	// prefix of ni. One more Partial-Sums is cheap relative to the sort.
-	_, at, _ := partial.Sums(pr, int64(ni), partial.Sum)
+	var at int64
+	if phases != "" {
+		_, at, _ = partial.PhasedSums(pr, int64(ni), partial.Sum, phases+"rank")
+		pr.Phase(phases + "pick")
+	} else {
+		_, at, _ = partial.Sums(pr, int64(ni), partial.Sum)
+	}
 	lo := int(at) - ni
 	var msg mcb.Message
 	var ok bool

@@ -64,7 +64,6 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 	outputs := make([][]int64, p)
 	negate := opts.Order == Ascending
 
-	var rec *phaseRecorder
 	progs := make([]func(mcb.Node), p)
 	for i := range progs {
 		in := inputs[i]
@@ -78,11 +77,9 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 				}
 			}
 			mine := makeElems(id, vals)
-			var r *phaseRecorder
-			if id == 0 {
-				r = newPhaseRecorder(pr)
-				rec = r
-			}
+			// Every processor marks; markers carrying the same name in the
+			// same cycle coalesce at the engine.
+			r := &phaser{pr}
 			var sortedElems []elem
 			switch algo {
 			case AlgoColumnsortGather:
@@ -115,9 +112,7 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 	}
 	report.Stats = res.Stats
 	report.Trace = res.Trace
-	if rec != nil {
-		report.PhaseCycles = rec.out
-	}
+	report.PhaseCycles = phaseCyclesFrom(res.Stats.Phases)
 	return outputs, report, nil
 }
 

@@ -24,12 +24,12 @@ import (
 // resulting intra-column disorder is repaired by the next sorting phase; the
 // one exception, column 1 after Up-Shift (phase 7 skips it), is handled by
 // shifting back exactly the slots that received the wrapped elements.
-func virtualSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []elem {
+func virtualSort(pr mcb.Node, mine []elem, rec *phaser, rep *Report) []elem {
 	id := pr.ID()
 	ni := len(mine)
 
-	g := formGroups(pr, ni, pr.K())
 	rec.mark("formation")
+	g := formGroups(pr, ni, pr.K())
 	G := len(g.groups)
 	m := g.paddedColLen()
 	sh := matrix.Shape{M: m, K: G}
@@ -42,8 +42,8 @@ func virtualSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []el
 	if G == 1 {
 		// Single column: one group-wide Rank-Sort is the whole sort, and
 		// positions already equal global ranks.
-		vc.rankSort(pr, false)
 		rec.mark("single-column-ranksort")
+		vc.rankSort(pr, false)
 		return vc.ownedReal(pr)
 	}
 
@@ -51,8 +51,8 @@ func virtualSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []el
 		switch ph.Kind {
 		case matrix.PhaseSort:
 			skip := ph.SkipCol0 && vc.col == 0
-			vc.rankSort(pr, skip)
 			rec.mark("phase" + itoa(ph.Num) + ":ranksort")
+			vc.rankSort(pr, skip)
 		case matrix.PhaseTransform:
 			kind, ok := schedule.KindOf(ph.Name)
 			if !ok {
@@ -64,14 +64,13 @@ func virtualSort(pr mcb.Node, mine []elem, rec *phaseRecorder, rep *Report) []el
 			// (rows [m/2, m)); it must send those back instead of the
 			// canonical down-shift rows [0, m/2).
 			remap := ph.Num == 8
-			vc.runTransform(pr, sh, sched, remap)
 			rec.mark("phase" + itoa(ph.Num) + ":" + ph.Name)
+			vc.runTransform(pr, sh, sched, remap)
 		}
 	}
 
-	out := vc.redistribute(pr, sh, g, ni)
 	rec.mark("phase10:redistribution")
-	return out
+	return vc.redistribute(pr, sh, g, ni)
 }
 
 // virtualColumn is one processor's share of its group's column.

@@ -108,6 +108,10 @@ func (n *MCBNode) Abortf(format string, args ...any) {
 // MaxAux).
 func (n *MCBNode) AccountAux(delta int64) { n.aux += delta }
 
+// Phase is a no-op: the CREW machine owns the run accounting and has no
+// phase attribution of its own.
+func (n *MCBNode) Phase(name string) {}
+
 // MaxAux returns the current local auxiliary estimate.
 func (n *MCBNode) MaxAux() int64 { return n.aux }
 

@@ -94,10 +94,13 @@ func init() {
 			}
 			r := dist.NewRNG(6)
 			rep := mustSelect(dist.Values(r, dist.Even(n, p)), k, n/2, core.SelFiltering)
+			// Rendered from the engine's per-phase accounting (Stats.Phases
+			// via SelectReport.Filter): candidate counts, purge fractions and
+			// the cycle/message cost of each iteration come from one source.
 			tb := stats.NewTable(fmt.Sprintf("E6 per-phase candidate counts, n=%d p=%d k=%d d=n/2", n, p, k),
-				"phase", "candidates before", "purged fraction")
-			for i, f := range rep.PurgeFractions {
-				tb.AddRow(i+1, rep.Candidates[i], f)
+				"phase", "candidates before", "purged fraction", "cycles", "messages")
+			for i, f := range rep.Filter {
+				tb.AddRow(i+1, f.Candidates, f.PurgedFraction, f.Cycles, f.Messages)
 			}
 			summary := stats.NewTable("E6 summary", "quantity", "value")
 			minF := 1.0

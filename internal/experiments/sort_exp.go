@@ -45,6 +45,7 @@ func init() {
 				fmt.Sprintf("E1 even sort, p=%d k=%d (gather Columnsort)", p, k),
 				"n", "messages", "msgs/n", "cycles", "cycles/(n/k)", "LBmsg", "LBcyc")
 			var xs, msgsY, cycY []float64
+			var last *core.Report
 			for _, n := range ns {
 				r := dist.NewRNG(uint64(n))
 				card := dist.Even(n, p)
@@ -59,12 +60,26 @@ func init() {
 				xs = append(xs, float64(n))
 				msgsY = append(msgsY, float64(rep.Stats.Messages))
 				cycY = append(cycY, float64(rep.Stats.Cycles))
+				last = rep
 			}
 			fit := stats.NewTable("E1 growth fit (expect ~1.0 for both)",
 				"quantity", "loglog slope vs n")
 			fit.AddRow("messages", stats.LogLogSlope(xs, msgsY))
 			fit.AddRow("cycles", stats.LogLogSlope(xs, cycY))
-			return []*stats.Table{tb, fit}
+			// Per-phase breakdown at the largest n, straight from the
+			// engine's phase accounting: gather and scatter dominate, the
+			// nine Columnsort phases are the cheap middle.
+			ph := stats.NewTable(
+				fmt.Sprintf("E1b per-phase breakdown at n=%d (engine Stats.Phases)", ns[len(ns)-1]),
+				"phase", "cycles", "cyc%", "messages", "msg%", "utilization")
+			for _, f := range last.Stats.Phases {
+				ph.AddRow(f.Name, f.Cycles,
+					100*float64(f.Cycles)/float64(last.Stats.Cycles),
+					f.Messages,
+					100*float64(f.Messages)/float64(last.Stats.Messages),
+					f.Utilization)
+			}
+			return []*stats.Table{tb, fit, ph}
 		})
 
 	register("E2",

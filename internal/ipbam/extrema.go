@@ -204,5 +204,9 @@ func (n *MCBNode) Abortf(format string, args ...any) { n.pr.Abortf(format, args.
 // AccountAux tracks the auxiliary estimate locally.
 func (n *MCBNode) AccountAux(delta int64) { n.aux += delta }
 
+// Phase is a no-op: the IPBAM run owns the slot accounting and has no
+// phase attribution of its own.
+func (n *MCBNode) Phase(name string) {}
+
 // Cycles returns the number of slots used through this adapter.
 func (n *MCBNode) Cycles() int64 { return n.cycle }

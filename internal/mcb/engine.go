@@ -16,8 +16,9 @@ type Config struct {
 	K int
 	// Trace enables full per-cycle traffic recording (expensive; tests only).
 	Trace bool
-	// MaxCycles aborts the run once this many cycles have elapsed.
-	// Zero means no limit.
+	// MaxCycles aborts the run once this many cycles have elapsed: the run
+	// executes exactly MaxCycles cycles, then fails before delivering the
+	// results of the last one. Zero means no limit.
 	MaxCycles int64
 	// StallTimeout aborts the run if no cycle completes for this long,
 	// which indicates a processor program that stopped issuing cycle
@@ -78,6 +79,7 @@ type cycleOp struct {
 	writeCh int32
 	readCh  int32
 	msg     Message
+	phases  []string // phase markers queued via Proc.Phase, consumed by resolve
 }
 
 type readResult struct {
@@ -109,6 +111,8 @@ type engine struct {
 
 	cycles   atomic.Int64 // progress counter for the watchdog
 	stats    Stats
+	phaseIdx map[string]int // phase name -> index in stats.Phases
+	curPhase int            // index of the active phase, -1 before any marker
 	trace    *Trace
 	failed   atomic.Bool
 	abortErr error
@@ -180,20 +184,56 @@ func (e *engine) step(id int, op cycleOp) readResult {
 	return e.results[id]
 }
 
+// switchPhase makes name the active accounting phase, creating its Stats
+// entry on first sight. Re-marking the active phase is a no-op; segments
+// sharing a name share one entry.
+func (e *engine) switchPhase(name string) {
+	if e.curPhase >= 0 && e.stats.Phases[e.curPhase].Name == name {
+		return
+	}
+	idx, ok := e.phaseIdx[name]
+	if !ok {
+		idx = len(e.stats.Phases)
+		e.stats.Phases = append(e.stats.Phases, PhaseStats{Name: name})
+		e.phaseIdx[name] = idx
+	}
+	e.curPhase = idx
+}
+
 // resolve is executed by exactly one goroutine per cycle (the last arriver)
 // and is therefore free of data races. It processes the submitted ops in
 // processor-id order, making runs deterministic.
+//
+// Invariant: Stats reflects only fully resolved cycles. Validation (channel
+// range, collision-freedom, the message-size budget) runs before any counter
+// is touched, so a run that aborts mid-cycle leaves no partial increments
+// from the failed cycle behind.
 func (e *engine) resolve(g *generation) {
 	p := e.cfg.P
 	for c := range e.chWriter {
 		e.chWriter[c] = -1
 	}
+	// Phase markers: consumed up front, in processor-id order, so an entry
+	// exists even for a zero-traffic phase (a marker riding on the final
+	// exit op still registers).
+	for id := 0; id < p; id++ {
+		if !e.live[id] {
+			continue
+		}
+		for _, name := range e.slots[id].phases {
+			e.switchPhase(name)
+		}
+	}
 	sawWork := false
 	var tr *CycleTrace
 	if e.trace != nil {
 		tr = &CycleTrace{Cycle: e.stats.Cycles}
+		if e.curPhase >= 0 {
+			tr.Phase = e.stats.Phases[e.curPhase].Name
+		}
 	}
-	// Pass 1: writes, collision detection.
+	// Pass 1: writes — register into the channel slots and validate, but do
+	// not touch Stats yet (see the invariant above).
 	for id := 0; id < p; id++ {
 		if !e.live[id] {
 			continue
@@ -213,20 +253,14 @@ func (e *engine) resolve(g *generation) {
 				close(g.ch)
 				return
 			}
+			if a := op.msg.maxAbs(); e.cfg.MaxAbs > 0 && a > e.cfg.MaxAbs {
+				e.abort(fmt.Errorf("%w: processor %d broadcast a payload of magnitude %d, exceeding the message-size budget %d",
+					ErrAborted, id, a, e.cfg.MaxAbs))
+				close(g.ch)
+				return
+			}
 			e.chWriter[c] = id
 			e.chMsg[c] = op.msg
-			e.stats.Messages++
-			e.stats.PerProc[id]++
-			e.stats.PerChannel[c]++
-			if a := op.msg.maxAbs(); a > e.stats.MaxAbs {
-				e.stats.MaxAbs = a
-				if e.cfg.MaxAbs > 0 && a > e.cfg.MaxAbs {
-					e.abort(fmt.Errorf("%w: processor %d broadcast a payload of magnitude %d, exceeding the message-size budget %d",
-						ErrAborted, id, a, e.cfg.MaxAbs))
-					close(g.ch)
-					return
-				}
-			}
 			if tr != nil {
 				tr.Writes = append(tr.Writes, WriteEvent{Proc: id, Ch: c, Msg: op.msg})
 			}
@@ -267,14 +301,41 @@ func (e *engine) resolve(g *generation) {
 			e.liveN--
 		}
 	}
+	// Commit: the cycle resolved without failure, so fold its traffic into
+	// Stats (and the active phase) now.
+	var ph *PhaseStats
+	if e.curPhase >= 0 {
+		ph = &e.stats.Phases[e.curPhase]
+	}
+	for c, id := range e.chWriter {
+		if id < 0 {
+			continue
+		}
+		e.stats.Messages++
+		e.stats.PerProc[id]++
+		e.stats.PerChannel[c]++
+		if a := e.chMsg[c].maxAbs(); a > e.stats.MaxAbs {
+			e.stats.MaxAbs = a
+		}
+		if ph != nil {
+			ph.Messages++
+			if ph.PerChannel == nil {
+				ph.PerChannel = make([]int64, e.cfg.K)
+			}
+			ph.PerChannel[c]++
+		}
+	}
 	if sawWork {
 		e.stats.Cycles++
 		e.cycles.Store(e.stats.Cycles)
+		if ph != nil {
+			ph.Cycles++
+		}
 		if tr != nil {
 			e.trace.Cycles = append(e.trace.Cycles, *tr)
 		}
 	}
-	if e.cfg.MaxCycles > 0 && e.stats.Cycles > e.cfg.MaxCycles {
+	if e.cfg.MaxCycles > 0 && e.stats.Cycles >= e.cfg.MaxCycles {
 		e.abort(fmt.Errorf("%w: cycle limit %d exceeded", ErrAborted, e.cfg.MaxCycles))
 		close(g.ch)
 		return
@@ -292,11 +353,30 @@ func (e *engine) resolve(g *generation) {
 	close(g.ch)
 }
 
+// finalize folds the cross-goroutine watermarks and the derived per-phase
+// utilization into Stats. Called once, after every processor goroutine has
+// stopped.
+func (e *engine) finalize() {
+	if aux := e.maxAux.Load(); aux > e.stats.MaxAux {
+		e.stats.MaxAux = aux
+	}
+	for i := range e.stats.Phases {
+		ph := &e.stats.Phases[i]
+		if ph.Cycles > 0 {
+			ph.Utilization = float64(ph.Messages) / (float64(ph.Cycles) * float64(e.cfg.K))
+		}
+	}
+}
+
 // Run executes one program per processor on an MCB(cfg.P, cfg.K) network.
 // programs[i] runs as processor i; it must follow the lock-step discipline
 // of issuing exactly one cycle operation (WriteRead, Write, Read or Idle)
 // whenever any other live processor does. Run returns when every program
 // has returned, or with an error on collision, abort, panic or stall.
+//
+// On failure the error is accompanied by a partial *Result covering the
+// cycles that completed before the abort, when the engine could collect it
+// safely; the Result is nil if a processor goroutine could not be stopped.
 func Run(cfg Config, programs []func(Node)) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -311,6 +391,8 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		live:     make([]bool, cfg.P),
 		chWriter: make([]int, cfg.K),
 		chMsg:    make([]Message, cfg.K),
+		phaseIdx: make(map[string]int),
+		curPhase: -1,
 		aborted:  make(chan struct{}),
 		allDone:  make(chan struct{}),
 	}
@@ -364,11 +446,10 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		case <-e.allDone:
 			wg.Wait()
 			if err := e.abortError(); err != nil {
-				return nil, err
+				e.finalize()
+				return &Result{Stats: e.stats, Trace: e.trace}, err
 			}
-			if aux := e.maxAux.Load(); aux > e.stats.MaxAux {
-				e.stats.MaxAux = aux
-			}
+			e.finalize()
 			return &Result{Stats: e.stats, Trace: e.trace}, nil
 		case <-e.aborted:
 			// Give processor goroutines a chance to unwind; those blocked in
@@ -380,9 +461,14 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 			go func() { wg.Wait(); close(unwound) }()
 			select {
 			case <-unwound:
+				// Every goroutine unwound, so Stats is quiescent: return it
+				// alongside the error. It covers completed cycles only.
+				e.finalize()
+				return &Result{Stats: e.stats, Trace: e.trace}, e.abortError()
 			case <-time.After(2 * time.Second):
+				// A goroutine may still be running; touching Stats would race.
+				return nil, e.abortError()
 			}
-			return nil, e.abortError()
 		case <-timer.C:
 			if c := e.cycles.Load(); c == last {
 				e.abort(fmt.Errorf("%w: no cycle completed in %v (processor stopped issuing cycle ops?)", ErrAborted, stall))

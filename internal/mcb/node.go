@@ -28,6 +28,9 @@ type Node interface {
 	Abortf(format string, args ...any)
 	// AccountAux adjusts the auxiliary-memory estimate by delta words.
 	AccountAux(delta int64)
+	// Phase marks the start of a named accounting phase (see Proc.Phase).
+	// Implementations without phase accounting treat it as a no-op.
+	Phase(name string)
 	// Cycles returns the number of cycles this processor has participated
 	// in so far.
 	Cycles() int64
@@ -54,6 +57,10 @@ func (v *VProc) Abortf(format string, args ...any) {
 // AccountAux is a no-op under simulation (the host engine owns the
 // accounting and cannot attribute virtual memory).
 func (v *VProc) AccountAux(delta int64) {}
+
+// Phase is a no-op under simulation: the host engine owns the accounting,
+// and phases of the simulated network would misattribute the host's cycles.
+func (v *VProc) Phase(name string) {}
 
 // Cycles returns the number of virtual cycles this processor has
 // participated in.

@@ -12,8 +12,9 @@ type Proc struct {
 	id int
 	e  *engine
 
-	auxWords int64 // current auxiliary-memory estimate (words), see AccountAux
-	steps    int64 // cycles this processor has participated in
+	auxWords int64    // current auxiliary-memory estimate (words), see AccountAux
+	steps    int64    // cycles this processor has participated in
+	pending  []string // phase markers to attach to the next cycle op, see Phase
 }
 
 // Cycles returns the number of cycles this processor has participated in so
@@ -30,34 +31,54 @@ func (p *Proc) P() int { return p.e.cfg.P }
 // K returns the number of broadcast channels.
 func (p *Proc) K() int { return p.e.cfg.K }
 
+// Phase marks the start of a named accounting phase. The marker rides on
+// this processor's next cycle operation; from the cycle that operation
+// belongs to onward, the engine attributes cycles and messages to the named
+// phase (Stats.Phases) until another marker takes over. Marking costs no
+// cycles and no messages. Any processor may mark; in a lock-step algorithm
+// all processors reach a boundary in the same cycle, so markers from
+// different processors carrying the same name coalesce. Repeating the
+// current phase's name is a no-op; segments sharing a name merge into one
+// Stats entry.
+func (p *Proc) Phase(name string) {
+	p.pending = append(p.pending, name)
+}
+
+// takePending detaches the queued phase markers for the next cycle op.
+func (p *Proc) takePending() []string {
+	m := p.pending
+	p.pending = nil
+	return m
+}
+
 // WriteRead broadcasts m on channel writeCh and reads channel readCh in the
 // same cycle. It returns the message observed on readCh and whether the
 // channel was written at all this cycle (ok=false reports silence). Reading
 // the channel just written observes the processor's own message.
 func (p *Proc) WriteRead(writeCh int, m Message, readCh int) (Message, bool) {
 	p.steps++
-	r := p.e.step(p.id, cycleOp{kind: opWriteRead, writeCh: int32(writeCh), readCh: int32(readCh), msg: m})
+	r := p.e.step(p.id, cycleOp{kind: opWriteRead, writeCh: int32(writeCh), readCh: int32(readCh), msg: m, phases: p.takePending()})
 	return r.msg, r.ok
 }
 
 // Write broadcasts m on channel writeCh and does not read this cycle.
 func (p *Proc) Write(writeCh int, m Message) {
 	p.steps++
-	p.e.step(p.id, cycleOp{kind: opWrite, writeCh: int32(writeCh), msg: m})
+	p.e.step(p.id, cycleOp{kind: opWrite, writeCh: int32(writeCh), msg: m, phases: p.takePending()})
 }
 
 // Read reads channel readCh this cycle without writing. ok=false reports
 // that no processor wrote the channel (silence).
 func (p *Proc) Read(readCh int) (Message, bool) {
 	p.steps++
-	r := p.e.step(p.id, cycleOp{kind: opRead, readCh: int32(readCh)})
+	r := p.e.step(p.id, cycleOp{kind: opRead, readCh: int32(readCh), phases: p.takePending()})
 	return r.msg, r.ok
 }
 
 // Idle spends one cycle without touching any channel.
 func (p *Proc) Idle() {
 	p.steps++
-	p.e.step(p.id, cycleOp{kind: opIdle})
+	p.e.step(p.id, cycleOp{kind: opIdle, phases: p.takePending()})
 }
 
 // IdleN spends n cycles idle. n <= 0 is a no-op.
@@ -93,5 +114,5 @@ func (p *Proc) AccountAux(delta int64) {
 // exiting is swallowed: the engine result is already determined.
 func (p *Proc) exit() {
 	defer func() { _ = recover() }()
-	p.e.step(p.id, cycleOp{kind: opExit})
+	p.e.step(p.id, cycleOp{kind: opExit, phases: p.takePending()})
 }

@@ -21,6 +21,55 @@ type Stats struct {
 	// MaxAux is the largest auxiliary-memory watermark (in words) reported
 	// by any processor via Proc.AccountAux. Zero if never reported.
 	MaxAux int64
+	// Phases is the per-phase breakdown of Cycles and Messages, recorded by
+	// the engine from Proc.Phase markers. Empty if no program ever marked a
+	// phase. Segments sharing a name are merged into one entry; entries keep
+	// first-seen order.
+	Phases []PhaseStats
+}
+
+// PhaseStats is the accounting of one named phase of a run: every cycle and
+// message between this phase's marker and the next one is attributed here.
+// Repeated segments with the same name (e.g. a sort invoked twice) merge
+// into a single entry.
+type PhaseStats struct {
+	Name     string `json:"name"`
+	Cycles   int64  `json:"cycles"`
+	Messages int64  `json:"messages"`
+	// PerChannel[c] is the number of messages carried by channel c during
+	// this phase. Nil if the phase broadcast nothing.
+	PerChannel []int64 `json:"per_channel,omitempty"`
+	// Utilization is Messages / (Cycles * k): the fraction of channel-cycles
+	// carrying a message while this phase was active.
+	Utilization float64 `json:"utilization"`
+}
+
+func (p *PhaseStats) clone() PhaseStats {
+	c := *p
+	c.PerChannel = append([]int64(nil), p.PerChannel...)
+	return c
+}
+
+// merge folds t into p (summing counters) and recomputes Utilization from
+// the merged totals, inferring k from the channel vector.
+func (p *PhaseStats) merge(t *PhaseStats) {
+	p.Cycles += t.Cycles
+	p.Messages += t.Messages
+	p.PerChannel = addVec(p.PerChannel, t.PerChannel)
+	p.Utilization = 0
+	if k := len(p.PerChannel); k > 0 && p.Cycles > 0 {
+		p.Utilization = float64(p.Messages) / (float64(p.Cycles) * float64(k))
+	}
+}
+
+// PhaseByName returns the phase entry with the given name, or nil.
+func (s *Stats) PhaseByName(name string) *PhaseStats {
+	for i := range s.Phases {
+		if s.Phases[i].Name == name {
+			return &s.Phases[i]
+		}
+	}
+	return nil
 }
 
 func (s *Stats) String() string {
@@ -41,6 +90,14 @@ func (s *Stats) Add(t *Stats) {
 	}
 	s.PerProc = addVec(s.PerProc, t.PerProc)
 	s.PerChannel = addVec(s.PerChannel, t.PerChannel)
+	for i := range t.Phases {
+		tp := &t.Phases[i]
+		if sp := s.PhaseByName(tp.Name); sp != nil {
+			sp.merge(tp)
+		} else {
+			s.Phases = append(s.Phases, tp.clone())
+		}
+	}
 }
 
 func addVec(a, b []int64) []int64 {
@@ -69,9 +126,12 @@ type ReadEvent struct {
 	OK   bool
 }
 
-// CycleTrace records all traffic of one cycle.
+// CycleTrace records all traffic of one cycle. Phase is the name of the
+// accounting phase active during the cycle (empty before the first
+// Proc.Phase marker).
 type CycleTrace struct {
 	Cycle  int64
+	Phase  string
 	Writes []WriteEvent
 	Reads  []ReadEvent
 }

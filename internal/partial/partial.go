@@ -75,6 +75,46 @@ func Sums(p mcb.Node, a int64, op Op) (before, at, next int64) {
 	return before, at, next
 }
 
+// PhasedSums is Sums with phase accounting: the tree simulation is marked
+// prefix+":tree" and the neighbor exchange prefix+":neighbor" (see
+// mcb.Proc.Phase). Every processor marks; same-name markers coalesce.
+func PhasedSums(p mcb.Node, a int64, op Op, prefix string) (before, at, next int64) {
+	p.Phase(prefix + ":tree")
+	before = bottomUpTopDown(p, a, op)
+	at = op.Apply(before, a)
+	p.Phase(prefix + ":neighbor")
+	next = neighborFromRight(p, at)
+	if p.ID() == p.P()-1 {
+		next = op.Identity // no right neighbor
+	}
+	return before, at, next
+}
+
+// PhasedTotal is Total with phase accounting: the bottom-up tree simulation
+// is marked prefix+":tree" and the root broadcast prefix+":broadcast".
+func PhasedTotal(p mcb.Node, a int64, op Op, prefix string) int64 {
+	P := p.P()
+	if P == 1 {
+		return a
+	}
+	p.Phase(prefix + ":tree")
+	nodeVal := bottomUp(p, a, op)
+	L := levels(P)
+	p.Phase(prefix + ":broadcast")
+	var total int64
+	if p.ID() == 0 {
+		total = nodeVal[L]
+		p.Write(0, mcb.MsgX(tagPartial, total))
+	} else {
+		m, ok := p.Read(0)
+		if !ok {
+			p.Abortf("partial: missing total broadcast")
+		}
+		total = m.X
+	}
+	return total
+}
+
 // SumsNoNeighbor is Sums without the final neighbor exchange (saves p
 // messages and ceil(p/k) cycles when a⊕_{i+1} is not needed).
 func SumsNoNeighbor(p mcb.Node, a int64, op Op) (before, at int64) {

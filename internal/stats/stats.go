@@ -52,15 +52,22 @@ func formatFloat(x float64) string {
 	}
 }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Rows wider than the header
+// are allowed; the extra columns get empty headers.
 func (t *Table) String() string {
-	width := make([]int, len(t.Headers))
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
 	for i, h := range t.Headers {
 		width[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
+			if len(c) > width[i] {
 				width[i] = len(c)
 			}
 		}
@@ -79,7 +86,7 @@ func (t *Table) String() string {
 		b.WriteByte('\n')
 	}
 	writeRow(t.Headers)
-	sep := make([]string, len(t.Headers))
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", width[i])
 	}

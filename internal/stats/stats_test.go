@@ -23,6 +23,26 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableRaggedRows(t *testing.T) {
+	// Rows may be wider than the header (the extra columns get empty
+	// headers) or narrower; rendering must handle both without panicking.
+	tb := NewTable("ragged", "a", "b")
+	tb.AddRow(1, 2, 33333, 4)
+	tb.AddRow(5)
+	s := tb.String()
+	if !strings.Contains(s, "33333") || !strings.Contains(s, "4") {
+		t.Errorf("extra columns missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// The separator must span the widest row, not just the header.
+	if !strings.Contains(lines[2], "-----") {
+		t.Errorf("separator does not cover the extra columns:\n%s", s)
+	}
+}
+
 func TestLogLogSlope(t *testing.T) {
 	// y = 3x^2 -> slope 2.
 	xs := []float64{1, 2, 4, 8, 16}
