@@ -5,11 +5,18 @@
 //
 //	mcbselect -n 65536 -p 16 -k 8 [-d 0] [-algo filter|sort]
 //	          [-dist even|random|oneheavy|geometric] [-seed 1] [-v] [-json]
+//	          [-fault-rate 0.01 -fault-seed 7 -retries 3 [-degrade]]
 //
 // -d is the descending rank (1 = maximum); 0 means the median. -v prints
 // the per-phase candidate counts and purge fractions (Figure 2). -json
 // replaces the text output with a machine-readable mcb.Report whose phases
 // carry the per-filter-iteration costs and candidate counts.
+//
+// -fault-rate enables deterministic seeded fault injection (drops plus
+// checksum-guarded corruptions) and -retries the verify-and-retry layer:
+// every accepted answer is re-checked by rank recount. -degrade additionally
+// continues after processor crash-stops with the dead processors' elements
+// given up (rank -d is then taken over the survivors).
 package main
 
 import (
@@ -35,6 +42,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print filtering phase details")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	faultRate := flag.Float64("fault-rate", 0, "per-delivery drop and corruption probability (0 = no fault injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (independent of the workload seed)")
+	retries := flag.Int("retries", 1, "max verify-and-retry attempts (1 = single unverified run)")
+	degrade := flag.Bool("degrade", false, "continue after processor crashes with the dead processors' elements given up")
 	flag.Parse()
 
 	rank := *d
@@ -55,10 +66,30 @@ func main() {
 	}
 	inputs := dist.Values(dist.NewRNG(*seed), card)
 
-	start := time.Now()
-	val, rep, err := core.Select(inputs, core.SelectOptions{
+	opts := core.SelectOptions{
 		K: *k, D: rank, Algorithm: algo, StallTimeout: 5 * time.Minute,
-	})
+	}
+	faulted := *faultRate > 0
+	if faulted {
+		opts.Faults = &mcb.FaultPlan{
+			Seed:        *faultSeed,
+			DropRate:    *faultRate,
+			CorruptRate: *faultRate,
+			Checksum:    true,
+		}
+		opts.MaxCycles = 64*int64(*n) + 1<<20
+	}
+	start := time.Now()
+	var (
+		val int64
+		rep *core.SelectReport
+	)
+	if faulted || *retries > 1 {
+		opts.Retry = mcb.RetryPolicy{MaxAttempts: *retries, DegradeOnCrash: *degrade}
+		val, rep, err = core.SelectWithRetry(inputs, opts)
+	} else {
+		val, rep, err = core.Select(inputs, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +97,7 @@ func main() {
 
 	if *jsonOut {
 		jr := mcb.NewReport(mcb.Config{P: *p, K: *k}, &rep.Stats)
+		jr.Attempts = rep.Attempts
 		jr.Extra = map[string]any{
 			"op":              "select",
 			"n":               *n,
@@ -78,6 +110,13 @@ func main() {
 			"candidates":      rep.Candidates,
 			"purge_fractions": rep.PurgeFractions,
 			"wall_ms":         wall.Milliseconds(),
+		}
+		if faulted {
+			jr.Extra["fault_rate"] = *faultRate
+			jr.Extra["fault_seed"] = *faultSeed
+		}
+		if len(rep.DeadProcs) > 0 {
+			jr.Extra["dead_procs"] = rep.DeadProcs
 		}
 		if err := jr.WriteJSON(os.Stdout); err != nil {
 			fatal(err)
@@ -93,6 +132,14 @@ func main() {
 		adversary.SelectionMessagesLB(card, rank),
 		adversary.SelectionCyclesLB(card, rank, *k))
 	fmt.Printf("filtering phases: %d; wall time %v\n", rep.FilterPhases, wall.Round(time.Millisecond))
+	if rep.Attempts > 1 || rep.Stats.Faults.Total() > 0 {
+		f := &rep.Stats.Faults
+		fmt.Printf("faults (final attempt %d of %d): %d dropped, %d corrupted (%d detected), %d crash(es)\n",
+			rep.Attempts, *retries, f.Drops, f.Corruptions+f.Detected, f.Detected, len(f.Crashes))
+	}
+	if len(rep.DeadProcs) > 0 {
+		fmt.Printf("degraded: gave up on processors %v; rank taken over survivors\n", rep.DeadProcs)
+	}
 
 	if *verbose && rep.FilterPhases > 0 {
 		fmt.Println("\nfiltering phases (Figure 2):")

@@ -5,11 +5,21 @@
 //
 //	mcbsort -n 65536 -p 16 -k 8 [-algo auto|gather|virtual|rank|merge|recursive]
 //	        [-dist even|random|oneheavy|geometric] [-seed 1] [-asc] [-v] [-json]
+//	        [-fault-rate 0.01 -fault-seed 7 -retries 3]
 //
 // The workload is generated deterministically from -seed; -v prints the
 // per-phase cycle breakdown and the sorted boundaries of each processor.
 // -json replaces the text output with a machine-readable mcb.Report
 // (including the per-phase breakdown) on stdout.
+//
+// -fault-rate enables deterministic fault injection: every message delivery
+// is dropped or corrupted with the given probability, seeded by -fault-seed
+// (checksums detect corruptions, so they read as silence). -retries runs the
+// verify-and-retry layer: each attempt's output is verified and faulted
+// attempts are re-executed under a re-derived fault plan; the report then
+// carries attempts and fault counts. Note a fixed per-message rate compounds
+// over the ~n deliveries of a sort, so recovery demos want small n, e.g.
+// mcbsort -n 64 -p 8 -k 4 -fault-rate 0.01 -retries 8.
 package main
 
 import (
@@ -35,6 +45,9 @@ func main() {
 	asc := flag.Bool("asc", false, "sort ascending instead of the paper's descending order")
 	verbose := flag.Bool("v", false, "print phase breakdown and processor boundaries")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+	faultRate := flag.Float64("fault-rate", 0, "per-delivery drop and corruption probability (0 = no fault injection)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (independent of the workload seed)")
+	retries := flag.Int("retries", 1, "max verify-and-retry attempts (1 = single unverified run)")
 	flag.Parse()
 
 	algorithm, err := parseAlgo(*algo)
@@ -52,8 +65,30 @@ func main() {
 	if *asc {
 		opts.Order = core.Ascending
 	}
+	faulted := *faultRate > 0
+	if faulted {
+		opts.Faults = &mcb.FaultPlan{
+			Seed:        *faultSeed,
+			DropRate:    *faultRate,
+			CorruptRate: *faultRate,
+			Checksum:    true,
+		}
+		// Dropped messages can wedge or derail a lock-step protocol; a cycle
+		// budget turns runaway runs into a typed BudgetError the retry layer
+		// can act on.
+		opts.MaxCycles = 64*int64(*n) + 1<<20
+	}
 	start := time.Now()
-	outputs, rep, err := core.Sort(inputs, opts)
+	var (
+		outputs [][]int64
+		rep     *core.Report
+	)
+	if faulted || *retries > 1 {
+		opts.Retry = mcb.RetryPolicy{MaxAttempts: *retries}
+		outputs, rep, err = core.SortWithRetry(inputs, opts)
+	} else {
+		outputs, rep, err = core.Sort(inputs, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -61,6 +96,7 @@ func main() {
 
 	if *jsonOut {
 		jr := mcb.NewReport(mcb.Config{P: *p, K: *k}, &rep.Stats)
+		jr.Attempts = rep.Attempts
 		jr.Extra = map[string]any{
 			"op":        "sort",
 			"n":         *n,
@@ -68,6 +104,10 @@ func main() {
 			"dist":      *distName,
 			"seed":      *seed,
 			"wall_ms":   wall.Milliseconds(),
+		}
+		if faulted {
+			jr.Extra["fault_rate"] = *faultRate
+			jr.Extra["fault_seed"] = *faultSeed
 		}
 		if rep.Columns > 0 {
 			jr.Extra["columns"] = rep.Columns
@@ -88,6 +128,11 @@ func main() {
 	fmt.Printf("lower bounds: %.0f messages, %.0f cycles (Sec 4)\n",
 		adversary.SortingMessagesLB(card), adversary.SortingCyclesLB(card, *k))
 	fmt.Printf("max aux memory: %d words; wall time %v\n", rep.Stats.MaxAux, wall.Round(time.Millisecond))
+	if rep.Attempts > 1 || rep.Stats.Faults.Total() > 0 {
+		f := &rep.Stats.Faults
+		fmt.Printf("faults (final attempt %d of %d): %d dropped, %d corrupted (%d detected), %d crash(es)\n",
+			rep.Attempts, *retries, f.Drops, f.Corruptions+f.Detected, f.Detected, len(f.Crashes))
+	}
 
 	if *verbose {
 		fmt.Println("\nphase breakdown (cycles):")

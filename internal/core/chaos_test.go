@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcbnet/internal/mcb"
+)
+
+// This file is the chaos suite of the failure plane: hundreds of randomized
+// (but seeded — every failure is replayable from the iteration's plan)
+// fault plans against the sorting and selection stacks, asserting the
+// robustness contract:
+//
+//   - every run returns either a verified-correct result or a typed error
+//     from the mcb taxonomy — never a silent wrong answer;
+//   - no run deadlocks: a StallError (the lock-step protocols never block
+//     outside the engine barrier, so a stall is the deadlock proxy) fails
+//     the suite, and every run finishes within the watchdog budget;
+//   - partial Stats accompanying failures stay consistent (per-processor
+//     and per-channel message counts each sum to the message total);
+//   - no processor goroutines leak across runs.
+
+// chaosPlan draws a random fault plan. Rates are kept low enough that a
+// retry has a fighting chance, and high enough that a fair share of runs
+// fault; scripted outages and crashes are mixed in.
+func chaosPlan(r *rand.Rand, p, k int) *mcb.FaultPlan {
+	plan := &mcb.FaultPlan{Seed: r.Uint64(), Checksum: r.Float64() < 0.75}
+	if r.Float64() < 0.5 {
+		plan.DropRate = r.Float64() * 0.03
+	}
+	if r.Float64() < 0.4 {
+		plan.CorruptRate = r.Float64() * 0.03
+	}
+	if r.Float64() < 0.3 {
+		from := int64(r.Intn(300))
+		plan.Outages = append(plan.Outages, mcb.Outage{
+			Ch:   r.Intn(k),
+			From: from,
+			To:   from + int64(1+r.Intn(40)),
+		})
+	}
+	if r.Float64() < 0.3 {
+		plan.Crashes = append(plan.Crashes, mcb.Crash{
+			Proc:  r.Intn(p),
+			Cycle: int64(r.Intn(200)),
+		})
+	}
+	return plan
+}
+
+// chaosInputs draws ~n small values spread over p processors (empty
+// processors allowed, at least one element total).
+func chaosInputs(r *rand.Rand, p, n int) [][]int64 {
+	inputs := make([][]int64, p)
+	for i := 0; i < n; i++ {
+		id := r.Intn(p)
+		inputs[id] = append(inputs[id], r.Int63n(200)-100)
+	}
+	if total(inputs) == 0 {
+		inputs[0] = append(inputs[0], r.Int63n(200)-100)
+	}
+	return inputs
+}
+
+func total(inputs [][]int64) int {
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	return n
+}
+
+// requireTypedFailure asserts err belongs to the typed taxonomy and is not a
+// stall (the deadlock proxy).
+func requireTypedFailure(t *testing.T, iter int, err error) {
+	t.Helper()
+	var se *mcb.StallError
+	if errors.As(err, &se) {
+		t.Fatalf("iteration %d: chaos run stalled (deadlock proxy): %v", iter, err)
+	}
+	var col *mcb.CollisionError
+	if !errors.Is(err, mcb.ErrAborted) && !errors.As(err, &col) {
+		t.Fatalf("iteration %d: untyped failure %T: %v", iter, err, err)
+	}
+}
+
+// requireStatsConsistent asserts the partial-stats invariant: counters
+// reflect fully resolved cycles only, so the three message tallies agree
+// even for a run that aborted mid-cycle.
+func requireStatsConsistent(t *testing.T, iter int, s *mcb.Stats) {
+	t.Helper()
+	var perProc, perChan int64
+	for _, v := range s.PerProc {
+		perProc += v
+	}
+	for _, v := range s.PerChannel {
+		perChan += v
+	}
+	if perProc != s.Messages || perChan != s.Messages {
+		t.Fatalf("iteration %d: inconsistent partial stats: Messages=%d sum(PerProc)=%d sum(PerChannel)=%d",
+			iter, s.Messages, perProc, perChan)
+	}
+	var phaseMsgs int64
+	for _, ph := range s.Phases {
+		phaseMsgs += ph.Messages
+	}
+	if phaseMsgs > s.Messages {
+		t.Fatalf("iteration %d: phase messages %d exceed total %d", iter, phaseMsgs, s.Messages)
+	}
+}
+
+// requireGoroutineDrain polls until the goroutine count returns to the
+// baseline, failing with a full stack dump on leak.
+func requireGoroutineDrain(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestChaosSort(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := rand.New(rand.NewSource(0xC0FFEE))
+	const iterations = 120
+	failed, recovered := 0, 0
+	for iter := 0; iter < iterations; iter++ {
+		p := 3 + r.Intn(4)
+		k := 1 + r.Intn(p)
+		inputs := chaosInputs(r, p, p+r.Intn(40))
+		o := SortOptions{
+			K: k,
+			// The cycle budget converts corrupted-count runaway loops into a
+			// typed BudgetError instead of minutes of spinning.
+			MaxCycles:    8000,
+			StallTimeout: 15 * time.Second,
+			Faults:       chaosPlan(r, p, k),
+			Retry:        mcb.RetryPolicy{MaxAttempts: 2},
+		}
+		outs, rep, err := SortWithRetry(inputs, o)
+		if err != nil {
+			failed++
+			requireTypedFailure(t, iter, err)
+		} else {
+			if rep.Attempts > 1 {
+				recovered++
+			}
+			checkSorted(t, inputs, outs, Descending, "chaos sort")
+		}
+		if rep != nil {
+			requireStatsConsistent(t, iter, &rep.Stats)
+		}
+	}
+	t.Logf("chaos sort: %d/%d runs failed with a typed error, %d recovered via retry", failed, iterations, recovered)
+	if failed == 0 {
+		t.Error("chaos plans never faulted a sort; the suite is not exercising the failure plane")
+	}
+	if failed == iterations {
+		t.Error("every chaos sort failed; rates leave the retry layer nothing to verify")
+	}
+	requireGoroutineDrain(t, base)
+}
+
+func TestChaosSelect(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := rand.New(rand.NewSource(0xBADD1CE))
+	const iterations = 100
+	failed, recovered, degraded := 0, 0, 0
+	for iter := 0; iter < iterations; iter++ {
+		p := 3 + r.Intn(4)
+		k := 1 + r.Intn(p)
+		inputs := chaosInputs(r, p, p+r.Intn(40))
+		n := total(inputs)
+		o := SelectOptions{
+			K:            k,
+			D:            1 + r.Intn(n),
+			MaxCycles:    8000,
+			StallTimeout: 15 * time.Second,
+			Faults:       chaosPlan(r, p, k),
+			Retry:        mcb.RetryPolicy{MaxAttempts: 2, DegradeOnCrash: r.Float64() < 0.5},
+		}
+		val, rep, err := SelectWithRetry(inputs, o)
+		if err != nil {
+			failed++
+			requireTypedFailure(t, iter, err)
+		} else {
+			if rep.Attempts > 1 {
+				recovered++
+			}
+			// A degraded answer is ranked over the survivors, not the full
+			// input — re-verify against the surviving elements.
+			cur := inputs
+			if len(rep.DeadProcs) > 0 {
+				degraded++
+				cur = emptyProcs(inputs, rep.DeadProcs)
+			}
+			if verr := VerifySelect(cur, o.D, val); verr != nil {
+				t.Fatalf("iteration %d: accepted answer fails recount: %v", iter, verr)
+			}
+		}
+		if rep != nil {
+			requireStatsConsistent(t, iter, &rep.Stats)
+		}
+	}
+	t.Logf("chaos select: %d/%d runs failed with a typed error, %d recovered via retry, %d degraded", failed, iterations, recovered, degraded)
+	if failed == 0 {
+		t.Error("chaos plans never faulted a selection; the suite is not exercising the failure plane")
+	}
+	if failed == iterations {
+		t.Error("every chaos selection failed; rates leave the retry layer nothing to verify")
+	}
+	requireGoroutineDrain(t, base)
+}

@@ -80,6 +80,15 @@ type SortOptions struct {
 	StallTimeout time.Duration
 	// Trace enables full traffic tracing (tests only).
 	Trace bool
+	// Faults enables deterministic fault injection (see mcb.FaultPlan).
+	Faults *mcb.FaultPlan
+	// Retry configures the verify-and-retry layer; only SortWithRetry
+	// consults it (plain Sort runs a single unverified attempt).
+	Retry mcb.RetryPolicy
+	// Verifier overrides the output check SortWithRetry applies after every
+	// successful attempt. Nil means the default VerifySort (sortedness,
+	// cardinality preservation, and multiset-permutation of the input).
+	Verifier SortVerifier
 }
 
 func (o SortOptions) engineConfig(p int) mcb.Config {
@@ -88,6 +97,7 @@ func (o SortOptions) engineConfig(p int) mcb.Config {
 		Trace:        o.Trace,
 		MaxCycles:    o.MaxCycles,
 		StallTimeout: o.StallTimeout,
+		Faults:       o.Faults,
 	}
 }
 
@@ -105,6 +115,9 @@ type Report struct {
 	// the engine's per-phase accounting (Stats.Phases carries the full
 	// breakdown including messages and per-channel counts).
 	PhaseCycles []PhaseCycle
+	// Attempts is the number of attempts the retry layer used (0 or 1 =
+	// single attempt).
+	Attempts int
 	// Trace is the engine trace when requested.
 	Trace *mcb.Trace
 }

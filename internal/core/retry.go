@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mcbnet/internal/mcb"
+)
+
+// This file is the algorithm-level verify-and-retry recovery layer. Each
+// attempt runs on a fresh network (a new engine, fresh goroutines, fresh
+// stall-watchdog baseline) under a per-attempt fault plan derived with
+// mcb.FaultPlan.ForAttempt: stochastic faults strike elsewhere on a retry,
+// scripted crashes and outages persist. A run is accepted only if it
+// returned without an engine error AND its output passed verification;
+// everything else is retried up to Retry.MaxAttempts times, so a faulted
+// run is detected and re-executed rather than silently wrong.
+
+func retryAttempts(pol mcb.RetryPolicy) int {
+	if pol.MaxAttempts < 1 {
+		return 1
+	}
+	return pol.MaxAttempts
+}
+
+// retryBackoff sleeps before retry attempt a (1-based attempt index of the
+// upcoming attempt), doubling the policy's base backoff each time.
+func retryBackoff(pol mcb.RetryPolicy, a int) {
+	if pol.Backoff > 0 && a > 0 {
+		time.Sleep(pol.Backoff << (a - 1))
+	}
+}
+
+// SortWithRetry sorts like Sort, but re-executes faulted runs: an attempt is
+// accepted only when the engine reports no error and the output passes the
+// verifier (default VerifySort: sortedness, cardinality preservation,
+// multiset-permutation of the input). The returned Report carries the
+// attempt count; on final failure the last attempt's error (typed, matching
+// errors.As against the mcb taxonomy) and partial report are returned.
+func SortWithRetry(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
+	verifier := opts.Verifier
+	if verifier == nil {
+		verifier = VerifySort
+	}
+	max := retryAttempts(opts.Retry)
+	var (
+		lastRep *Report
+		lastErr error
+	)
+	for a := 0; a < max; a++ {
+		retryBackoff(opts.Retry, a)
+		aopts := opts
+		aopts.Faults = opts.Faults.ForAttempt(a)
+		outs, rep, err := Sort(inputs, aopts)
+		if rep != nil {
+			rep.Attempts = a + 1
+			lastRep = rep
+		}
+		if err != nil {
+			lastErr = err
+			if !mcb.Retryable(err) {
+				return nil, lastRep, err
+			}
+			continue
+		}
+		if verr := verifier(inputs, outs, opts.Order); verr != nil {
+			lastErr = corruptionError("sort", verr)
+			continue
+		}
+		return outs, rep, nil
+	}
+	return nil, lastRep, lastErr
+}
+
+// SelectWithRetry selects like Select, but re-executes faulted runs and
+// verifies every accepted answer by recount (default VerifySelect). With
+// Retry.DegradeOnCrash set it additionally degrades gracefully: after a
+// CrashError, the next attempt treats the crashed processors as empty — the
+// protocols are silence-tolerant, so the computation proceeds without them
+// and answers rank opts.D over the surviving elements. The report lists the
+// processors given up on in DeadProcs.
+func SelectWithRetry(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) {
+	verifier := opts.Verifier
+	if verifier == nil {
+		verifier = VerifySelect
+	}
+	max := retryAttempts(opts.Retry)
+	cur := inputs
+	plan := opts.Faults
+	var (
+		dead    []int
+		lastRep *SelectReport
+		lastErr error
+	)
+	for a := 0; a < max; a++ {
+		retryBackoff(opts.Retry, a)
+		aopts := opts
+		aopts.Faults = plan.ForAttempt(a)
+		val, rep, err := Select(cur, aopts)
+		if rep != nil {
+			rep.Attempts = a + 1
+			rep.DeadProcs = append([]int(nil), dead...)
+			lastRep = rep
+		}
+		if err != nil {
+			lastErr = err
+			var ce *mcb.CrashError
+			if opts.Retry.DegradeOnCrash && errors.As(err, &ce) {
+				// Give the dead processors up: their elements are lost; the
+				// next attempt runs with them empty and without their
+				// scheduled crashes (the degraded run models restarted,
+				// empty replacements).
+				cur = emptyProcs(cur, ce.Procs)
+				dead = mergeProcs(dead, ce.Procs)
+				plan = plan.WithoutCrashes(ce.Procs)
+				remaining := 0
+				for _, in := range cur {
+					remaining += len(in)
+				}
+				if opts.D > remaining {
+					return 0, lastRep, fmt.Errorf("core: graceful degradation lost too many elements: rank %d > %d survivors: %w", opts.D, remaining, err)
+				}
+				continue
+			}
+			if !mcb.Retryable(err) {
+				return 0, lastRep, err
+			}
+			continue
+		}
+		if verr := verifier(cur, opts.D, val); verr != nil {
+			lastErr = corruptionError("select", verr)
+			continue
+		}
+		return val, rep, nil
+	}
+	return 0, lastRep, lastErr
+}
+
+// emptyProcs returns a copy of inputs with the given processors' lists
+// emptied (the processor count is unchanged: the protocols accept empty
+// processors).
+func emptyProcs(inputs [][]int64, procs []int) [][]int64 {
+	out := append([][]int64(nil), inputs...)
+	for _, id := range procs {
+		if id >= 0 && id < len(out) {
+			out[id] = nil
+		}
+	}
+	return out
+}
+
+// mergeProcs unions two processor-id lists, keeping increasing order.
+func mergeProcs(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, lists := range [2][]int{a, b} {
+		for _, id := range lists {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

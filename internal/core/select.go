@@ -50,6 +50,16 @@ type SelectOptions struct {
 	MaxCycles    int64
 	StallTimeout time.Duration
 	Trace        bool
+	// Faults enables deterministic fault injection (see mcb.FaultPlan).
+	Faults *mcb.FaultPlan
+	// Retry configures the verify-and-retry layer; only SelectWithRetry
+	// consults it. With Retry.DegradeOnCrash set, a crashed run is retried
+	// with the dead processors' inputs treated as empty.
+	Retry mcb.RetryPolicy
+	// Verifier overrides the output check SelectWithRetry applies after
+	// every successful attempt. Nil means the default VerifySelect (rank
+	// verification by recount).
+	Verifier SelectVerifier
 }
 
 // SelectReport carries the run statistics and filtering diagnostics. The
@@ -71,7 +81,14 @@ type SelectReport struct {
 	// Filter is the per-filter-phase breakdown: candidates, purge fraction
 	// and the engine cost of each iteration.
 	Filter []FilterPhase
-	Trace  *mcb.Trace
+	// Attempts is the number of attempts the retry layer used (0 or 1 =
+	// single attempt).
+	Attempts int
+	// DeadProcs lists the processors graceful degradation gave up on: their
+	// elements are not part of the answered rank space. Empty for a full
+	// (non-degraded) result.
+	DeadProcs []int
+	Trace     *mcb.Trace
 }
 
 // FilterPhase is the accounting of one filtering iteration, derived from the
@@ -136,14 +153,21 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 			}
 		}
 	}
-	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout}
+	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout, Faults: opts.Faults}
 	res, err := mcb.Run(cfg, progs)
-	if err != nil {
-		return 0, nil, err
+	if res != nil {
+		report.Stats = res.Stats
+		report.Trace = res.Trace
+		report.derivePhaseDiagnostics()
 	}
-	report.Stats = res.Stats
-	report.Trace = res.Trace
-	report.derivePhaseDiagnostics()
+	if err != nil {
+		// The partial report covers the cycles that completed before the
+		// abort (nil when the engine could not collect them safely).
+		if res == nil {
+			report = nil
+		}
+		return 0, report, err
+	}
 	return result, report, nil
 }
 

@@ -107,12 +107,19 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 		}
 	}
 	res, err := mcb.Run(opts.engineConfig(p), progs)
-	if err != nil {
-		return nil, nil, err
+	if res != nil {
+		report.Stats = res.Stats
+		report.Trace = res.Trace
+		report.PhaseCycles = phaseCyclesFrom(res.Stats.Phases)
 	}
-	report.Stats = res.Stats
-	report.Trace = res.Trace
-	report.PhaseCycles = phaseCyclesFrom(res.Stats.Phases)
+	if err != nil {
+		// The partial report covers the cycles that completed before the
+		// abort (nil when the engine could not collect them safely).
+		if res == nil {
+			report = nil
+		}
+		return nil, report, err
+	}
 	return outputs, report, nil
 }
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"mcbnet/internal/mcb"
+)
+
+// This file is the output-verification half of the verify-and-retry
+// recovery layer. Under fault injection a run can terminate "successfully"
+// with a silently wrong answer (e.g. an undetected payload corruption sent
+// an element to the wrong processor). Verification is cheap relative to the
+// distributed computation — O(n) sequential work — and turns a silent wrong
+// answer into a typed *mcb.CorruptionError the retry loop can act on.
+
+// SortVerifier checks a sort's outputs against its inputs. A nil verifier
+// in SortOptions means the default VerifySort.
+type SortVerifier func(inputs, outputs [][]int64, order Order) error
+
+// SelectVerifier checks a selection result against the inputs it was drawn
+// from. A nil verifier in SelectOptions means the default VerifySelect.
+type SelectVerifier func(inputs [][]int64, d int, value int64) error
+
+// VerifySort is the default sort verifier: outputs must preserve
+// per-processor cardinalities, be globally ordered across the processor
+// sequence, and be a multiset permutation of the inputs.
+func VerifySort(inputs, outputs [][]int64, order Order) error {
+	if len(outputs) != len(inputs) {
+		return fmt.Errorf("got %d output lists for %d processors", len(outputs), len(inputs))
+	}
+	// ge reports a >= b in the output order's sense (descending: larger
+	// elements come first).
+	ge := func(a, b int64) bool {
+		if order == Ascending {
+			return a <= b
+		}
+		return a >= b
+	}
+	var prev int64
+	havePrev := false
+	for i, out := range outputs {
+		if len(out) != len(inputs[i]) {
+			return fmt.Errorf("processor %d holds %d elements, had %d (cardinality not preserved)", i, len(out), len(inputs[i]))
+		}
+		for j, v := range out {
+			if havePrev && !ge(prev, v) {
+				return fmt.Errorf("order violated at processor %d element %d: %d then %d", i, j, prev, v)
+			}
+			prev, havePrev = v, true
+		}
+	}
+	counts := make(map[int64]int)
+	for _, in := range inputs {
+		for _, v := range in {
+			counts[v]++
+		}
+	}
+	for i, out := range outputs {
+		for _, v := range out {
+			counts[v]--
+			if counts[v] < 0 {
+				return fmt.Errorf("processor %d holds %d, which appears more often than in the input", i, v)
+			}
+		}
+	}
+	for v, c := range counts {
+		if c != 0 {
+			return fmt.Errorf("input element %d lost (%d occurrence(s) missing from the output)", v, c)
+		}
+	}
+	return nil
+}
+
+// VerifySelect is the default selection verifier: it recounts the inputs and
+// checks that value really has descending rank d — i.e. with g elements
+// strictly greater and e copies of value present, g < d <= g+e.
+func VerifySelect(inputs [][]int64, d int, value int64) error {
+	var greater, equal int
+	for _, in := range inputs {
+		for _, v := range in {
+			switch {
+			case v > value:
+				greater++
+			case v == value:
+				equal++
+			}
+		}
+	}
+	if equal == 0 {
+		return fmt.Errorf("value %d does not occur in the input", value)
+	}
+	if !(greater < d && d <= greater+equal) {
+		return fmt.Errorf("value %d spans descending ranks %d..%d, not rank %d", value, greater+1, greater+equal, d)
+	}
+	return nil
+}
+
+// corruptionError wraps a verification failure into the typed taxonomy.
+func corruptionError(op string, err error) error {
+	return &mcb.CorruptionError{Op: op, Detail: err.Error()}
+}

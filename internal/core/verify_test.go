@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mcbnet/internal/mcb"
+)
+
+func TestVerifySortAccepts(t *testing.T) {
+	in := [][]int64{{3, 1}, {4, 1, 5}, {2}}
+	out := [][]int64{{5, 4}, {3, 2, 1}, {1}}
+	if err := VerifySort(in, out, Descending); err != nil {
+		t.Fatal(err)
+	}
+	inA := [][]int64{{3, 1}, {2}}
+	outA := [][]int64{{1, 2}, {3}}
+	if err := VerifySort(inA, outA, Ascending); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySortRejects(t *testing.T) {
+	in := [][]int64{{3, 1}, {4, 1, 5}, {2}}
+	cases := []struct {
+		name string
+		out  [][]int64
+	}{
+		{"unsorted", [][]int64{{4, 5}, {3, 2, 1}, {1}}},
+		{"cardinality", [][]int64{{5, 4, 3}, {2, 1}, {1}}},
+		{"lost element", [][]int64{{5, 4}, {3, 2, 2}, {1}}},
+		{"foreign element", [][]int64{{7, 5}, {4, 3, 2}, {1}}},
+		{"wrong processor count", [][]int64{{5, 4}, {3, 2, 1, 1}}},
+	}
+	for _, c := range cases {
+		if err := VerifySort(in, c.out, Descending); err == nil {
+			t.Errorf("%s: VerifySort accepted a wrong output %v", c.name, c.out)
+		}
+	}
+}
+
+func TestVerifySelect(t *testing.T) {
+	in := [][]int64{{9, 5}, {7, 5, 1}}
+	// Descending: 9 7 5 5 1.
+	good := []struct {
+		d   int
+		val int64
+	}{{1, 9}, {2, 7}, {3, 5}, {4, 5}, {5, 1}}
+	for _, g := range good {
+		if err := VerifySelect(in, g.d, g.val); err != nil {
+			t.Errorf("rank %d value %d wrongly rejected: %v", g.d, g.val, err)
+		}
+	}
+	bad := []struct {
+		d   int
+		val int64
+	}{{1, 7}, {2, 5}, {5, 5}, {3, 4} /* absent value */, {2, 9}}
+	for _, b := range bad {
+		if err := VerifySelect(in, b.d, b.val); err == nil {
+			t.Errorf("rank %d value %d wrongly accepted", b.d, b.val)
+		}
+	}
+}
+
+func TestCorruptionErrorTyped(t *testing.T) {
+	err := corruptionError("sort", errors.New("order violated"))
+	var ce *mcb.CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %T, want *mcb.CorruptionError", err)
+	}
+	if ce.Op != "sort" {
+		t.Fatalf("Op = %q, want sort", ce.Op)
+	}
+	if !errors.Is(err, mcb.ErrAborted) {
+		t.Fatal("CorruptionError must wrap ErrAborted")
+	}
+}

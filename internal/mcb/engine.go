@@ -28,6 +28,13 @@ type Config struct {
 	// rule at runtime: any broadcast payload field whose absolute value
 	// exceeds this budget aborts the run. Zero disables the check.
 	MaxAbs int64
+	// Faults enables deterministic fault injection (see FaultPlan). Nil
+	// injects nothing.
+	Faults *FaultPlan
+	// AbortGrace bounds how long Run waits for processor goroutines to
+	// unwind after an abort before giving up and returning a nil Result
+	// (the stragglers' goroutines leak; see Run). Zero means 2 seconds.
+	AbortGrace time.Duration
 }
 
 func (c Config) validate() error {
@@ -94,6 +101,10 @@ type generation struct {
 // abortPanic unwinds processor goroutines when the engine has failed.
 type abortPanic struct{ err error }
 
+// crashPanic unwinds a single processor goroutine when its scheduled
+// crash-stop fires; the run itself keeps going.
+type crashPanic struct{}
+
 type engine struct {
 	cfg     Config
 	slots   []cycleOp
@@ -109,8 +120,13 @@ type engine struct {
 	expected atomic.Int32
 	gen      atomic.Pointer[generation]
 
-	cycles   atomic.Int64 // progress counter for the watchdog
-	stats    Stats
+	cycles atomic.Int64 // progress counter for the watchdog
+	// procMirror[i] is an atomic mirror of processor i's slot-table state,
+	// packed (steps << 3 | opKind). Written only by processor i (in step),
+	// read by the stall watchdog for diagnostics.
+	procMirror []atomic.Uint64
+	faults     *faultState
+	stats      Stats
 	phaseIdx map[string]int // phase name -> index in stats.Phases
 	curPhase int            // index of the active phase, -1 before any marker
 	trace    *Trace
@@ -157,6 +173,8 @@ func (e *engine) step(id int, op cycleOp) readResult {
 	if e.failed.Load() {
 		panic(abortPanic{e.abortError()})
 	}
+	m := e.procMirror[id].Load()
+	e.procMirror[id].Store((m>>3+1)<<3 | uint64(op.kind))
 	g := e.gen.Load()
 	e.slots[id] = op
 	if e.arrived.Add(1) == e.expected.Load() {
@@ -254,8 +272,7 @@ func (e *engine) resolve(g *generation) {
 				return
 			}
 			if a := op.msg.maxAbs(); e.cfg.MaxAbs > 0 && a > e.cfg.MaxAbs {
-				e.abort(fmt.Errorf("%w: processor %d broadcast a payload of magnitude %d, exceeding the message-size budget %d",
-					ErrAborted, id, a, e.cfg.MaxAbs))
+				e.abort(&BudgetError{Budget: "message-size", Limit: e.cfg.MaxAbs, Observed: a, Proc: id})
 				close(g.ch)
 				return
 			}
@@ -270,7 +287,14 @@ func (e *engine) resolve(g *generation) {
 			}
 		}
 	}
-	// Pass 2: reads.
+	// Pass 2: reads, with fault injection at delivery. Fault counters are
+	// staged locally and committed with the cycle (see the invariant above).
+	var fDelta FaultStats
+	cycle := e.stats.Cycles
+	var plan *FaultPlan
+	if e.faults != nil {
+		plan = e.faults.plan
+	}
 	for id := 0; id < p; id++ {
 		if !e.live[id] {
 			continue
@@ -286,8 +310,25 @@ func (e *engine) resolve(g *generation) {
 			return
 		}
 		var rr readResult
-		if e.chWriter[c] >= 0 {
-			rr = readResult{msg: e.chMsg[c], ok: true}
+		if e.chWriter[c] >= 0 && !plan.outageAt(c, cycle) {
+			msg := e.chMsg[c]
+			switch {
+			case plan.dropAt(cycle, id, c):
+				fDelta.Drops++ // reader sees silence
+			default:
+				if cm, garbled := plan.corruptAt(cycle, id, c, msg); garbled {
+					if plan.Checksum && msgSum(msg) != msgSum(cm) {
+						// Detected: the garbled frame is discarded, the
+						// reader observes silence.
+						fDelta.Detected++
+					} else {
+						fDelta.Corruptions++
+						rr = readResult{msg: cm, ok: true}
+					}
+				} else {
+					rr = readResult{msg: msg, ok: true}
+				}
+			}
 		}
 		e.results[id] = rr
 		if tr != nil {
@@ -314,6 +355,9 @@ func (e *engine) resolve(g *generation) {
 		e.stats.Messages++
 		e.stats.PerProc[id]++
 		e.stats.PerChannel[c]++
+		if plan.outageAt(c, cycle) {
+			fDelta.OutageLosses++
+		}
 		if a := e.chMsg[c].maxAbs(); a > e.stats.MaxAbs {
 			e.stats.MaxAbs = a
 		}
@@ -325,6 +369,7 @@ func (e *engine) resolve(g *generation) {
 			ph.PerChannel[c]++
 		}
 	}
+	e.stats.Faults.add(&fDelta)
 	if sawWork {
 		e.stats.Cycles++
 		e.cycles.Store(e.stats.Cycles)
@@ -336,7 +381,7 @@ func (e *engine) resolve(g *generation) {
 		}
 	}
 	if e.cfg.MaxCycles > 0 && e.stats.Cycles >= e.cfg.MaxCycles {
-		e.abort(fmt.Errorf("%w: cycle limit %d exceeded", ErrAborted, e.cfg.MaxCycles))
+		e.abort(&BudgetError{Budget: "cycles", Limit: e.cfg.MaxCycles, Observed: e.stats.Cycles, Proc: -1})
 		close(g.ch)
 		return
 	}
@@ -359,6 +404,9 @@ func (e *engine) resolve(g *generation) {
 func (e *engine) finalize() {
 	if aux := e.maxAux.Load(); aux > e.stats.MaxAux {
 		e.stats.MaxAux = aux
+	}
+	if evs, _ := e.faults.crashes(); len(evs) > 0 {
+		e.stats.Faults.Crashes = evs
 	}
 	for i := range e.stats.Phases {
 		ph := &e.stats.Phases[i]
@@ -385,16 +433,18 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		return nil, fmt.Errorf("mcb: %d programs for %d processors", len(programs), cfg.P)
 	}
 	e := &engine{
-		cfg:      cfg,
-		slots:    make([]cycleOp, cfg.P),
-		results:  make([]readResult, cfg.P),
-		live:     make([]bool, cfg.P),
-		chWriter: make([]int, cfg.K),
-		chMsg:    make([]Message, cfg.K),
-		phaseIdx: make(map[string]int),
-		curPhase: -1,
-		aborted:  make(chan struct{}),
-		allDone:  make(chan struct{}),
+		cfg:        cfg,
+		slots:      make([]cycleOp, cfg.P),
+		results:    make([]readResult, cfg.P),
+		live:       make([]bool, cfg.P),
+		chWriter:   make([]int, cfg.K),
+		chMsg:      make([]Message, cfg.K),
+		procMirror: make([]atomic.Uint64, cfg.P),
+		faults:     newFaultState(cfg.Faults, cfg.P),
+		phaseIdx:   make(map[string]int),
+		curPhase:   -1,
+		aborted:    make(chan struct{}),
+		allDone:    make(chan struct{}),
 	}
 	e.stats.PerProc = make([]int64, cfg.P)
 	e.stats.PerChannel = make([]int64, cfg.K)
@@ -423,6 +473,12 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 					p.exit()
 				case abortPanic:
 					// Engine already failed; nobody waits for us.
+				case crashPanic:
+					// Injected crash-stop: the processor dies silently but
+					// leaves the barrier protocol so the survivors keep
+					// running. The crash is surfaced as a CrashError at the
+					// end of the run, not as an immediate abort.
+					p.exit()
 				default:
 					// Program bug: record it, then exit the protocol so the
 					// remaining processors are not deadlocked.
@@ -441,21 +497,35 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 	timer := time.NewTicker(stall)
 	defer timer.Stop()
 	last := int64(-1)
+	grace := cfg.AbortGrace
+	if grace == 0 {
+		grace = 2 * time.Second
+	}
+	// outcome resolves the final error once the engine is quiescent: an
+	// injected crash-stop dominates any secondary abort it provoked (the
+	// crash is the root cause; a "missing broadcast" Abortf downstream of a
+	// dead processor is a symptom).
+	outcome := func() error {
+		if evs, first := e.faults.crashes(); len(evs) > 0 {
+			procs := make([]int, len(evs))
+			for i, ev := range evs {
+				procs[i] = ev.Proc
+			}
+			return &CrashError{Procs: procs, Cycle: first}
+		}
+		return e.abortError()
+	}
 	for {
 		select {
 		case <-e.allDone:
 			wg.Wait()
-			if err := e.abortError(); err != nil {
-				e.finalize()
-				return &Result{Stats: e.stats, Trace: e.trace}, err
-			}
 			e.finalize()
-			return &Result{Stats: e.stats, Trace: e.trace}, nil
+			return &Result{Stats: e.stats, Trace: e.trace}, outcome()
 		case <-e.aborted:
 			// Give processor goroutines a chance to unwind; those blocked in
 			// local computation will hit the failed check on their next step.
 			// A program spinning forever without issuing cycle ops cannot be
-			// stopped; give up waiting after a grace period (its goroutine
+			// stopped; give up waiting after the grace period (its goroutine
 			// leaks, but Run still reports the abort).
 			unwound := make(chan struct{})
 			go func() { wg.Wait(); close(unwound) }()
@@ -464,14 +534,14 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 				// Every goroutine unwound, so Stats is quiescent: return it
 				// alongside the error. It covers completed cycles only.
 				e.finalize()
-				return &Result{Stats: e.stats, Trace: e.trace}, e.abortError()
-			case <-time.After(2 * time.Second):
+				return &Result{Stats: e.stats, Trace: e.trace}, outcome()
+			case <-time.After(grace):
 				// A goroutine may still be running; touching Stats would race.
 				return nil, e.abortError()
 			}
 		case <-timer.C:
 			if c := e.cycles.Load(); c == last {
-				e.abort(fmt.Errorf("%w: no cycle completed in %v (processor stopped issuing cycle ops?)", ErrAborted, stall))
+				e.abort(&StallError{Timeout: stall, Cycle: c, Stalled: e.stallDiagnostics()})
 			} else {
 				last = c
 			}

@@ -1,0 +1,180 @@
+package mcb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the typed failure taxonomy of the engine. Every abort reason
+// has a concrete error type usable with errors.As, and every type wraps
+// ErrAborted so legacy errors.Is(err, ErrAborted) checks keep working.
+//
+//	CollisionError  two writers on one channel (engine.go; the model's
+//	                "computation fails")
+//	AbortError      a processor program called Abortf (native or virtual)
+//	CrashError      one or more processors crash-stopped (fault injection)
+//	StallError      the lock-step protocol wedged: no cycle completed within
+//	                the stall timeout
+//	BudgetError     a run budget was exceeded (cycle limit or message size)
+//	CorruptionError output verification failed after a run "succeeded"
+//	                (silent payload corruption detected by recount)
+
+// AbortError reports a processor-initiated abort: the program detected an
+// algorithm-level invariant violation and called Abortf. VProc is the virtual
+// processor id when the abort was raised inside a simulated MCB(p', k') run
+// (Section 2), -1 for a native run.
+type AbortError struct {
+	Proc  int    // engine processor id
+	VProc int    // virtual processor id, -1 if not simulated
+	Msg   string // the formatted Abortf message
+}
+
+func (e *AbortError) Error() string {
+	if e.VProc >= 0 {
+		return fmt.Sprintf("mcb: virtual processor %d (host processor %d) aborted: %s", e.VProc, e.Proc, e.Msg)
+	}
+	return fmt.Sprintf("mcb: processor %d aborted: %s", e.Proc, e.Msg)
+}
+
+func (e *AbortError) Unwrap() error { return ErrAborted }
+
+// CrashError reports that one or more processors crash-stopped during the
+// run (injected via FaultPlan.Crashes). A crash-stopped processor leaves the
+// lock-step protocol silently; the surviving processors keep running, so the
+// run may complete — but its output cannot be trusted, which is why the
+// engine surfaces the crash as an error even when every surviving program
+// returned. The partial Result accompanying the error covers the completed
+// cycles.
+type CrashError struct {
+	// Procs lists the crashed processor ids in increasing order.
+	Procs []int
+	// Cycle is the earliest crash cycle (the number of cycles the first
+	// crashed processor completed before stopping).
+	Cycle int64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("mcb: %d processor(s) crash-stopped %v (first after cycle %d)", len(e.Procs), e.Procs, e.Cycle)
+}
+
+func (e *CrashError) Unwrap() error { return ErrAborted }
+
+// ProcState is a per-processor diagnostic snapshot taken from the engine's
+// slot table when a stall is detected.
+type ProcState struct {
+	Proc   int    // processor id
+	LastOp string // last issued cycle operation ("write", "read", ...)
+	Steps  int64  // cycle operations issued so far
+}
+
+func (s ProcState) String() string {
+	return fmt.Sprintf("P%d(%s@%d)", s.Proc, s.LastOp, s.Steps)
+}
+
+// StallError reports that no cycle completed within the stall timeout: some
+// processor stopped issuing cycle operations, wedging the lock-step barrier.
+// Stalled lists the processors the watchdog holds responsible — the live
+// processors with the fewest issued operations (everyone else is blocked in
+// the barrier waiting for them) — with their last issued op.
+type StallError struct {
+	Timeout time.Duration
+	Cycle   int64 // cycles completed when the watchdog fired
+	Stalled []ProcState
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("mcb: no cycle completed in %v (stalled after cycle %d; suspected processors: %v)",
+		e.Timeout, e.Cycle, e.Stalled)
+}
+
+func (e *StallError) Unwrap() error { return ErrAborted }
+
+// BudgetError reports that a run budget was exceeded. Budget is "cycles"
+// (Config.MaxCycles) or "message-size" (Config.MaxAbs); Proc is the offending
+// processor for per-processor budgets, -1 for global ones.
+type BudgetError struct {
+	Budget   string
+	Limit    int64
+	Observed int64
+	Proc     int
+}
+
+func (e *BudgetError) Error() string {
+	if e.Proc >= 0 {
+		return fmt.Sprintf("mcb: %s budget exceeded by processor %d: observed %d, limit %d", e.Budget, e.Proc, e.Observed, e.Limit)
+	}
+	return fmt.Sprintf("mcb: %s budget exceeded: observed %d, limit %d", e.Budget, e.Observed, e.Limit)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrAborted }
+
+// CorruptionError reports that a run completed without an engine error but
+// its output failed verification: some payload was corrupted (or dropped)
+// silently and the result is wrong. It is raised by the verify-and-retry
+// layer, never by the engine itself (the engine cannot know an algorithm's
+// correctness condition).
+type CorruptionError struct {
+	Op     string // the operation verified, e.g. "sort" or "select"
+	Detail string // what the verifier observed
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("mcb: %s output failed verification: %s", e.Op, e.Detail)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrAborted }
+
+// opName renders an opKind for diagnostics.
+func opName(k opKind) string {
+	switch k {
+	case opIdle:
+		return "idle"
+	case opWrite:
+		return "write"
+	case opRead:
+		return "read"
+	case opWriteRead:
+		return "write+read"
+	case opExit:
+		return "exit"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// stallDiagnostics snapshots the per-processor slot mirror and returns the
+// suspected stalled processors: those that have not exited and have issued
+// the fewest cycle operations. Safe to call concurrently with running
+// processors (the mirror is atomic).
+func (e *engine) stallDiagnostics() []ProcState {
+	type snap struct {
+		steps int64
+		kind  opKind
+	}
+	snaps := make([]snap, e.cfg.P)
+	min := int64(-1)
+	for id := range snaps {
+		v := e.procMirror[id].Load()
+		s := snap{steps: int64(v >> 3), kind: opKind(v & 7)}
+		snaps[id] = s
+		if s.kind == opExit {
+			continue
+		}
+		if min < 0 || s.steps < min {
+			min = s.steps
+		}
+	}
+	var out []ProcState
+	for id, s := range snaps {
+		if s.kind == opExit || s.steps != min {
+			continue
+		}
+		op := opName(s.kind)
+		if s.steps == 0 {
+			op = "none"
+		}
+		out = append(out, ProcState{Proc: id, LastOp: op, Steps: s.steps})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}

@@ -48,10 +48,11 @@ func (v *VProc) IdleN(n int) {
 	}
 }
 
-// Abortf fails the computation. In a simulated network the panic unwinds the
-// virtual processor; the host driver reports it as a program error.
+// Abortf fails the computation. The structured vAbort panic unwinds the
+// virtual processor; the host driver surfaces it through the engine's typed
+// taxonomy as an *AbortError carrying this virtual processor's id.
 func (v *VProc) Abortf(format string, args ...any) {
-	panic(fmt.Sprintf("vproc %d: %s", v.id, fmt.Sprintf(format, args...)))
+	panic(&vAbort{vproc: v.id, msg: fmt.Sprintf(format, args...)})
 }
 
 // AccountAux is a no-op under simulation (the host engine owns the

@@ -51,34 +51,47 @@ func (p *Proc) takePending() []string {
 	return m
 }
 
+// issue submits one cycle operation, firing a scheduled crash-stop first:
+// a processor with a FaultPlan crash at cycle c completes exactly c cycle
+// operations and dies before issuing the next one. The crash unwinds only
+// this goroutine (crashPanic); the run continues without the processor.
+// Deterministic: the trigger depends only on this processor's own op count,
+// which in a lock-step run equals the global cycle index.
+func (p *Proc) issue(op cycleOp) readResult {
+	p.steps++
+	if fs := p.e.faults; fs != nil {
+		if c := fs.crashCycle(p.id); c >= 0 && p.steps > c {
+			fs.recordCrash(p.id, c)
+			panic(crashPanic{})
+		}
+	}
+	return p.e.step(p.id, op)
+}
+
 // WriteRead broadcasts m on channel writeCh and reads channel readCh in the
 // same cycle. It returns the message observed on readCh and whether the
 // channel was written at all this cycle (ok=false reports silence). Reading
 // the channel just written observes the processor's own message.
 func (p *Proc) WriteRead(writeCh int, m Message, readCh int) (Message, bool) {
-	p.steps++
-	r := p.e.step(p.id, cycleOp{kind: opWriteRead, writeCh: int32(writeCh), readCh: int32(readCh), msg: m, phases: p.takePending()})
+	r := p.issue(cycleOp{kind: opWriteRead, writeCh: int32(writeCh), readCh: int32(readCh), msg: m, phases: p.takePending()})
 	return r.msg, r.ok
 }
 
 // Write broadcasts m on channel writeCh and does not read this cycle.
 func (p *Proc) Write(writeCh int, m Message) {
-	p.steps++
-	p.e.step(p.id, cycleOp{kind: opWrite, writeCh: int32(writeCh), msg: m, phases: p.takePending()})
+	p.issue(cycleOp{kind: opWrite, writeCh: int32(writeCh), msg: m, phases: p.takePending()})
 }
 
 // Read reads channel readCh this cycle without writing. ok=false reports
 // that no processor wrote the channel (silence).
 func (p *Proc) Read(readCh int) (Message, bool) {
-	p.steps++
-	r := p.e.step(p.id, cycleOp{kind: opRead, readCh: int32(readCh), phases: p.takePending()})
+	r := p.issue(cycleOp{kind: opRead, readCh: int32(readCh), phases: p.takePending()})
 	return r.msg, r.ok
 }
 
 // Idle spends one cycle without touching any channel.
 func (p *Proc) Idle() {
-	p.steps++
-	p.e.step(p.id, cycleOp{kind: opIdle, phases: p.takePending()})
+	p.issue(cycleOp{kind: opIdle, phases: p.takePending()})
 }
 
 // IdleN spends n cycles idle. n <= 0 is a no-op.
@@ -89,9 +102,16 @@ func (p *Proc) IdleN(n int) {
 }
 
 // Abortf fails the whole computation with a formatted error. It is meant for
-// algorithm-level invariant violations; it does not return.
+// algorithm-level invariant violations; it does not return. The error is a
+// structured *AbortError (matching errors.As) wrapping ErrAborted.
 func (p *Proc) Abortf(format string, args ...any) {
-	err := fmt.Errorf("%w: processor %d: %s", ErrAborted, p.id, fmt.Sprintf(format, args...))
+	p.abortWith(&AbortError{Proc: p.id, VProc: -1, Msg: fmt.Sprintf(format, args...)})
+}
+
+// abortWith fails the whole computation with a structured error; it does not
+// return. The simulation layer uses it to surface virtual-processor aborts
+// with their virtual id attached.
+func (p *Proc) abortWith(err error) {
 	p.e.abort(err)
 	panic(abortPanic{err})
 }

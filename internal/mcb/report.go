@@ -36,6 +36,13 @@ type Report struct {
 	// program never called Phase.
 	Phases []PhaseStats `json:"phases,omitempty"`
 
+	// Faults counts the injected faults of the run (nil when no fault was
+	// injected).
+	Faults *FaultStats `json:"faults,omitempty"`
+	// Attempts is the number of attempts the verify-and-retry layer used to
+	// produce the result (0 or 1 = single attempt, no retry).
+	Attempts int `json:"attempts,omitempty"`
+
 	// Extra holds caller-specific fields; keys are caller-defined.
 	Extra map[string]any `json:"extra,omitempty"`
 }
@@ -59,6 +66,10 @@ func NewReport(cfg Config, s *Stats) *Report {
 	r.Phases = make([]PhaseStats, 0, len(s.Phases))
 	for i := range s.Phases {
 		r.Phases = append(r.Phases, s.Phases[i].clone())
+	}
+	if s.Faults.Total() > 0 {
+		f := s.Faults.clone()
+		r.Faults = &f
 	}
 	return r
 }

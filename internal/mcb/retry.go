@@ -1,0 +1,100 @@
+package mcb
+
+import (
+	"errors"
+	"time"
+)
+
+// RetryPolicy configures the verify-and-retry recovery layer (RunWithRetry
+// here; SortWithRetry / SelectWithRetry at the algorithm level). A faulted
+// run is detected — by a typed engine error or by failed output
+// verification — and re-executed on a fresh network rather than silently
+// returning a wrong answer.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts; values below 1 mean a
+	// single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the wait before the second attempt; it doubles per further
+	// attempt. Zero retries immediately (the default: the network is
+	// simulated, there is no congestion to wait out).
+	Backoff time.Duration
+	// DegradeOnCrash enables graceful degradation for selection: after a
+	// CrashError, the next attempt treats the crashed processors as empty
+	// (their elements are lost) instead of insisting on the full set. The
+	// selection protocols are silence-tolerant, so the degraded run answers
+	// the rank over the surviving elements. Ignored by sorting — a sort
+	// cannot deliver output to a dead processor.
+	DegradeOnCrash bool
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// sleep waits the backoff for the given 0-based attempt just completed.
+func (p RetryPolicy) sleep(attempt int) {
+	if p.Backoff <= 0 {
+		return
+	}
+	time.Sleep(p.Backoff << attempt)
+}
+
+// Retryable reports whether err is worth retrying on a fresh network: engine
+// aborts (anything wrapping ErrAborted, which includes the whole typed
+// taxonomy) and collisions. Configuration and validation errors are not —
+// they recur deterministically regardless of faults.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrAborted) {
+		return true
+	}
+	var ce *CollisionError
+	return errors.As(err, &ce)
+}
+
+// RunWithRetry executes Run up to pol.MaxAttempts times, each attempt on a
+// fresh network. programs(attempt) builds the per-attempt processor programs
+// (a fresh closure set so attempt-local state is not reused); verify, if
+// non-nil, checks a completed Result and returns an error to reject it.
+// cfg.Faults is re-derived per attempt via FaultPlan.ForAttempt, so
+// stochastic faults strike differently on each retry while scripted crashes
+// and outages persist.
+//
+// It returns the accepted (or last) Result, the number of attempts used, and
+// the first error of the last attempt (nil on success).
+func RunWithRetry(cfg Config, programs func(attempt int) []func(Node), verify func(*Result) error, pol RetryPolicy) (*Result, int, error) {
+	var (
+		res     *Result
+		lastErr error
+	)
+	max := pol.attempts()
+	for a := 0; a < max; a++ {
+		if a > 0 {
+			pol.sleep(a - 1)
+		}
+		acfg := cfg
+		acfg.Faults = cfg.Faults.ForAttempt(a)
+		r, err := Run(acfg, programs(a))
+		res = r
+		if err != nil {
+			lastErr = err
+			if !Retryable(err) {
+				return res, a + 1, err
+			}
+			continue
+		}
+		if verify != nil {
+			if verr := verify(r); verr != nil {
+				lastErr = verr
+				continue
+			}
+		}
+		return r, a + 1, nil
+	}
+	return res, max, lastErr
+}

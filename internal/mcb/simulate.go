@@ -44,6 +44,33 @@ type vOp struct {
 	msg     Message
 }
 
+// vAbort is the structured panic VProc.Abortf raises. It survives the host
+// driver's recover so the virtual processor id reaches the error taxonomy
+// instead of degrading into a generic "processor panicked" string.
+type vAbort struct {
+	vproc int
+	msg   string
+}
+
+func (a *vAbort) Error() string {
+	return fmt.Sprintf("virtual processor %d aborted: %s", a.vproc, a.msg)
+}
+
+// hostAbort fails the host computation on behalf of a dead virtual
+// processor. On a real engine processor the abort keeps its structure (an
+// *AbortError with the virtual id); on other Node implementations it falls
+// back to the node's own Abortf. It does not return.
+func hostAbort(pr Node, err error) {
+	va, structured := err.(*vAbort)
+	if structured {
+		if p, ok := pr.(*Proc); ok {
+			p.abortWith(&AbortError{Proc: p.id, VProc: va.vproc, Msg: va.msg})
+		}
+		pr.Abortf("virtual processor %d aborted: %s", va.vproc, va.msg)
+	}
+	pr.Abortf("%v", err)
+}
+
 // ID returns the virtual processor index in [0, Pv).
 func (v *VProc) ID() int { return v.id }
 
@@ -130,7 +157,11 @@ func runHostDriver(pr Node, hostID, q, pv, kv int, program func(*VProc)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					st.err = fmt.Errorf("virtual processor %d: %v", vp.id, r)
+					if va, ok := r.(*vAbort); ok {
+						st.err = va
+					} else {
+						st.err = fmt.Errorf("virtual processor %d panicked: %v", vp.id, r)
+					}
 				}
 				close(vp.opCh)
 			}()
@@ -152,7 +183,7 @@ func runHostDriver(pr Node, hostID, q, pv, kv int, program func(*VProc)) {
 			op, ok := <-st.vp.opCh
 			if !ok {
 				if st.err != nil {
-					pr.Abortf("%v", st.err)
+					hostAbort(pr, st.err)
 				}
 				st.live = false
 				st.op = vOp{kind: opIdle}

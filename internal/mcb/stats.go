@@ -26,6 +26,10 @@ type Stats struct {
 	// phase. Segments sharing a name are merged into one entry; entries keep
 	// first-seen order.
 	Phases []PhaseStats
+	// Faults counts the injected faults (zero value when the run had no
+	// FaultPlan). Like every other counter, it reflects fully resolved
+	// cycles only.
+	Faults FaultStats
 }
 
 // PhaseStats is the accounting of one named phase of a run: every cycle and
@@ -90,6 +94,7 @@ func (s *Stats) Add(t *Stats) {
 	}
 	s.PerProc = addVec(s.PerProc, t.PerProc)
 	s.PerChannel = addVec(s.PerChannel, t.PerChannel)
+	s.Faults.add(&t.Faults)
 	for i := range t.Phases {
 		tp := &t.Phases[i]
 		if sp := s.PhaseByName(tp.Name); sp != nil {

@@ -20,7 +20,10 @@
 // lives under internal/ (see DESIGN.md for the system inventory).
 package mcbnet
 
-import "mcbnet/internal/core"
+import (
+	"mcbnet/internal/core"
+	"mcbnet/internal/mcb"
+)
 
 // Sort options and results.
 type (
@@ -66,6 +69,51 @@ const (
 	SelSortBaseline = core.SelSortBaseline
 )
 
+// Failure plane: deterministic fault injection, the typed error taxonomy,
+// and the verify-and-retry recovery layer (see internal/mcb and DESIGN.md
+// §4 "Failure semantics").
+type (
+	// FaultPlan describes deterministic, seeded fault injection for a run:
+	// message drops, payload corruption (optionally checksum-guarded),
+	// channel outages and processor crash-stops.
+	FaultPlan = mcb.FaultPlan
+	// FaultOutage marks a channel dead over a cycle range.
+	FaultOutage = mcb.Outage
+	// FaultCrash schedules a processor crash-stop at a cycle.
+	FaultCrash = mcb.Crash
+	// FaultStats counts the faults injected during a run.
+	FaultStats = mcb.FaultStats
+	// RetryPolicy configures SortWithRetry / SelectWithRetry.
+	RetryPolicy = mcb.RetryPolicy
+
+	// CollisionError: two processors wrote one channel in one cycle (the
+	// model's "computation fails").
+	CollisionError = mcb.CollisionError
+	// AbortError: a processor program detected an invariant violation and
+	// aborted (carries the processor id, and the virtual id under
+	// simulation).
+	AbortError = mcb.AbortError
+	// CrashError: one or more processors crash-stopped (fault injection).
+	CrashError = mcb.CrashError
+	// StallError: the lock-step protocol wedged; carries per-processor
+	// last-issued-op diagnostics.
+	StallError = mcb.StallError
+	// BudgetError: a cycle-count or message-size budget was exceeded.
+	BudgetError = mcb.BudgetError
+	// CorruptionError: a run "succeeded" but its output failed
+	// verification.
+	CorruptionError = mcb.CorruptionError
+
+	// SortVerifier / SelectVerifier are pluggable output checks for the
+	// retry layer.
+	SortVerifier   = core.SortVerifier
+	SelectVerifier = core.SelectVerifier
+)
+
+// ErrAborted is wrapped by every typed abort error; errors.Is works
+// against it.
+var ErrAborted = mcb.ErrAborted
+
 // Sort sorts a set distributed as inputs[i] at processor i over an
 // MCB(len(inputs), opts.K) network, preserving per-processor cardinalities:
 // under the default Descending order, processor 0 receives the largest
@@ -85,6 +133,33 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 // See core.MultiSelect.
 func MultiSelect(inputs [][]int64, ds []int, opts SelectOptions) ([]int64, *SelectReport, error) {
 	return core.MultiSelect(inputs, ds, opts)
+}
+
+// SortWithRetry sorts like Sort but re-executes faulted runs under
+// opts.Retry: an attempt is accepted only when the engine reports no error
+// and the output passes verification (sortedness, cardinality preservation,
+// multiset-permutation of the input — or opts.Verifier). See
+// core.SortWithRetry.
+func SortWithRetry(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
+	return core.SortWithRetry(inputs, opts)
+}
+
+// SelectWithRetry selects like Select but re-executes faulted runs and
+// verifies the answer by recount; with opts.Retry.DegradeOnCrash it degrades
+// gracefully after processor crash-stops (the dead processors' elements are
+// given up). See core.SelectWithRetry.
+func SelectWithRetry(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) {
+	return core.SelectWithRetry(inputs, opts)
+}
+
+// VerifySort is the default sort verifier (exported for standalone audits).
+func VerifySort(inputs, outputs [][]int64, order Order) error {
+	return core.VerifySort(inputs, outputs, order)
+}
+
+// VerifySelect is the default selection verifier: rank check by recount.
+func VerifySelect(inputs [][]int64, d int, value int64) error {
+	return core.VerifySelect(inputs, d, value)
 }
 
 // Median selects the paper's median — the element of descending rank

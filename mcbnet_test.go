@@ -1,6 +1,7 @@
 package mcbnet_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -106,5 +107,63 @@ func TestFacadeMedian(t *testing.T) {
 	// n=5, descending rank 3 = 5.
 	if got != 5 {
 		t.Errorf("median = %d, want 5", got)
+	}
+}
+
+// TestFacadeFailurePlane exercises the re-exported fault-injection and
+// recovery surface: external users cannot import internal/mcb, so the
+// aliases must be enough to script faults, match the taxonomy and retry.
+func TestFacadeFailurePlane(t *testing.T) {
+	inputs := [][]int64{{4, 1}, {3, 2}, {9, 5}}
+
+	// A scripted crash surfaces as a typed *CrashError wrapping ErrAborted.
+	plan := &mcbnet.FaultPlan{
+		Seed:    1,
+		Crashes: []mcbnet.FaultCrash{{Proc: 1, Cycle: 2}},
+		Outages: []mcbnet.FaultOutage{{Ch: 0, From: 50, To: 60}},
+	}
+	_, _, err := mcbnet.Sort(inputs, mcbnet.SortOptions{K: 2, Faults: plan})
+	var ce *mcbnet.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *mcbnet.CrashError", err)
+	}
+	if !errors.Is(err, mcbnet.ErrAborted) {
+		t.Fatal("facade ErrAborted does not match the engine's")
+	}
+
+	// The retry layer with a verifier-visible policy recovers a clean run.
+	outs, rep, err := mcbnet.SortWithRetry(inputs, mcbnet.SortOptions{
+		K:     2,
+		Retry: mcbnet.RetryPolicy{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Attempts != 1 {
+		t.Fatalf("clean run used %d attempts, want 1", rep.Attempts)
+	}
+	if verr := mcbnet.VerifySort(inputs, outs, mcbnet.Descending); verr != nil {
+		t.Fatal(verr)
+	}
+
+	// Graceful degradation through the facade.
+	val, selRep, err := mcbnet.SelectWithRetry(inputs, mcbnet.SelectOptions{
+		K:      1,
+		D:      2,
+		Faults: &mcbnet.FaultPlan{Crashes: []mcbnet.FaultCrash{{Proc: 2, Cycle: 1}}},
+		Retry:  mcbnet.RetryPolicy{MaxAttempts: 3, DegradeOnCrash: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors: 4 1 3 2 → rank 2 descending is 3.
+	if val != 3 {
+		t.Fatalf("degraded selection = %d, want 3", val)
+	}
+	if len(selRep.DeadProcs) != 1 || selRep.DeadProcs[0] != 2 {
+		t.Fatalf("DeadProcs = %v, want [2]", selRep.DeadProcs)
+	}
+	if verr := mcbnet.VerifySelect([][]int64{{4, 1}, {3, 2}, nil}, 2, val); verr != nil {
+		t.Fatal(verr)
 	}
 }
