@@ -19,4 +19,4 @@ race:
 verify: build vet race
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

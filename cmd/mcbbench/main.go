@@ -8,6 +8,13 @@
 //	mcbbench -exp E3    # one experiment
 //	mcbbench -list      # list experiments and their claims
 //	mcbbench -json      # emit results as JSON instead of text tables
+//
+// Engine microbenchmark mode (perf trajectory, see BENCH_engine.json):
+//
+//	mcbbench -engine                                  # print the sweep as JSON
+//	mcbbench -engine -out BENCH_engine.json           # write the artifact
+//	mcbbench -engine -baseline BENCH_engine.json \
+//	         -out BENCH_engine.json                   # keep previous numbers as baseline
 package main
 
 import (
@@ -15,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"mcbnet/internal/experiments"
+	"mcbnet/internal/mcb"
 	"mcbnet/internal/stats"
 )
 
@@ -35,12 +44,78 @@ type jsonExperiment struct {
 	Tables []jsonTable `json:"tables"`
 }
 
+// engineBenchFile is the on-disk schema of BENCH_engine.json: the engine
+// microbenchmark sweep of this build (Entries) plus, optionally, the numbers
+// of the previous build (Baseline) so the perf trajectory stays reviewable.
+type engineBenchFile struct {
+	Schema      string                 `json:"schema"`
+	GoVersion   string                 `json:"go"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	NumCPU      int                    `json:"num_cpu"`
+	GeneratedAt string                 `json:"generated_at"`
+	Entries     []mcb.EngineBenchEntry `json:"entries"`
+	Baseline    []mcb.EngineBenchEntry `json:"baseline,omitempty"`
+}
+
+// runEngineBench executes the engine microbenchmark sweep and writes the
+// JSON artifact to outPath ("" = stdout). baselinePath, when set, names a
+// previous artifact whose entries are carried over as the baseline.
+func runEngineBench(outPath, baselinePath string, cycles int64) error {
+	var baseline []mcb.EngineBenchEntry
+	if baselinePath != "" {
+		b, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("read baseline: %w", err)
+		}
+		var prev engineBenchFile
+		if err := json.Unmarshal(b, &prev); err != nil {
+			return fmt.Errorf("parse baseline: %w", err)
+		}
+		baseline = prev.Entries
+	}
+	entries, err := mcb.EngineBenchSweep(nil, cycles)
+	if err != nil {
+		return err
+	}
+	out := engineBenchFile{
+		Schema:      "mcbnet/engine-bench/v1",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Entries:     entries,
+		Baseline:    baseline,
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(outPath, b, 0o644)
+}
+
 func main() {
 	exp := flag.String("exp", "", "run a single experiment id (e.g. E3); empty = all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	list := flag.Bool("list", false, "list experiments")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	engine := flag.Bool("engine", false, "run the engine microbenchmark sweep instead of the experiments")
+	out := flag.String("out", "", "with -engine: write the JSON artifact to this file (default stdout)")
+	baseline := flag.String("baseline", "", "with -engine: carry the entries of this previous artifact over as baseline")
+	engineCycles := flag.Int64("engine-cycles", 0, "with -engine: cycles per configuration (0 = per-size default)")
 	flag.Parse()
+
+	if *engine {
+		if err := runEngineBench(*out, *baseline, *engineCycles); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,96 @@
+package mcb
+
+import (
+	"testing"
+	"time"
+)
+
+// Steady-state allocation regression: a cycle with tracing off, no fault
+// plan and no pending phase markers must not allocate at all, and phase
+// markers must cost a bounded constant. Measured as the marginal allocation
+// count between a short and a long run of the same workload, so one-time
+// setup (engine, goroutines, Proc handles) cancels out.
+
+// allocsForRun returns the average allocations of one engine run of the
+// given cycle count, with markerEvery > 0 adding a coalescing phase marker
+// on processor 0 every markerEvery cycles.
+func allocsForRun(t *testing.T, p, k, cycles, markerEvery int) float64 {
+	t.Helper()
+	cfg := Config{P: p, K: k, StallTimeout: time.Minute}
+	return testing.AllocsPerRun(4, func() {
+		res, err := RunUniform(cfg, func(pr Node) {
+			id := pr.ID()
+			if id < k {
+				m := MsgX(1, int64(id))
+				for i := 0; i < cycles; i++ {
+					if markerEvery > 0 && id == 0 && i%markerEvery == 0 {
+						pr.Phase("steady")
+					}
+					pr.WriteRead(id, m, id)
+				}
+				return
+			}
+			c := id % k
+			for i := 0; i < cycles; i++ {
+				pr.Read(c)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Cycles != int64(cycles) {
+			t.Fatalf("ran %d cycles, want %d", res.Stats.Cycles, cycles)
+		}
+	})
+}
+
+// TestSteadyStateCycleZeroAllocs asserts that steady-state cycles are
+// allocation-free: growing a run by 2000 cycles must not grow its
+// allocation count.
+func TestSteadyStateCycleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	const p, k = 8, 2
+	short := allocsForRun(t, p, k, 100, 0)
+	long := allocsForRun(t, p, k, 2100, 0)
+	perCycle := (long - short) / 2000
+	if perCycle > 0.01 {
+		t.Fatalf("steady-state cycle allocates: %.4f allocs/cycle (short run %.1f, long run %.1f)",
+			perCycle, short, long)
+	}
+	// Idle-only cycles (the bare barrier, including the IdleN fast path)
+	// must be allocation-free too.
+	idle := func(cycles int) float64 {
+		cfg := Config{P: p, K: k, StallTimeout: time.Minute}
+		return testing.AllocsPerRun(4, func() {
+			if _, err := RunUniform(cfg, func(pr Node) { pr.IdleN(cycles) }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	shortIdle := idle(100)
+	longIdle := idle(2100)
+	if perCycle := (longIdle - shortIdle) / 2000; perCycle > 0.01 {
+		t.Fatalf("steady-state idle cycle allocates: %.4f allocs/cycle (short %.1f, long %.1f)",
+			perCycle, shortIdle, longIdle)
+	}
+}
+
+// TestPhaseMarkerAllocsBounded asserts that a pending phase marker costs a
+// bounded constant number of allocations, independent of run length: the
+// marker queue itself plus nothing hidden in the resolver.
+func TestPhaseMarkerAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	const p, k = 8, 2
+	// 100 extra markers between the two runs (every 20 cycles over +2000).
+	few := allocsForRun(t, p, k, 100, 20)
+	many := allocsForRun(t, p, k, 2100, 20)
+	markers := float64((2100 - 100) / 20)
+	perMarker := (many - few) / markers
+	if perMarker > 4 {
+		t.Fatalf("phase marker costs %.2f allocs, want <= 4 (few %.1f, many %.1f)", perMarker, few, many)
+	}
+}

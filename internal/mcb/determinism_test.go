@@ -1,0 +1,148 @@
+package mcb
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Cross-path determinism regression: the fast resolver (no faults, no trace)
+// and the general resolver must be observably identical, and every resolver
+// must be schedule-independent — identical seeds and fault plans produce
+// byte-identical Report JSON across GOMAXPROCS settings and repeated runs.
+
+// detWorkload is a deterministic mixed workload: every cycle c has k
+// collision-free writers (processor (c+j) mod p writes channel j), everyone
+// else reads or idles, phase markers land every 16 cycles, and payloads vary
+// so MaxAbs moves. It never branches on read payloads, so fault injection
+// cannot change the traffic pattern — only the observed deliveries.
+func detWorkload(p, k, cycles int) func(Node) {
+	return func(pr Node) {
+		id := pr.ID()
+		for c := 0; c < cycles; c++ {
+			if c%16 == 0 {
+				pr.Phase(fmt.Sprintf("seg%d", c/16))
+			}
+			j := id - c
+			for j < 0 {
+				j += p
+			}
+			j %= p
+			switch {
+			case j < k:
+				// This processor is the writer of channel j this cycle.
+				pr.WriteRead(j, MsgX(uint8(j), int64(c*1000+id)), (c+id)%k)
+			case (c+id)%3 == 0:
+				pr.Idle()
+			default:
+				pr.Read((c + id) % k)
+			}
+		}
+		pr.AccountAux(int64(id + 1))
+		pr.IdleN(id % 4) // ragged tail exercises exit + IdleN interplay
+	}
+}
+
+// reportJSON runs the workload and renders the (Result, error)-derived
+// Report as canonical bytes. Errors are folded into the Extra field so a
+// faulted run (e.g. CrashError) still yields comparable output.
+func reportJSON(t *testing.T, cfg Config, p, k, cycles int) []byte {
+	t.Helper()
+	res, err := RunUniform(cfg, detWorkload(p, k, cycles))
+	if res == nil {
+		t.Fatalf("run returned nil result (err=%v)", err)
+	}
+	rep := NewReport(cfg, &res.Stats)
+	if err != nil {
+		rep.Extra = map[string]any{"error": err.Error()}
+	}
+	b, jerr := rep.JSON()
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	return b
+}
+
+func detConfig(p, k int, plan *FaultPlan, trace bool) Config {
+	return Config{P: p, K: k, Trace: trace, Faults: plan, StallTimeout: time.Minute}
+}
+
+// TestCrossPathDeterminism holds the fast and general resolve paths to
+// byte-identical Report JSON, across GOMAXPROCS in {1, 4, NumCPU} and
+// repeated runs, with and without an active fault plan.
+func TestCrossPathDeterminism(t *testing.T) {
+	const p, k, cycles = 9, 3, 96
+	plan := &FaultPlan{
+		Seed:        42,
+		DropRate:    0.05,
+		CorruptRate: 0.05,
+		Checksum:    true,
+		Outages:     []Outage{{Ch: 1, From: 20, To: 40}},
+		Crashes:     []Crash{{Proc: 7, Cycle: 60}},
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	procsSweep := []int{1, 4, runtime.NumCPU()}
+
+	var fastRef, faultRef []byte
+	for _, gmp := range procsSweep {
+		runtime.GOMAXPROCS(gmp)
+		for rep := 0; rep < 3; rep++ {
+			tag := fmt.Sprintf("GOMAXPROCS=%d rep=%d", gmp, rep)
+
+			// Fast path: no faults, no trace.
+			fast := reportJSON(t, detConfig(p, k, nil, false), p, k, cycles)
+			// General path, same semantics: trace on, no faults. The Report
+			// schema does not include the trace, so the two paths must agree
+			// byte for byte.
+			general := reportJSON(t, detConfig(p, k, nil, true), p, k, cycles)
+			if fastRef == nil {
+				fastRef = fast
+			}
+			if !bytes.Equal(fast, fastRef) {
+				t.Fatalf("%s: fast-path report diverged:\n%s\n--- want ---\n%s", tag, fast, fastRef)
+			}
+			if !bytes.Equal(general, fastRef) {
+				t.Fatalf("%s: general-path report differs from fast path:\n%s\n--- want ---\n%s", tag, general, fastRef)
+			}
+
+			// General path with an active fault plan (drops, corruption,
+			// outage window, crash-stop): replay must be byte-identical.
+			faulty := reportJSON(t, detConfig(p, k, plan.Clone(), false), p, k, cycles)
+			if faultRef == nil {
+				faultRef = faulty
+			}
+			if !bytes.Equal(faulty, faultRef) {
+				t.Fatalf("%s: faulted report diverged:\n%s\n--- want ---\n%s", tag, faulty, faultRef)
+			}
+		}
+	}
+	if bytes.Equal(fastRef, faultRef) {
+		t.Fatal("fault plan injected nothing (fast and faulted reports identical); workload lost its fault coverage")
+	}
+}
+
+// TestFastPathSelection pins down which configurations take which resolver:
+// an inactive (zero or nil) fault plan must not force the general path.
+func TestFastPathSelection(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		fast bool
+	}{
+		{"default", Config{P: 2, K: 1}, true},
+		{"zero-plan", Config{P: 2, K: 1, Faults: &FaultPlan{}}, true},
+		{"trace", Config{P: 2, K: 1, Trace: true}, false},
+		{"drops", Config{P: 2, K: 1, Faults: &FaultPlan{DropRate: 0.1}}, false},
+		{"outage", Config{P: 2, K: 1, Faults: &FaultPlan{Outages: []Outage{{Ch: 0, From: 0, To: 1}}}}, false},
+	}
+	for _, c := range cases {
+		e := &engine{cfg: c.cfg, faults: newFaultState(c.cfg.Faults, c.cfg.P)}
+		got := e.faults == nil && !c.cfg.Trace
+		if got != c.fast {
+			t.Errorf("%s: fast-path selection = %v, want %v", c.name, got, c.fast)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package mcb
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 )
 
 // Config describes an MCB(p, k) network and run options.
@@ -81,12 +83,16 @@ const (
 	opExit
 )
 
+// cycleOp is one processor's submission for one cycle. It is kept slim (no
+// pointers in the common case) so a padded slot fits one cache line; the
+// rarely-used phase markers travel in engine.phaseSlots, flagged here by
+// hasPhases.
 type cycleOp struct {
-	kind    opKind
-	writeCh int32
-	readCh  int32
-	msg     Message
-	phases  []string // phase markers queued via Proc.Phase, consumed by resolve
+	kind      opKind
+	hasPhases bool // phase markers for this op are in engine.phaseSlots
+	writeCh   int32
+	readCh    int32
+	msg       Message
 }
 
 type readResult struct {
@@ -94,8 +100,28 @@ type readResult struct {
 	ok  bool
 }
 
-type generation struct {
-	ch chan struct{}
+// cacheLine is the padding granularity for the per-processor hot arrays.
+// 64 bytes matches amd64 and most arm64 parts; on machines with larger
+// effective lines the padding merely halves, it never breaks correctness.
+const cacheLine = 64
+
+// paddedOp, paddedResult and paddedMirror pad their payload to a cache-line
+// multiple so that neighbouring processors' slot writes (each processor
+// stores only its own index; the resolver reads them all) never contend on
+// a shared line (false sharing).
+type paddedOp struct {
+	op cycleOp
+	_  [(cacheLine - unsafe.Sizeof(cycleOp{})%cacheLine) % cacheLine]byte
+}
+
+type paddedResult struct {
+	r readResult
+	_ [(cacheLine - unsafe.Sizeof(readResult{})%cacheLine) % cacheLine]byte
+}
+
+type paddedMirror struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
 }
 
 // abortPanic unwinds processor goroutines when the engine has failed.
@@ -106,36 +132,56 @@ type abortPanic struct{ err error }
 type crashPanic struct{}
 
 type engine struct {
-	cfg     Config
-	slots   []cycleOp
-	results []readResult
-	live    []bool
-	liveN   int
+	cfg  Config
+	fast bool // no faults and no trace: resolve takes the specialized path
+
+	slots      []paddedOp     // per-processor cycle submissions
+	results    []paddedResult // per-processor read results
+	phaseSlots [][]string     // per-processor pending phase markers (cold)
+	live       []bool
+	liveN      int
 
 	// channel registers for the cycle being resolved
 	chWriter []int // writer proc id per channel, -1 if none
 	chMsg    []Message
+	chOutage []bool // per-channel outage flag, recomputed once per cycle
 
+	// Cycle barrier: a sense-reversing generation counter plus spin-then-park
+	// waiters. Arrival is counted in arrived; the last arriver resolves the
+	// cycle and advances barGen (the "sense"), which releases the spinners;
+	// waiters that gave up spinning park on barCond and are woken only when
+	// parked says somebody is actually there. The three atomics live on
+	// separate cache lines: arrived takes a contended RMW per processor per
+	// cycle, barGen is read-spun by every waiter.
+	_pad0    [cacheLine]byte
 	arrived  atomic.Int32
+	_pad1    [cacheLine - 4]byte
 	expected atomic.Int32
-	gen      atomic.Pointer[generation]
+	_pad2    [cacheLine - 4]byte
+	barGen   atomic.Uint64
+	_pad3    [cacheLine - 8]byte
+
+	parked    atomic.Int32
+	barMu     sync.Mutex
+	barCond   sync.Cond
+	busySpins int // pure-spin probes before yielding; 0 on GOMAXPROCS=1
 
 	cycles atomic.Int64 // progress counter for the watchdog
 	// procMirror[i] is an atomic mirror of processor i's slot-table state,
 	// packed (steps << 3 | opKind). Written only by processor i (in step),
 	// read by the stall watchdog for diagnostics.
-	procMirror []atomic.Uint64
+	procMirror []paddedMirror
 	faults     *faultState
 	stats      Stats
-	phaseIdx map[string]int // phase name -> index in stats.Phases
-	curPhase int            // index of the active phase, -1 before any marker
-	trace    *Trace
-	failed   atomic.Bool
-	abortErr error
-	abortMu  sync.Mutex
-	aborted  chan struct{} // closed on failure
-	abortOne sync.Once
-	allDone  chan struct{} // closed when all processors exit
+	phaseIdx   map[string]int // phase name -> index in stats.Phases
+	curPhase   int            // index of the active phase, -1 before any marker
+	trace      *Trace
+	failed     atomic.Bool
+	abortErr   error
+	abortMu    sync.Mutex
+	aborted    chan struct{} // closed on failure
+	abortOne   sync.Once
+	allDone    chan struct{} // closed when all processors exit
 
 	maxAux atomic.Int64
 }
@@ -148,6 +194,11 @@ func (e *engine) abort(err error) {
 	e.abortMu.Unlock()
 	e.failed.Store(true)
 	e.abortOne.Do(func() { close(e.aborted) })
+	// Wake parked waiters so they observe the failure; spinners check the
+	// failed flag on every probe.
+	e.barMu.Lock()
+	e.barCond.Broadcast()
+	e.barMu.Unlock()
 }
 
 func (e *engine) abortError() error {
@@ -166,40 +217,85 @@ func (e *engine) softErr(err error) {
 	e.abortMu.Unlock()
 }
 
-// step submits one cycle operation for processor id and, once every live
-// processor has submitted, resolves the cycle. It blocks until resolution
-// and returns the read result for reading ops.
-func (e *engine) step(id int, op cycleOp) readResult {
+// step counts processor id's arrival for the current cycle — the processor
+// has already written its submission into slots[id] — and, once every live
+// processor has arrived, resolves the cycle. It blocks until resolution and
+// returns the read result for reading ops.
+func (e *engine) step(id int, kind opKind) readResult {
 	if e.failed.Load() {
 		panic(abortPanic{e.abortError()})
 	}
-	m := e.procMirror[id].Load()
-	e.procMirror[id].Store((m>>3+1)<<3 | uint64(op.kind))
-	g := e.gen.Load()
-	e.slots[id] = op
+	g := e.barGen.Load()
 	if e.arrived.Add(1) == e.expected.Load() {
-		e.resolve(g)
-		if op.kind == opExit {
+		e.resolve()
+		if kind == opExit {
 			return readResult{}
 		}
-		if e.failed.Load() {
-			panic(abortPanic{e.abortError()})
+	} else {
+		if kind == opExit {
+			// Exiting processors do not wait for the cycle outcome.
+			return readResult{}
 		}
-		return e.results[id]
-	}
-	if op.kind == opExit {
-		// Exiting processors do not wait for the cycle outcome.
-		return readResult{}
-	}
-	select {
-	case <-g.ch:
-	case <-e.aborted:
-		panic(abortPanic{e.abortError()})
+		e.await(g)
 	}
 	if e.failed.Load() {
 		panic(abortPanic{e.abortError()})
 	}
-	return e.results[id]
+	return e.results[id].r
+}
+
+// barrierYields bounds how many scheduler yields a waiter spends probing the
+// generation counter before parking on the condition variable. A cycle
+// resolves in O(p) work once every processor has arrived, so on a healthy
+// run a couple of yields suffice; the park path is the backstop for
+// oversubscribed machines and programs doing long local computation.
+const barrierYields = 16
+
+// await blocks until the barrier generation has advanced past g (the cycle
+// this waiter submitted to has been resolved) or the run has failed. It
+// spins first — pure probes while other cores may be resolving, then
+// scheduler yields — and parks on barCond as a last resort.
+func (e *engine) await(g uint64) {
+	for i := 0; i < e.busySpins; i++ {
+		if e.barGen.Load() != g || e.failed.Load() {
+			return
+		}
+	}
+	for i := 0; i < barrierYields; i++ {
+		if e.barGen.Load() != g || e.failed.Load() {
+			return
+		}
+		runtime.Gosched()
+	}
+	e.barMu.Lock()
+	for e.barGen.Load() == g && !e.failed.Load() {
+		e.parked.Add(1)
+		// Re-check after publishing parked: advance() reads parked after
+		// bumping the generation, so either it sees our increment and
+		// broadcasts, or this probe sees the new generation — never neither.
+		if e.barGen.Load() != g || e.failed.Load() {
+			e.parked.Add(-1)
+			break
+		}
+		e.barCond.Wait()
+		e.parked.Add(-1)
+	}
+	e.barMu.Unlock()
+}
+
+// advance opens the next barrier generation and releases this cycle's
+// waiters. The generation bump is the release edge for all plain stores the
+// resolver made (results, stats): waiters synchronize on loading the new
+// value. Called only by the resolver.
+func (e *engine) advance() {
+	e.arrived.Store(0)
+	e.expected.Store(int32(e.liveN))
+	e.barGen.Add(1)
+	if e.parked.Load() > 0 {
+		e.barMu.Lock()
+		e.barCond.Broadcast()
+		e.barMu.Unlock()
+	}
 }
 
 // switchPhase makes name the active accounting phase, creating its Stats
@@ -218,15 +314,170 @@ func (e *engine) switchPhase(name string) {
 	e.curPhase = idx
 }
 
+// consumePhases registers processor id's pending phase markers, if any.
+func (e *engine) consumePhases(id int) {
+	for _, name := range e.phaseSlots[id] {
+		e.switchPhase(name)
+	}
+	e.phaseSlots[id] = nil
+}
+
+// stageWrite validates processor id's write and registers it in the channel
+// slots. It returns false when the write aborted the run. Stats are not
+// touched here (see the invariant on resolveGeneral).
+func (e *engine) stageWrite(id int, op *cycleOp) bool {
+	c := int(op.writeCh)
+	if c < 0 || c >= e.cfg.K {
+		e.abort(fmt.Errorf("%w: processor %d wrote invalid channel %d", ErrAborted, id, c))
+		return false
+	}
+	if prev := e.chWriter[c]; prev >= 0 {
+		e.abort(&CollisionError{Cycle: e.stats.Cycles, Ch: c, ProcA: prev, ProcB: id})
+		return false
+	}
+	if e.cfg.MaxAbs > 0 {
+		if a := op.msg.maxAbs(); a > e.cfg.MaxAbs {
+			e.abort(&BudgetError{Budget: "message-size", Limit: e.cfg.MaxAbs, Observed: a, Proc: id})
+			return false
+		}
+	}
+	e.chWriter[c] = id
+	e.chMsg[c] = op.msg
+	return true
+}
+
+// endCycle applies the run budgets and either finishes the run or opens the
+// next barrier generation. Shared tail of both resolver paths. On abort the
+// generation is left closed: waiters observe the failed flag instead.
+func (e *engine) endCycle() {
+	if e.cfg.MaxCycles > 0 && e.stats.Cycles >= e.cfg.MaxCycles {
+		e.abort(&BudgetError{Budget: "cycles", Limit: e.cfg.MaxCycles, Observed: e.stats.Cycles, Proc: -1})
+		return
+	}
+	if e.liveN == 0 {
+		close(e.allDone)
+		return
+	}
+	e.advance()
+}
+
 // resolve is executed by exactly one goroutine per cycle (the last arriver)
 // and is therefore free of data races. It processes the submitted ops in
-// processor-id order, making runs deterministic.
+// processor-id order, making runs deterministic. The fast path handles the
+// common case — no fault plan, no trace — with no fault dispatch, no trace
+// bookkeeping and no staged fault counters; the general path handles the
+// rest. Both paths must stay observably identical under a nil plan: the
+// cross-path determinism test holds them to byte-identical Report output.
+func (e *engine) resolve() {
+	if e.fast {
+		e.resolveFast()
+	} else {
+		e.resolveGeneral()
+	}
+}
+
+// resolveFast is the no-fault/no-trace cycle resolver. Steady-state cycles
+// (no phase markers pending) allocate nothing here.
+func (e *engine) resolveFast() {
+	p := e.cfg.P
+	for c := range e.chWriter {
+		e.chWriter[c] = -1
+	}
+	sawWork := false
+	sawExit := false
+	// Pass 1: phase markers (processor-id order, so an entry exists even for
+	// a zero-traffic phase) and writes. Validation runs before any counter
+	// is touched, exactly like the general path.
+	for id := 0; id < p; id++ {
+		if !e.live[id] {
+			continue
+		}
+		op := &e.slots[id].op
+		if op.hasPhases {
+			e.consumePhases(id)
+		}
+		switch op.kind {
+		case opWrite, opWriteRead:
+			sawWork = true
+			if !e.stageWrite(id, op) {
+				return
+			}
+		case opRead, opIdle:
+			sawWork = true
+		case opExit:
+			sawExit = true
+		}
+	}
+	// Pass 2: reads observe the channel registers; no fault dispatch.
+	for id := 0; id < p; id++ {
+		if !e.live[id] {
+			continue
+		}
+		op := &e.slots[id].op
+		if op.kind != opRead && op.kind != opWriteRead {
+			continue
+		}
+		c := int(op.readCh)
+		if c < 0 || c >= e.cfg.K {
+			e.abort(fmt.Errorf("%w: processor %d read invalid channel %d", ErrAborted, id, c))
+			return
+		}
+		if e.chWriter[c] >= 0 {
+			e.results[id].r = readResult{msg: e.chMsg[c], ok: true}
+		} else {
+			e.results[id].r = readResult{}
+		}
+	}
+	// Pass 3: exits (skipped entirely on the usual all-live cycle).
+	if sawExit {
+		for id := 0; id < p; id++ {
+			if e.live[id] && e.slots[id].op.kind == opExit {
+				e.live[id] = false
+				e.liveN--
+			}
+		}
+	}
+	// Commit.
+	var ph *PhaseStats
+	if e.curPhase >= 0 {
+		ph = &e.stats.Phases[e.curPhase]
+	}
+	for c, id := range e.chWriter {
+		if id < 0 {
+			continue
+		}
+		e.stats.Messages++
+		e.stats.PerProc[id]++
+		e.stats.PerChannel[c]++
+		if a := e.chMsg[c].maxAbs(); a > e.stats.MaxAbs {
+			e.stats.MaxAbs = a
+		}
+		if ph != nil {
+			ph.Messages++
+			if ph.PerChannel == nil {
+				ph.PerChannel = make([]int64, e.cfg.K)
+			}
+			ph.PerChannel[c]++
+		}
+	}
+	if sawWork {
+		e.stats.Cycles++
+		e.cycles.Store(e.stats.Cycles)
+		if ph != nil {
+			ph.Cycles++
+		}
+	}
+	e.endCycle()
+}
+
+// resolveGeneral is the full cycle resolver: fault injection at delivery,
+// channel outages, and optional per-cycle trace recording.
 //
 // Invariant: Stats reflects only fully resolved cycles. Validation (channel
 // range, collision-freedom, the message-size budget) runs before any counter
 // is touched, so a run that aborts mid-cycle leaves no partial increments
 // from the failed cycle behind.
-func (e *engine) resolve(g *generation) {
+func (e *engine) resolveGeneral() {
 	p := e.cfg.P
 	for c := range e.chWriter {
 		e.chWriter[c] = -1
@@ -235,11 +486,8 @@ func (e *engine) resolve(g *generation) {
 	// exists even for a zero-traffic phase (a marker riding on the final
 	// exit op still registers).
 	for id := 0; id < p; id++ {
-		if !e.live[id] {
-			continue
-		}
-		for _, name := range e.slots[id].phases {
-			e.switchPhase(name)
+		if e.live[id] && e.slots[id].op.hasPhases {
+			e.consumePhases(id)
 		}
 	}
 	sawWork := false
@@ -250,36 +498,35 @@ func (e *engine) resolve(g *generation) {
 			tr.Phase = e.stats.Phases[e.curPhase].Name
 		}
 	}
+	cycle := e.stats.Cycles
+	var plan *FaultPlan
+	if e.faults != nil {
+		plan = e.faults.plan
+	}
+	// Outage status is a function of (channel, cycle) only: compute it once
+	// per channel here instead of once per reader plus once per written
+	// channel at commit. chOutage stays all-false when the plan has no
+	// outage windows (it is never written then).
+	if plan != nil && len(plan.Outages) > 0 {
+		for c := range e.chOutage {
+			e.chOutage[c] = plan.outageAt(c, cycle)
+		}
+	}
 	// Pass 1: writes — register into the channel slots and validate, but do
 	// not touch Stats yet (see the invariant above).
 	for id := 0; id < p; id++ {
 		if !e.live[id] {
 			continue
 		}
-		op := &e.slots[id]
+		op := &e.slots[id].op
 		switch op.kind {
 		case opWrite, opWriteRead:
 			sawWork = true
-			c := int(op.writeCh)
-			if c < 0 || c >= e.cfg.K {
-				e.abort(fmt.Errorf("%w: processor %d wrote invalid channel %d", ErrAborted, id, c))
-				close(g.ch)
+			if !e.stageWrite(id, op) {
 				return
 			}
-			if prev := e.chWriter[c]; prev >= 0 {
-				e.abort(&CollisionError{Cycle: e.stats.Cycles, Ch: c, ProcA: prev, ProcB: id})
-				close(g.ch)
-				return
-			}
-			if a := op.msg.maxAbs(); e.cfg.MaxAbs > 0 && a > e.cfg.MaxAbs {
-				e.abort(&BudgetError{Budget: "message-size", Limit: e.cfg.MaxAbs, Observed: a, Proc: id})
-				close(g.ch)
-				return
-			}
-			e.chWriter[c] = id
-			e.chMsg[c] = op.msg
 			if tr != nil {
-				tr.Writes = append(tr.Writes, WriteEvent{Proc: id, Ch: c, Msg: op.msg})
+				tr.Writes = append(tr.Writes, WriteEvent{Proc: id, Ch: int(op.writeCh), Msg: op.msg})
 			}
 		case opRead, opIdle, opExit:
 			if op.kind != opExit {
@@ -290,27 +537,21 @@ func (e *engine) resolve(g *generation) {
 	// Pass 2: reads, with fault injection at delivery. Fault counters are
 	// staged locally and committed with the cycle (see the invariant above).
 	var fDelta FaultStats
-	cycle := e.stats.Cycles
-	var plan *FaultPlan
-	if e.faults != nil {
-		plan = e.faults.plan
-	}
 	for id := 0; id < p; id++ {
 		if !e.live[id] {
 			continue
 		}
-		op := &e.slots[id]
+		op := &e.slots[id].op
 		if op.kind != opRead && op.kind != opWriteRead {
 			continue
 		}
 		c := int(op.readCh)
 		if c < 0 || c >= e.cfg.K {
 			e.abort(fmt.Errorf("%w: processor %d read invalid channel %d", ErrAborted, id, c))
-			close(g.ch)
 			return
 		}
 		var rr readResult
-		if e.chWriter[c] >= 0 && !plan.outageAt(c, cycle) {
+		if e.chWriter[c] >= 0 && !e.chOutage[c] {
 			msg := e.chMsg[c]
 			switch {
 			case plan.dropAt(cycle, id, c):
@@ -330,14 +571,14 @@ func (e *engine) resolve(g *generation) {
 				}
 			}
 		}
-		e.results[id] = rr
+		e.results[id].r = rr
 		if tr != nil {
 			tr.Reads = append(tr.Reads, ReadEvent{Proc: id, Ch: c, Msg: rr.msg, OK: rr.ok})
 		}
 	}
 	// Pass 3: exits.
 	for id := 0; id < p; id++ {
-		if e.live[id] && e.slots[id].kind == opExit {
+		if e.live[id] && e.slots[id].op.kind == opExit {
 			e.live[id] = false
 			e.liveN--
 		}
@@ -355,7 +596,7 @@ func (e *engine) resolve(g *generation) {
 		e.stats.Messages++
 		e.stats.PerProc[id]++
 		e.stats.PerChannel[c]++
-		if plan.outageAt(c, cycle) {
+		if e.chOutage[c] {
 			fDelta.OutageLosses++
 		}
 		if a := e.chMsg[c].maxAbs(); a > e.stats.MaxAbs {
@@ -380,22 +621,7 @@ func (e *engine) resolve(g *generation) {
 			e.trace.Cycles = append(e.trace.Cycles, *tr)
 		}
 	}
-	if e.cfg.MaxCycles > 0 && e.stats.Cycles >= e.cfg.MaxCycles {
-		e.abort(&BudgetError{Budget: "cycles", Limit: e.cfg.MaxCycles, Observed: e.stats.Cycles, Proc: -1})
-		close(g.ch)
-		return
-	}
-	if e.liveN == 0 {
-		close(e.allDone)
-		close(g.ch)
-		return
-	}
-	// Open the next generation, then release this one. The channel close is
-	// the release barrier for all plain stores above.
-	e.arrived.Store(0)
-	e.expected.Store(int32(e.liveN))
-	e.gen.Store(&generation{ch: make(chan struct{})})
-	close(g.ch)
+	e.endCycle()
 }
 
 // finalize folds the cross-goroutine watermarks and the derived per-phase
@@ -434,18 +660,21 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 	}
 	e := &engine{
 		cfg:        cfg,
-		slots:      make([]cycleOp, cfg.P),
-		results:    make([]readResult, cfg.P),
+		slots:      make([]paddedOp, cfg.P),
+		results:    make([]paddedResult, cfg.P),
+		phaseSlots: make([][]string, cfg.P),
 		live:       make([]bool, cfg.P),
 		chWriter:   make([]int, cfg.K),
 		chMsg:      make([]Message, cfg.K),
-		procMirror: make([]atomic.Uint64, cfg.P),
+		chOutage:   make([]bool, cfg.K),
+		procMirror: make([]paddedMirror, cfg.P),
 		faults:     newFaultState(cfg.Faults, cfg.P),
 		phaseIdx:   make(map[string]int),
 		curPhase:   -1,
 		aborted:    make(chan struct{}),
 		allDone:    make(chan struct{}),
 	}
+	e.fast = e.faults == nil && !cfg.Trace
 	e.stats.PerProc = make([]int64, cfg.P)
 	e.stats.PerChannel = make([]int64, cfg.K)
 	if cfg.Trace {
@@ -456,7 +685,13 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 	}
 	e.liveN = cfg.P
 	e.expected.Store(int32(cfg.P))
-	e.gen.Store(&generation{ch: make(chan struct{})})
+	e.barCond.L = &e.barMu
+	if runtime.GOMAXPROCS(0) > 1 {
+		// With real parallelism a short pure-spin window usually catches the
+		// resolver finishing on another core; on a single-P runtime it would
+		// only delay the resolver, so waiters go straight to yielding.
+		e.busySpins = 96
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.P; i++ {

@@ -154,7 +154,7 @@ func (e *engine) stallDiagnostics() []ProcState {
 	snaps := make([]snap, e.cfg.P)
 	min := int64(-1)
 	for id := range snaps {
-		v := e.procMirror[id].Load()
+		v := e.procMirror[id].v.Load()
 		s := snap{steps: int64(v >> 3), kind: opKind(v & 7)}
 		snaps[id] = s
 		if s.kind == opExit {

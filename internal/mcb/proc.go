@@ -14,6 +14,7 @@ type Proc struct {
 
 	auxWords int64    // current auxiliary-memory estimate (words), see AccountAux
 	steps    int64    // cycles this processor has participated in
+	mirOps   uint64   // ops issued, mirrored into engine.procMirror for the watchdog
 	pending  []string // phase markers to attach to the next cycle op, see Phase
 }
 
@@ -44,11 +45,25 @@ func (p *Proc) Phase(name string) {
 	p.pending = append(p.pending, name)
 }
 
-// takePending detaches the queued phase markers for the next cycle op.
-func (p *Proc) takePending() []string {
-	m := p.pending
-	p.pending = nil
-	return m
+// fillSlot writes this processor's submission for the next cycle directly
+// into its (cache-line padded, single-writer) engine slot, updates the
+// watchdog mirror, and hands any queued phase markers to the engine's cold
+// side table. Writing in place keeps the hot path free of cycleOp copies.
+func (p *Proc) fillSlot(kind opKind, writeCh, readCh int32, msg Message) {
+	p.mirOps++
+	p.e.procMirror[p.id].v.Store(p.mirOps<<3 | uint64(kind))
+	slot := &p.e.slots[p.id].op
+	slot.kind = kind
+	slot.writeCh = writeCh
+	slot.readCh = readCh
+	slot.msg = msg
+	if len(p.pending) > 0 {
+		slot.hasPhases = true
+		p.e.phaseSlots[p.id] = p.pending
+		p.pending = nil
+	} else {
+		slot.hasPhases = false
+	}
 }
 
 // issue submits one cycle operation, firing a scheduled crash-stop first:
@@ -57,7 +72,7 @@ func (p *Proc) takePending() []string {
 // this goroutine (crashPanic); the run continues without the processor.
 // Deterministic: the trigger depends only on this processor's own op count,
 // which in a lock-step run equals the global cycle index.
-func (p *Proc) issue(op cycleOp) readResult {
+func (p *Proc) issue(kind opKind, writeCh, readCh int32, msg Message) readResult {
 	p.steps++
 	if fs := p.e.faults; fs != nil {
 		if c := fs.crashCycle(p.id); c >= 0 && p.steps > c {
@@ -65,7 +80,8 @@ func (p *Proc) issue(op cycleOp) readResult {
 			panic(crashPanic{})
 		}
 	}
-	return p.e.step(p.id, op)
+	p.fillSlot(kind, writeCh, readCh, msg)
+	return p.e.step(p.id, kind)
 }
 
 // WriteRead broadcasts m on channel writeCh and reads channel readCh in the
@@ -73,31 +89,63 @@ func (p *Proc) issue(op cycleOp) readResult {
 // channel was written at all this cycle (ok=false reports silence). Reading
 // the channel just written observes the processor's own message.
 func (p *Proc) WriteRead(writeCh int, m Message, readCh int) (Message, bool) {
-	r := p.issue(cycleOp{kind: opWriteRead, writeCh: int32(writeCh), readCh: int32(readCh), msg: m, phases: p.takePending()})
+	r := p.issue(opWriteRead, int32(writeCh), int32(readCh), m)
 	return r.msg, r.ok
 }
 
 // Write broadcasts m on channel writeCh and does not read this cycle.
 func (p *Proc) Write(writeCh int, m Message) {
-	p.issue(cycleOp{kind: opWrite, writeCh: int32(writeCh), msg: m, phases: p.takePending()})
+	p.issue(opWrite, int32(writeCh), 0, m)
 }
 
 // Read reads channel readCh this cycle without writing. ok=false reports
 // that no processor wrote the channel (silence).
 func (p *Proc) Read(readCh int) (Message, bool) {
-	r := p.issue(cycleOp{kind: opRead, readCh: int32(readCh), phases: p.takePending()})
+	r := p.issue(opRead, 0, int32(readCh), Message{})
 	return r.msg, r.ok
 }
 
 // Idle spends one cycle without touching any channel.
 func (p *Proc) Idle() {
-	p.issue(cycleOp{kind: opIdle, phases: p.takePending()})
+	p.issue(opIdle, 0, 0, Message{})
 }
 
 // IdleN spends n cycles idle. n <= 0 is a no-op.
+//
+// The first cycle goes through the full issue path — it carries any pending
+// phase markers and performs the crash-stop check. The remaining cycles take
+// a fast path that skips both: no markers can be queued mid-loop, and the
+// fast path is only taken when no scheduled crash-stop can fire inside the
+// stretch, so per-cycle crash semantics are preserved exactly.
 func (p *Proc) IdleN(n int) {
+	if n <= 0 {
+		return
+	}
+	p.Idle()
+	if n--; n == 0 {
+		return
+	}
+	if fs := p.e.faults; fs != nil {
+		if c := fs.crashCycle(p.id); c >= 0 && p.steps+int64(n) > c {
+			// The crash-stop fires inside this idle stretch: keep the
+			// per-cycle path so it triggers on the exact cycle.
+			for i := 0; i < n; i++ {
+				p.Idle()
+			}
+			return
+		}
+	}
+	// The slot content is identical for every remaining cycle, so it is
+	// written once; only the arrival (and the watchdog mirror) repeats.
+	p.fillSlot(opIdle, 0, 0, Message{})
+	mir := &p.e.procMirror[p.id].v
 	for i := 0; i < n; i++ {
-		p.Idle()
+		p.steps++
+		if i > 0 {
+			p.mirOps++
+			mir.Store(p.mirOps<<3 | uint64(opIdle))
+		}
+		p.e.step(p.id, opIdle)
 	}
 }
 
@@ -131,8 +179,11 @@ func (p *Proc) AccountAux(delta int64) {
 }
 
 // exit leaves the lock-step protocol. Any engine-failure panic raised while
-// exiting is swallowed: the engine result is already determined.
+// exiting is swallowed: the engine result is already determined. A phase
+// marker still pending here rides on the exit op, so it registers even when
+// it was queued after the processor's last traffic cycle.
 func (p *Proc) exit() {
 	defer func() { _ = recover() }()
-	p.e.step(p.id, cycleOp{kind: opExit, phases: p.takePending()})
+	p.fillSlot(opExit, 0, 0, Message{})
+	p.e.step(p.id, opExit)
 }

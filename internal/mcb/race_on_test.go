@@ -1,0 +1,8 @@
+//go:build race
+
+package mcb
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions are skipped under -race because instrumentation perturbs the
+// allocator.
+const raceEnabled = true
