@@ -1,8 +1,10 @@
-# Development targets. `make verify` is the gate CI and pre-commit use.
+# Development targets. `make verify` is the gate CI and pre-commit use;
+# `make lint` mirrors the CI lint job (staticcheck and govulncheck are
+# skipped with a note when not installed — CI always runs them).
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench lint bench-gate trace-sample
 
 build:
 	$(GO) build ./...
@@ -20,3 +22,26 @@ verify: build vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi
+
+# The CI benchmark regression gate, runnable locally: fresh engine sweep vs
+# the committed artifact, ±20%.
+bench-gate:
+	$(GO) run ./cmd/mcbbench -engine -compare BENCH_engine.json -threshold 0.20 \
+		-out BENCH_engine.fresh.json
+
+# The acceptance-shape cycle trace (p=16, k=4 sort), Perfetto-loadable.
+trace-sample:
+	$(GO) run ./cmd/mcbtrace -n 64 -p 16 -k 4 -format perfetto -o trace_sample.perfetto.json
+	@echo "wrote trace_sample.perfetto.json — open it in https://ui.perfetto.dev"

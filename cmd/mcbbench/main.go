@@ -15,6 +15,13 @@
 //	mcbbench -engine -out BENCH_engine.json           # write the artifact
 //	mcbbench -engine -baseline BENCH_engine.json \
 //	         -out BENCH_engine.json                   # keep previous numbers as baseline
+//
+// CI regression gate: compare a fresh sweep against the committed artifact
+// and fail (exit 2) when throughput or allocations regressed beyond the
+// threshold:
+//
+//	mcbbench -engine -compare BENCH_engine.json -threshold 0.20 \
+//	         -out BENCH_engine.fresh.json
 package main
 
 import (
@@ -57,25 +64,48 @@ type engineBenchFile struct {
 	Baseline    []mcb.EngineBenchEntry `json:"baseline,omitempty"`
 }
 
+// errRegression marks a failed -compare gate (exit code 2, distinguishing a
+// perf regression from an operational error).
+var errRegression = fmt.Errorf("engine benchmark regression")
+
+// loadEngineBench reads the entries of a previous BENCH_engine.json.
+func loadEngineBench(path string) ([]mcb.EngineBenchEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read baseline: %w", err)
+	}
+	var prev engineBenchFile
+	if err := json.Unmarshal(b, &prev); err != nil {
+		return nil, fmt.Errorf("parse baseline: %w", err)
+	}
+	return prev.Entries, nil
+}
+
 // runEngineBench executes the engine microbenchmark sweep and writes the
 // JSON artifact to outPath ("" = stdout). baselinePath, when set, names a
 // previous artifact whose entries are carried over as the baseline.
-func runEngineBench(outPath, baselinePath string, cycles int64) error {
+// comparePath, when set, names the artifact the fresh sweep is regression-
+// checked against with the given relative threshold; regressions are
+// reported on stderr and returned as errRegression.
+func runEngineBench(outPath, baselinePath, comparePath string, threshold float64, cycles int64) error {
 	var baseline []mcb.EngineBenchEntry
 	if baselinePath != "" {
-		b, err := os.ReadFile(baselinePath)
-		if err != nil {
-			return fmt.Errorf("read baseline: %w", err)
+		var err error
+		if baseline, err = loadEngineBench(baselinePath); err != nil {
+			return err
 		}
-		var prev engineBenchFile
-		if err := json.Unmarshal(b, &prev); err != nil {
-			return fmt.Errorf("parse baseline: %w", err)
-		}
-		baseline = prev.Entries
 	}
 	entries, err := mcb.EngineBenchSweep(nil, cycles)
 	if err != nil {
 		return err
+	}
+	var regressions []string
+	if comparePath != "" {
+		gate, err := loadEngineBench(comparePath)
+		if err != nil {
+			return err
+		}
+		regressions = mcb.CompareEngineBench(entries, gate, threshold)
 	}
 	out := engineBenchFile{
 		Schema:      "mcbnet/engine-bench/v1",
@@ -92,10 +122,23 @@ func runEngineBench(outPath, baselinePath string, cycles int64) error {
 	}
 	b = append(b, '\n')
 	if outPath == "" {
-		_, err = os.Stdout.Write(b)
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, b, 0o644)
+	if comparePath != "" {
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "mcbbench: REGRESSION:", r)
+			}
+			return errRegression
+		}
+		fmt.Fprintf(os.Stderr, "mcbbench: regression gate passed (%d configurations within ±%.0f%% of %s)\n",
+			len(entries), 100*threshold, comparePath)
+	}
+	return nil
 }
 
 func main() {
@@ -107,10 +150,15 @@ func main() {
 	out := flag.String("out", "", "with -engine: write the JSON artifact to this file (default stdout)")
 	baseline := flag.String("baseline", "", "with -engine: carry the entries of this previous artifact over as baseline")
 	engineCycles := flag.Int64("engine-cycles", 0, "with -engine: cycles per configuration (0 = per-size default)")
+	compare := flag.String("compare", "", "with -engine: regression-gate the sweep against this artifact (exit 2 on regression)")
+	threshold := flag.Float64("threshold", 0.20, "with -engine -compare: relative regression threshold")
 	flag.Parse()
 
 	if *engine {
-		if err := runEngineBench(*out, *baseline, *engineCycles); err != nil {
+		if err := runEngineBench(*out, *baseline, *compare, *threshold, *engineCycles); err != nil {
+			if err == errRegression {
+				os.Exit(2)
+			}
 			fmt.Fprintln(os.Stderr, "mcbbench:", err)
 			os.Exit(1)
 		}

@@ -1,27 +1,38 @@
-// Command mcbtrace runs a small distributed sort or selection with full
-// tracing enabled and prints the per-cycle channel activity — a debugging
-// and teaching view of the collision-free schedules.
+// Command mcbtrace runs a small distributed sort or selection with cycle
+// tracing enabled and exports the captured run — a debugging and teaching
+// view of the collision-free schedules, and the producer of the Perfetto
+// traces CI archives.
 //
 // Usage:
 //
-//	mcbtrace -n 24 -p 4 -k 2 [-op sort|select] [-cycles 40]
+//	mcbtrace -n 24 -p 4 -k 2 [-op sort|select] [-format text|jsonl|perfetto|summary]
+//	         [-o FILE] [-cycles 40] [-readers] [-seed 1]
+//	         [-fault-rate 0.001] [-fault-seed 7]
 //
-// Each line is one cycle; each column is one channel, showing `Pi>v` when
-// processor i broadcast value v and `.` for silence. The reader set is shown
-// when -readers is given. Phase boundaries (from the engine's phase
-// accounting) are rendered as separator lines, and a per-phase cost summary
-// precedes the cycle listing.
+// Formats:
+//
+//	text      per-cycle channel grid: `Pi>v` when processor i broadcast
+//	          value v, `.` for silence, `*` marking fault-plane events;
+//	          phase boundaries are separator lines (default)
+//	jsonl     one JSON object per recorded event (re-parseable)
+//	perfetto  Chrome trace-event JSON — open in https://ui.perfetto.dev or
+//	          chrome://tracing: one track per channel, one per processor,
+//	          phase spans on their own track
+//	summary   the run's mcb Report JSON with the per-phase trace timeline
+//	          (utilization / silences / collisions / faults) merged in
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"mcbnet/internal/core"
 	"mcbnet/internal/dist"
 	"mcbnet/internal/mcb"
+	"mcbnet/internal/trace"
 )
 
 func main() {
@@ -29,90 +40,202 @@ func main() {
 	p := flag.Int("p", 4, "processors")
 	k := flag.Int("k", 2, "channels")
 	op := flag.String("op", "sort", "operation: sort or select")
-	limit := flag.Int("cycles", 60, "print at most this many cycles (0 = all)")
-	readers := flag.Bool("readers", false, "also print the readers of each channel")
+	format := flag.String("format", "text", "output format: text, jsonl, perfetto or summary")
+	outPath := flag.String("o", "", "write output to this file (default stdout)")
+	limit := flag.Int("cycles", 60, "text format: print at most this many cycles (0 = all)")
+	readers := flag.Bool("readers", false, "text format: also print the readers of each channel")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	buf := flag.Int("buf", 1<<16, "recorder ring capacity, events per processor")
+	faultRate := flag.Float64("fault-rate", 0, "inject seeded faults: per-delivery drop rate (plus corruption at half the rate, checksum-guarded)")
+	faultSeed := flag.Uint64("fault-seed", 7, "seed for -fault-rate")
 	flag.Parse()
 
 	r := dist.NewRNG(*seed)
 	inputs := dist.Values(r, dist.NearlyEven(*n, *p))
 
-	var trace *mcb.Trace
+	var plan *mcb.FaultPlan
+	if *faultRate > 0 {
+		plan = &mcb.FaultPlan{
+			Seed:        *faultSeed,
+			DropRate:    *faultRate,
+			CorruptRate: *faultRate / 2,
+			Checksum:    true,
+		}
+	}
+
+	rec := trace.New(*p, *k, *buf)
 	var stats mcb.Stats
 	switch *op {
 	case "sort":
-		_, rep, err := core.Sort(inputs, core.SortOptions{K: *k, Trace: true})
+		_, rep, err := core.Sort(inputs, core.SortOptions{K: *k, Recorder: rec, Faults: plan})
 		if err != nil {
-			fatal(err)
+			runFailed(err, rep == nil)
 		}
-		trace, stats = rep.Trace, rep.Stats
+		if rep != nil {
+			stats = rep.Stats
+		}
 	case "select":
-		_, rep, err := core.Select(inputs, core.SelectOptions{K: *k, D: (*n + 1) / 2, Trace: true})
+		_, rep, err := core.Select(inputs, core.SelectOptions{K: *k, D: (*n + 1) / 2, Recorder: rec, Faults: plan})
 		if err != nil {
-			fatal(err)
+			runFailed(err, rep == nil)
 		}
-		trace, stats = rep.Trace, rep.Stats
+		if rep != nil {
+			stats = rep.Stats
+		}
 	default:
 		fatal(fmt.Errorf("unknown op %q", *op))
 	}
 
-	if err := mcb.ValidateTrace(trace, *p, *k); err != nil {
-		fatal(fmt.Errorf("trace failed model validation: %w", err))
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
 	}
-	util := mcb.TraceUtilization(trace, *k)
-	fmt.Printf("%s of n=%d on MCB(p=%d, k=%d): %d cycles, %d messages, %.1f%% channel utilization (trace validated)\n\n",
-		*op, *n, *p, *k, stats.Cycles, stats.Messages, util.Overall*100)
+
+	var err error
+	switch *format {
+	case "jsonl":
+		err = rec.WriteJSONL(out)
+	case "perfetto":
+		err = rec.WritePerfetto(out)
+	case "summary":
+		rep := mcb.NewReport(mcb.Config{P: *p, K: *k}, &stats)
+		rep.Extra = map[string]any{"op": *op, "n": *n, "seed": *seed}
+		mcb.AttachTraceSummary(rep, rec)
+		err = rep.WriteJSON(out)
+	case "text":
+		err = writeText(out, rec, &stats, *op, *n, *p, *k, *limit, *readers)
+	default:
+		err = fmt.Errorf("unknown format %q (want text, jsonl, perfetto or summary)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// writeText renders the per-cycle channel grid from the recorded events.
+func writeText(w io.Writer, rec *trace.Recorder, stats *mcb.Stats, op string, n, p, k, limit int, readers bool) error {
+	events := rec.Events()
+	phases := rec.Phases()
+	phaseName := func(id int32) string {
+		if id >= 0 && int(id) < len(phases) {
+			return phases[id]
+		}
+		return ""
+	}
+
+	util := 0.0
+	if stats.Cycles > 0 {
+		util = float64(stats.Messages) / (float64(stats.Cycles) * float64(k))
+	}
+	fmt.Fprintf(w, "%s of n=%d on MCB(p=%d, k=%d): %d cycles, %d messages, %.1f%% channel utilization (%d events recorded",
+		op, n, p, k, stats.Cycles, stats.Messages, util*100, rec.Total())
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(w, ", %d dropped — raise -buf", d)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintln(w)
 
 	if len(stats.Phases) > 0 {
-		fmt.Println("phases:")
+		fmt.Fprintln(w, "phases:")
 		for _, ph := range stats.Phases {
-			fmt.Printf("  %-32s %6d cycles  %6d messages  %5.1f%% util\n",
+			fmt.Fprintf(w, "  %-32s %6d cycles  %6d messages  %5.1f%% util\n",
 				ph.Name, ph.Cycles, ph.Messages, ph.Utilization*100)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	fmt.Printf("%6s", "cycle")
-	for c := 0; c < *k; c++ {
-		fmt.Printf("  %-12s", fmt.Sprintf("ch%d", c))
+	fmt.Fprintf(w, "%6s", "cycle")
+	for c := 0; c < k; c++ {
+		fmt.Fprintf(w, "  %-12s", fmt.Sprintf("ch%d", c))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+
 	shown := 0
 	curPhase := ""
-	for _, cyc := range trace.Cycles {
-		if *limit > 0 && shown >= *limit {
-			fmt.Printf("... (%d more cycles)\n", int64(len(trace.Cycles))-int64(shown))
+	// Walk the cycle-sorted events, rendering one row per cycle.
+	for i := 0; i < len(events); {
+		cyc := events[i].Cycle
+		j := i
+		for j < len(events) && events[j].Cycle == cyc {
+			j++
+		}
+		if limit > 0 && shown >= limit {
+			remaining := 0
+			for s := i; s < len(events); {
+				c := events[s].Cycle
+				for s < len(events) && events[s].Cycle == c {
+					s++
+				}
+				remaining++
+			}
+			fmt.Fprintf(w, "... (%d more cycles)\n", remaining)
 			break
 		}
-		if cyc.Phase != curPhase {
-			curPhase = cyc.Phase
-			fmt.Printf("------ phase: %s ------\n", curPhase)
+		cells := make([]string, k)
+		for c := range cells {
+			cells[c] = "."
 		}
-		cells := make([]string, *k)
-		for i := range cells {
-			cells[i] = "."
-		}
-		for _, w := range cyc.Writes {
-			cells[w.Ch] = fmt.Sprintf("P%d>%d", w.Proc+1, w.Msg.X)
-		}
-		if *readers {
-			rd := make([][]string, *k)
-			for _, e := range cyc.Reads {
-				rd[e.Ch] = append(rd[e.Ch], fmt.Sprintf("P%d", e.Proc+1))
+		rd := make([][]string, k)
+		phase := curPhase
+		for _, e := range events[i:j] {
+			if name := phaseName(e.Phase); e.Phase >= 0 {
+				phase = name
 			}
+			switch e.Kind {
+			case trace.KindWrite:
+				cells[e.Ch] = fmt.Sprintf("P%d>%d", e.Proc+1, e.Arg)
+			case trace.KindCollision:
+				cells[e.Ch] = fmt.Sprintf("P%d/P%d!", e.Arg+1, e.Proc+1)
+			case trace.KindFault:
+				if e.Ch >= 0 && int(e.Ch) < k {
+					cells[e.Ch] += "*"
+				}
+			case trace.KindRead, trace.KindSilence:
+				if readers {
+					rd[e.Ch] = append(rd[e.Ch], fmt.Sprintf("P%d", e.Proc+1))
+				}
+			}
+		}
+		if phase != curPhase {
+			curPhase = phase
+			fmt.Fprintf(w, "------ phase: %s ------\n", curPhase)
+		}
+		if readers {
 			for c := range cells {
 				if len(rd[c]) > 0 {
 					cells[c] += "->" + strings.Join(rd[c], ",")
 				}
 			}
 		}
-		fmt.Printf("%6d", cyc.Cycle)
+		fmt.Fprintf(w, "%6d", cyc)
 		for _, cell := range cells {
-			fmt.Printf("  %-12s", cell)
+			fmt.Fprintf(w, "  %-12s", cell)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		shown++
+		i = j
 	}
+	return nil
+}
+
+// runFailed reports a failed run. With a partial report the trace still
+// covers the completed cycles, so rendering proceeds; without one there is
+// nothing to show.
+func runFailed(err error, noReport bool) {
+	fmt.Fprintln(os.Stderr, "mcbtrace: run failed:", err)
+	if noReport {
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mcbtrace: rendering the completed cycles")
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 
 	"mcbnet"
 )
@@ -54,14 +55,33 @@ func main() {
 	fmt.Printf("recovered after %d attempt(s): P1 now holds %v\n", rep.Attempts, outputs[0])
 
 	// Crash-stops are typed too: schedule a processor death and watch the
-	// error taxonomy name it.
+	// error taxonomy name it. A cycle recorder captures the whole doomed run
+	// — every broadcast, silence, fault and the crash itself — into
+	// preallocated ring buffers (recording never allocates).
 	crashed := plan.Clone()
 	crashed.Crashes = []mcbnet.FaultCrash{{Proc: 3, Cycle: 10}}
-	_, _, err = mcbnet.Sort(inputs, mcbnet.SortOptions{K: 4, Faults: crashed})
+	rec := mcbnet.NewTraceRecorder(len(inputs), 4, 1<<14)
+	_, _, err = mcbnet.Sort(inputs, mcbnet.SortOptions{K: 4, Faults: crashed, Recorder: rec})
 	var ce *mcbnet.CrashError
 	if errors.As(err, &ce) {
 		fmt.Printf("scripted crash surfaces as: %v\n", ce)
 	}
+
+	// Export the captured run as Chrome trace-event JSON: open the file in
+	// https://ui.perfetto.dev to see one track per channel, one per
+	// processor, the algorithm's phases as spans — and processor 3's track
+	// going quiet at cycle 10.
+	f, err := os.Create("faulttolerant.perfetto.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WritePerfetto(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote faulttolerant.perfetto.json (%d events) — open it in https://ui.perfetto.dev\n", rec.Total())
 
 	// Selection can degrade gracefully instead: give the dead processor's
 	// elements up and answer the rank over the survivors.

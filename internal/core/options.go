@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mcbnet/internal/mcb"
+	"mcbnet/internal/trace"
 )
 
 // Order selects the output order. The paper's canonical order is descending
@@ -80,6 +81,14 @@ type SortOptions struct {
 	StallTimeout time.Duration
 	// Trace enables full traffic tracing (tests only).
 	Trace bool
+	// Recorder, when non-nil, streams per-cycle events into preallocated
+	// ring buffers for JSONL/Perfetto export (see internal/trace and
+	// mcb.Config.Recorder). Retry attempts sharing the options append to
+	// the same recorder.
+	Recorder *trace.Recorder
+	// ProfileLabels attaches pprof phase labels to processor goroutines
+	// (see mcb.Config.ProfileLabels).
+	ProfileLabels bool
 	// Faults enables deterministic fault injection (see mcb.FaultPlan).
 	Faults *mcb.FaultPlan
 	// Retry configures the verify-and-retry layer; only SortWithRetry
@@ -94,10 +103,12 @@ type SortOptions struct {
 func (o SortOptions) engineConfig(p int) mcb.Config {
 	return mcb.Config{
 		P: p, K: o.K,
-		Trace:        o.Trace,
-		MaxCycles:    o.MaxCycles,
-		StallTimeout: o.StallTimeout,
-		Faults:       o.Faults,
+		Trace:         o.Trace,
+		MaxCycles:     o.MaxCycles,
+		StallTimeout:  o.StallTimeout,
+		Faults:        o.Faults,
+		Recorder:      o.Recorder,
+		ProfileLabels: o.ProfileLabels,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"mcbnet/internal/mcb"
 	"mcbnet/internal/partial"
 	"mcbnet/internal/seq"
+	"mcbnet/internal/trace"
 )
 
 // SelectAlgorithm selects the selection strategy.
@@ -46,10 +47,13 @@ type SelectOptions struct {
 	Threshold int
 	// Algorithm selects filtering (default) or the sort baseline.
 	Algorithm SelectAlgorithm
-	// MaxCycles, StallTimeout and Trace mirror SortOptions.
-	MaxCycles    int64
-	StallTimeout time.Duration
-	Trace        bool
+	// MaxCycles, StallTimeout, Trace, Recorder and ProfileLabels mirror
+	// SortOptions.
+	MaxCycles     int64
+	StallTimeout  time.Duration
+	Trace         bool
+	Recorder      *trace.Recorder
+	ProfileLabels bool
 	// Faults enables deterministic fault injection (see mcb.FaultPlan).
 	Faults *mcb.FaultPlan
 	// Retry configures the verify-and-retry layer; only SelectWithRetry
@@ -153,7 +157,8 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 			}
 		}
 	}
-	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout, Faults: opts.Faults}
+	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout,
+		Faults: opts.Faults, Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels}
 	res, err := mcb.Run(cfg, progs)
 	if res != nil {
 		report.Stats = res.Stats

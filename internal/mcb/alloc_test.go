@@ -3,6 +3,8 @@ package mcb
 import (
 	"testing"
 	"time"
+
+	"mcbnet/internal/trace"
 )
 
 // Steady-state allocation regression: a cycle with tracing off, no fault
@@ -13,10 +15,11 @@ import (
 
 // allocsForRun returns the average allocations of one engine run of the
 // given cycle count, with markerEvery > 0 adding a coalescing phase marker
-// on processor 0 every markerEvery cycles.
-func allocsForRun(t *testing.T, p, k, cycles, markerEvery int) float64 {
+// on processor 0 every markerEvery cycles, and rec (optional, shared across
+// runs) attaching the cycle recorder.
+func allocsForRun(t *testing.T, p, k, cycles, markerEvery int, rec *trace.Recorder) float64 {
 	t.Helper()
-	cfg := Config{P: p, K: k, StallTimeout: time.Minute}
+	cfg := Config{P: p, K: k, StallTimeout: time.Minute, Recorder: rec}
 	return testing.AllocsPerRun(4, func() {
 		res, err := RunUniform(cfg, func(pr Node) {
 			id := pr.ID()
@@ -52,8 +55,8 @@ func TestSteadyStateCycleZeroAllocs(t *testing.T) {
 		t.Skip("allocation counts are perturbed under -race")
 	}
 	const p, k = 8, 2
-	short := allocsForRun(t, p, k, 100, 0)
-	long := allocsForRun(t, p, k, 2100, 0)
+	short := allocsForRun(t, p, k, 100, 0, nil)
+	long := allocsForRun(t, p, k, 2100, 0, nil)
 	perCycle := (long - short) / 2000
 	if perCycle > 0.01 {
 		t.Fatalf("steady-state cycle allocates: %.4f allocs/cycle (short run %.1f, long run %.1f)",
@@ -86,11 +89,35 @@ func TestPhaseMarkerAllocsBounded(t *testing.T) {
 	}
 	const p, k = 8, 2
 	// 100 extra markers between the two runs (every 20 cycles over +2000).
-	few := allocsForRun(t, p, k, 100, 20)
-	many := allocsForRun(t, p, k, 2100, 20)
+	few := allocsForRun(t, p, k, 100, 20, nil)
+	many := allocsForRun(t, p, k, 2100, 20, nil)
 	markers := float64((2100 - 100) / 20)
 	perMarker := (many - few) / markers
 	if perMarker > 4 {
 		t.Fatalf("phase marker costs %.2f allocs, want <= 4 (few %.1f, many %.1f)", perMarker, few, many)
+	}
+}
+
+// TestTracingEnabledCycleAllocsAmortizedO1 asserts the recorder's overhead
+// contract: with a cycle recorder attached (and its rings preallocated once,
+// outside the measured runs), steady-state cycles still allocate nothing —
+// every event lands in the rings, which wrap in place rather than grow.
+func TestTracingEnabledCycleAllocsAmortizedO1(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	const p, k = 8, 2
+	// Rings deliberately smaller than the long run's event volume, so the
+	// measurement covers wrap-around reuse, not just the pre-wrap fill.
+	rec := trace.New(p, k, 1024)
+	short := allocsForRun(t, p, k, 100, 0, rec)
+	long := allocsForRun(t, p, k, 2100, 0, rec)
+	perCycle := (long - short) / 2000
+	if perCycle > 0.01 {
+		t.Fatalf("tracing-enabled cycle allocates: %.4f allocs/cycle (short run %.1f, long run %.1f)",
+			perCycle, short, long)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder captured nothing; the guard measured the wrong path")
 	}
 }

@@ -125,6 +125,45 @@ func EngineBench(name string, p, k int, cycles int64) (EngineBenchEntry, error) 
 	return e, nil
 }
 
+// CompareEngineBench compares a fresh engine-benchmark sweep against a
+// baseline (the committed BENCH_engine.json) and returns one human-readable
+// line per regression: a configuration whose throughput fell below
+// (1-threshold) of the baseline, or whose per-cycle allocation count grew
+// beyond the baseline by more than the threshold plus a 0.05 absolute fudge
+// (the measured figure is ~0, so a pure ratio would trip on noise).
+// Configurations present in only one of the two sweeps are ignored. An
+// empty result means the gate passes.
+func CompareEngineBench(fresh, baseline []EngineBenchEntry, threshold float64) []string {
+	key := func(e *EngineBenchEntry) string {
+		return fmt.Sprintf("%s/p=%d/k=%d", e.Name, e.P, e.K)
+	}
+	base := make(map[string]*EngineBenchEntry, len(baseline))
+	for i := range baseline {
+		base[key(&baseline[i])] = &baseline[i]
+	}
+	var regressions []string
+	for i := range fresh {
+		f := &fresh[i]
+		b, ok := base[key(f)]
+		if !ok {
+			continue
+		}
+		if b.CyclesPerSec > 0 && f.CyclesPerSec < b.CyclesPerSec*(1-threshold) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: cycles/sec %.0f -> %.0f (%.1f%% drop, limit %.0f%%)",
+				key(f), b.CyclesPerSec, f.CyclesPerSec,
+				100*(1-f.CyclesPerSec/b.CyclesPerSec), 100*threshold))
+		}
+		if f.AllocsPerCycle > b.AllocsPerCycle*(1+threshold)+0.05 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: allocs/cycle %.4f -> %.4f (limit %.4f)",
+				key(f), b.AllocsPerCycle, f.AllocsPerCycle,
+				b.AllocsPerCycle*(1+threshold)+0.05))
+		}
+	}
+	return regressions
+}
+
 // EngineBenchSweep runs the standard engine benchmark grid: both workloads
 // over p in ps with k = max(1, p/4). cycles <= 0 picks a per-size default
 // that keeps the sweep under a few seconds.

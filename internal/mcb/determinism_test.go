@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"mcbnet/internal/trace"
 )
 
 // Cross-path determinism regression: the fast resolver (no faults, no trace)
@@ -125,7 +127,8 @@ func TestCrossPathDeterminism(t *testing.T) {
 }
 
 // TestFastPathSelection pins down which configurations take which resolver:
-// an inactive (zero or nil) fault plan must not force the general path.
+// an inactive (zero or nil) fault plan must not force the general path, and
+// an attached cycle recorder must.
 func TestFastPathSelection(t *testing.T) {
 	cases := []struct {
 		name string
@@ -135,12 +138,12 @@ func TestFastPathSelection(t *testing.T) {
 		{"default", Config{P: 2, K: 1}, true},
 		{"zero-plan", Config{P: 2, K: 1, Faults: &FaultPlan{}}, true},
 		{"trace", Config{P: 2, K: 1, Trace: true}, false},
+		{"recorder", Config{P: 2, K: 1, Recorder: trace.New(2, 1, 64)}, false},
 		{"drops", Config{P: 2, K: 1, Faults: &FaultPlan{DropRate: 0.1}}, false},
 		{"outage", Config{P: 2, K: 1, Faults: &FaultPlan{Outages: []Outage{{Ch: 0, From: 0, To: 1}}}}, false},
 	}
 	for _, c := range cases {
-		e := &engine{cfg: c.cfg, faults: newFaultState(c.cfg.Faults, c.cfg.P)}
-		got := e.faults == nil && !c.cfg.Trace
+		got := fastEligible(c.cfg, newFaultState(c.cfg.Faults, c.cfg.P))
 		if got != c.fast {
 			t.Errorf("%s: fast-path selection = %v, want %v", c.name, got, c.fast)
 		}

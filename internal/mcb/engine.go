@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"mcbnet/internal/trace"
 )
 
 // Config describes an MCB(p, k) network and run options.
@@ -33,6 +35,21 @@ type Config struct {
 	// Faults enables deterministic fault injection (see FaultPlan). Nil
 	// injects nothing.
 	Faults *FaultPlan
+	// Recorder, when non-nil, streams fixed-size binary cycle events
+	// (writes, reads, silences, idles, collisions, faults, phase switches)
+	// into the recorder's preallocated per-processor ring buffers for later
+	// export (JSONL, Perfetto; see internal/trace). Unlike Trace it never
+	// allocates per event and never grows: a full ring overwrites its
+	// oldest events. The recorder must be sized for at least P processors
+	// and must not be shared between concurrent runs; consecutive runs
+	// (e.g. retry attempts) may share one, appending their events.
+	Recorder *trace.Recorder
+	// ProfileLabels attaches pprof goroutine labels (processor id, current
+	// accounting phase) to processor goroutines, so CPU profiles attribute
+	// samples to algorithm phases (Columnsort stages, selection filter
+	// rounds). Off by default; labeling costs a few allocations per phase
+	// switch.
+	ProfileLabels bool
 	// AbortGrace bounds how long Run waits for processor goroutines to
 	// unwind after an abort before giving up and returning a nil Result
 	// (the stragglers' goroutines leak; see Run). Zero means 2 seconds.
@@ -46,7 +63,17 @@ func (c Config) validate() error {
 	if c.K < 1 || c.K > c.P {
 		return fmt.Errorf("mcb: K must satisfy 1 <= K <= P, got K=%d P=%d", c.K, c.P)
 	}
+	if c.Recorder != nil && c.Recorder.Procs() < c.P {
+		return fmt.Errorf("mcb: recorder sized for %d processors, network has %d", c.Recorder.Procs(), c.P)
+	}
 	return nil
+}
+
+// fastEligible reports whether a run can take the specialized fast resolver:
+// no active fault plan, no full trace, no cycle recorder. Kept as a function
+// so the fast-path selection test pins the exact condition.
+func fastEligible(cfg Config, fs *faultState) bool {
+	return fs == nil && !cfg.Trace && cfg.Recorder == nil
 }
 
 // CollisionError reports a violation of the collision-freedom requirement:
@@ -176,6 +203,8 @@ type engine struct {
 	phaseIdx   map[string]int // phase name -> index in stats.Phases
 	curPhase   int            // index of the active phase, -1 before any marker
 	trace      *Trace
+	rec        *trace.Recorder // cycle event recorder, nil when tracing is off
+	recPhase   int32           // recorder-interned id of the active phase, -1 before any
 	failed     atomic.Bool
 	abortErr   error
 	abortMu    sync.Mutex
@@ -300,8 +329,9 @@ func (e *engine) advance() {
 
 // switchPhase makes name the active accounting phase, creating its Stats
 // entry on first sight. Re-marking the active phase is a no-op; segments
-// sharing a name share one entry.
-func (e *engine) switchPhase(name string) {
+// sharing a name share one entry. id is the processor whose marker caused
+// the switch (trace attribution only).
+func (e *engine) switchPhase(id int, name string) {
 	if e.curPhase >= 0 && e.stats.Phases[e.curPhase].Name == name {
 		return
 	}
@@ -312,12 +342,17 @@ func (e *engine) switchPhase(name string) {
 		e.phaseIdx[name] = idx
 	}
 	e.curPhase = idx
+	if e.rec != nil {
+		e.recPhase = e.rec.PhaseID(name)
+		e.rec.Record(trace.Event{Cycle: e.stats.Cycles, Proc: int32(id), Ch: -1,
+			Phase: e.recPhase, Kind: trace.KindPhase})
+	}
 }
 
 // consumePhases registers processor id's pending phase markers, if any.
 func (e *engine) consumePhases(id int) {
 	for _, name := range e.phaseSlots[id] {
-		e.switchPhase(name)
+		e.switchPhase(id, name)
 	}
 	e.phaseSlots[id] = nil
 }
@@ -332,6 +367,10 @@ func (e *engine) stageWrite(id int, op *cycleOp) bool {
 		return false
 	}
 	if prev := e.chWriter[c]; prev >= 0 {
+		if e.rec != nil {
+			e.rec.Record(trace.Event{Cycle: e.stats.Cycles, Proc: int32(id), Ch: int32(c),
+				Phase: e.recPhase, Arg: int64(prev), Kind: trace.KindCollision})
+		}
 		e.abort(&CollisionError{Cycle: e.stats.Cycles, Ch: c, ProcA: prev, ProcB: id})
 		return false
 	}
@@ -528,9 +567,17 @@ func (e *engine) resolveGeneral() {
 			if tr != nil {
 				tr.Writes = append(tr.Writes, WriteEvent{Proc: id, Ch: int(op.writeCh), Msg: op.msg})
 			}
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Cycle: cycle, Proc: int32(id), Ch: op.writeCh,
+					Phase: e.recPhase, Arg: op.msg.X, Kind: trace.KindWrite})
+			}
 		case opRead, opIdle, opExit:
 			if op.kind != opExit {
 				sawWork = true
+				if op.kind == opIdle && e.rec != nil {
+					e.rec.Record(trace.Event{Cycle: cycle, Proc: int32(id), Ch: -1,
+						Phase: e.recPhase, Kind: trace.KindIdle})
+				}
 			}
 		}
 	}
@@ -551,19 +598,23 @@ func (e *engine) resolveGeneral() {
 			return
 		}
 		var rr readResult
+		var faultCode int64
 		if e.chWriter[c] >= 0 && !e.chOutage[c] {
 			msg := e.chMsg[c]
 			switch {
 			case plan.dropAt(cycle, id, c):
 				fDelta.Drops++ // reader sees silence
+				faultCode = trace.FaultDrop
 			default:
 				if cm, garbled := plan.corruptAt(cycle, id, c, msg); garbled {
 					if plan.Checksum && msgSum(msg) != msgSum(cm) {
 						// Detected: the garbled frame is discarded, the
 						// reader observes silence.
 						fDelta.Detected++
+						faultCode = trace.FaultDetected
 					} else {
 						fDelta.Corruptions++
+						faultCode = trace.FaultCorrupt
 						rr = readResult{msg: cm, ok: true}
 					}
 				} else {
@@ -574,6 +625,19 @@ func (e *engine) resolveGeneral() {
 		e.results[id].r = rr
 		if tr != nil {
 			tr.Reads = append(tr.Reads, ReadEvent{Proc: id, Ch: c, Msg: rr.msg, OK: rr.ok})
+		}
+		if e.rec != nil {
+			if faultCode != 0 {
+				e.rec.Record(trace.Event{Cycle: cycle, Proc: int32(id), Ch: int32(c),
+					Phase: e.recPhase, Arg: faultCode, Kind: trace.KindFault})
+			}
+			ev := trace.Event{Cycle: cycle, Proc: int32(id), Ch: int32(c), Phase: e.recPhase}
+			if rr.ok {
+				ev.Kind, ev.Arg = trace.KindRead, rr.msg.X
+			} else {
+				ev.Kind = trace.KindSilence
+			}
+			e.rec.Record(ev)
 		}
 	}
 	// Pass 3: exits.
@@ -598,6 +662,10 @@ func (e *engine) resolveGeneral() {
 		e.stats.PerChannel[c]++
 		if e.chOutage[c] {
 			fDelta.OutageLosses++
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Cycle: cycle, Proc: int32(id), Ch: int32(c),
+					Phase: e.recPhase, Arg: trace.FaultOutage, Kind: trace.KindFault})
+			}
 		}
 		if a := e.chMsg[c].maxAbs(); a > e.stats.MaxAbs {
 			e.stats.MaxAbs = a
@@ -633,6 +701,15 @@ func (e *engine) finalize() {
 	}
 	if evs, _ := e.faults.crashes(); len(evs) > 0 {
 		e.stats.Faults.Crashes = evs
+		if e.rec != nil {
+			// Crashes fire on processor goroutines, so they are recorded
+			// here, after quiescence, rather than racing with the resolver.
+			// The canonical event order sorts them into their cycle.
+			for _, ev := range evs {
+				e.rec.Record(trace.Event{Cycle: ev.Cycle, Proc: int32(ev.Proc), Ch: -1,
+					Phase: -1, Arg: trace.FaultCrash, Kind: trace.KindFault})
+			}
+		}
 	}
 	for i := range e.stats.Phases {
 		ph := &e.stats.Phases[i]
@@ -673,8 +750,10 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		curPhase:   -1,
 		aborted:    make(chan struct{}),
 		allDone:    make(chan struct{}),
+		rec:        cfg.Recorder,
+		recPhase:   -1,
 	}
-	e.fast = e.faults == nil && !cfg.Trace
+	e.fast = fastEligible(cfg, e.faults)
 	e.stats.PerProc = make([]int64, cfg.P)
 	e.stats.PerChannel = make([]int64, cfg.K)
 	if cfg.Trace {
@@ -700,6 +779,9 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if cfg.ProfileLabels {
+				p.setProfileLabels("")
+			}
 			defer func() {
 				r := recover()
 				switch r := r.(type) {

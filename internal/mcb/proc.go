@@ -1,6 +1,11 @@
 package mcb
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"strconv"
+)
 
 // Proc is the handle a processor program uses to interact with the network.
 // Exactly one of WriteRead, Write, Read or Idle must be called per cycle as
@@ -43,6 +48,19 @@ func (p *Proc) K() int { return p.e.cfg.K }
 // Stats entry.
 func (p *Proc) Phase(name string) {
 	p.pending = append(p.pending, name)
+	if p.e.cfg.ProfileLabels {
+		p.setProfileLabels(name)
+	}
+}
+
+// setProfileLabels tags this processor's goroutine with pprof labels so CPU
+// profiles attribute samples (local computation, barrier spinning) to the
+// processor and its current algorithm phase. Only called when
+// Config.ProfileLabels is set; phase marking is cold, so the per-call
+// allocations are acceptable.
+func (p *Proc) setProfileLabels(phase string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("mcb_proc", strconv.Itoa(p.id), "mcb_phase", phase)))
 }
 
 // fillSlot writes this processor's submission for the next cycle directly

@@ -3,6 +3,8 @@ package mcb
 import (
 	"encoding/json"
 	"io"
+
+	"mcbnet/internal/trace"
 )
 
 // Report is the machine-readable summary of a run: the network shape, the
@@ -72,6 +74,24 @@ func NewReport(cfg Config, s *Stats) *Report {
 		r.Faults = &f
 	}
 	return r
+}
+
+// AttachTraceSummary folds a cycle recorder's per-phase timeline — channel
+// utilization, silences, collisions, fault counts, cycle ranges — into the
+// report's Extra section under "trace", keeping the measured part of the
+// schema unchanged. A nil recorder is a no-op.
+func AttachTraceSummary(rep *Report, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	if rep.Extra == nil {
+		rep.Extra = make(map[string]any)
+	}
+	rep.Extra["trace"] = map[string]any{
+		"events":  rec.Total(),
+		"dropped": rec.Dropped(),
+		"phases":  rec.Summaries(),
+	}
 }
 
 // JSON renders the report as indented JSON.

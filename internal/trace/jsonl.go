@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL is the line-oriented interchange format of a captured trace: one
+// JSON object per event, fields in a fixed order, phase ids resolved to
+// names. It round-trips losslessly — parse followed by re-export yields
+// byte-identical output — which the golden tests rely on.
+
+// lineEvent is the JSONL wire schema of one event. Field order here is the
+// field order on the wire (encoding/json emits struct fields in declaration
+// order), so exports are canonical.
+type lineEvent struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	Proc  int32  `json:"proc"`
+	Ch    int32  `json:"ch"`
+	Phase string `json:"phase"`
+	Arg   int64  `json:"arg"`
+}
+
+// WriteJSONL writes events as JSONL. phases is the id->name table that
+// resolves Event.Phase (out-of-range ids export as "").
+func WriteJSONL(w io.Writer, events []Event, phases []string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends exactly one '\n' per value
+	for i := range events {
+		e := &events[i]
+		le := lineEvent{
+			Cycle: e.Cycle,
+			Kind:  e.Kind.String(),
+			Proc:  e.Proc,
+			Ch:    e.Ch,
+			Arg:   e.Arg,
+		}
+		if e.Phase >= 0 && int(e.Phase) < len(phases) {
+			le.Phase = phases[e.Phase]
+		}
+		if err := enc.Encode(&le); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL parses a JSONL trace back into events plus the phase-name
+// table (re-interned in first-seen order; events before any named phase get
+// Phase == -1). It is the exact inverse of WriteJSONL up to phase-id
+// renumbering, which the exporters never expose.
+func ParseJSONL(r io.Reader) ([]Event, []string, error) {
+	var (
+		events   []Event
+		phases   []string
+		phaseIdx = map[string]int32{}
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var le lineEvent
+		if err := json.Unmarshal(line, &le); err != nil {
+			return nil, nil, fmt.Errorf("trace: jsonl line %d: %w", lineNo, err)
+		}
+		kind := parseKind(le.Kind)
+		if kind == 0 {
+			return nil, nil, fmt.Errorf("trace: jsonl line %d: unknown kind %q", lineNo, le.Kind)
+		}
+		phase := int32(-1)
+		if le.Phase != "" {
+			id, ok := phaseIdx[le.Phase]
+			if !ok {
+				id = int32(len(phases))
+				phases = append(phases, le.Phase)
+				phaseIdx[le.Phase] = id
+			}
+			phase = id
+		}
+		events = append(events, Event{
+			Cycle: le.Cycle,
+			Arg:   le.Arg,
+			Proc:  le.Proc,
+			Ch:    le.Ch,
+			Phase: phase,
+			Kind:  kind,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("trace: jsonl: %w", err)
+	}
+	return events, phases, nil
+}
+
+// WriteJSONL exports the recorder's retained events as JSONL.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events(), r.phases)
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Perfetto export: the Chrome trace-event JSON format, loadable in
+// https://ui.perfetto.dev or chrome://tracing. One synthetic "process" per
+// track family keeps the UI grouped:
+//
+//	pid 1 "phases"     — one thread, a complete ("X") span per contiguous
+//	                     run of cycles in the same accounting phase;
+//	pid 2 "channels"   — one thread per broadcast channel; every write is a
+//	                     1-cycle span named after the writer, collisions and
+//	                     outages are instants on the channel's track;
+//	pid 3 "processors" — one thread per processor; every cycle op (write,
+//	                     read, silence, idle) is a 1-cycle span, faults that
+//	                     strike the processor (drops, corruption, a crash)
+//	                     are instants.
+//
+// Timestamps are in the format's native microseconds with 1 cycle = 1 us,
+// so the cycle index reads directly off the time axis.
+
+const (
+	pidPhases = 1
+	pidChans  = 2
+	pidProcs  = 3
+)
+
+// pfEvent is one trace-event object. Args maps marshal with sorted keys,
+// so the export is canonical.
+type pfEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type pfFile struct {
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+	TraceEvents     []pfEvent `json:"traceEvents"`
+}
+
+// WritePerfetto writes events as Chrome trace-event JSON for a network of p
+// processors and k channels. phases resolves Event.Phase ids.
+func WritePerfetto(w io.Writer, events []Event, phases []string, p, k int) error {
+	evs := make([]pfEvent, 0, 2*(p+k)+len(events)+8)
+
+	meta := func(pid int, procName string) {
+		evs = append(evs, pfEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": procName},
+		})
+	}
+	thread := func(pid, tid int, name string) {
+		evs = append(evs, pfEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidPhases, "phases")
+	thread(pidPhases, 0, "phase")
+	meta(pidChans, "channels")
+	for c := 0; c < k; c++ {
+		thread(pidChans, c, fmt.Sprintf("ch%d", c))
+	}
+	meta(pidProcs, "processors")
+	for id := 0; id < p; id++ {
+		thread(pidProcs, id, fmt.Sprintf("P%d", id))
+	}
+
+	phaseName := func(id int32) string {
+		if id >= 0 && int(id) < len(phases) {
+			return phases[id]
+		}
+		return "(unphased)"
+	}
+
+	// Phase spans: walk the (cycle-sorted) events, emitting one span per
+	// contiguous cycle run sharing a phase id. Cycles carry their phase on
+	// every event, so any event of the cycle determines it.
+	spanStart, spanEnd := int64(-1), int64(-1)
+	spanPhase := int32(-2) // sentinel distinct from the -1 "unphased" id
+	flush := func() {
+		if spanPhase == -2 {
+			return
+		}
+		evs = append(evs, pfEvent{
+			Name: phaseName(spanPhase), Ph: "X",
+			Ts: spanStart, Dur: spanEnd - spanStart + 1,
+			Pid: pidPhases, Tid: 0,
+		})
+	}
+	for i := range events {
+		e := &events[i]
+		if e.Kind == KindFault && e.Arg == FaultCrash {
+			continue // crash events are recorded post-run, phase-less
+		}
+		if e.Phase != spanPhase || e.Cycle > spanEnd+1 {
+			flush()
+			spanPhase, spanStart = e.Phase, e.Cycle
+		}
+		spanEnd = e.Cycle
+	}
+	flush()
+
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindWrite:
+			evs = append(evs, pfEvent{
+				Name: fmt.Sprintf("P%d", e.Proc), Ph: "X", Ts: e.Cycle, Dur: 1,
+				Pid: pidChans, Tid: int(e.Ch),
+				Args: map[string]any{"x": e.Arg},
+			})
+			evs = append(evs, pfEvent{
+				Name: "write", Ph: "X", Ts: e.Cycle, Dur: 1,
+				Pid: pidProcs, Tid: int(e.Proc),
+				Args: map[string]any{"ch": e.Ch, "x": e.Arg},
+			})
+		case KindRead:
+			evs = append(evs, pfEvent{
+				Name: "read", Ph: "X", Ts: e.Cycle, Dur: 1,
+				Pid: pidProcs, Tid: int(e.Proc),
+				Args: map[string]any{"ch": e.Ch, "x": e.Arg},
+			})
+		case KindSilence:
+			evs = append(evs, pfEvent{
+				Name: "silence", Ph: "X", Ts: e.Cycle, Dur: 1,
+				Pid: pidProcs, Tid: int(e.Proc),
+				Args: map[string]any{"ch": e.Ch},
+			})
+		case KindIdle:
+			evs = append(evs, pfEvent{
+				Name: "idle", Ph: "X", Ts: e.Cycle, Dur: 1,
+				Pid: pidProcs, Tid: int(e.Proc),
+			})
+		case KindCollision:
+			evs = append(evs, pfEvent{
+				Name: "collision", Ph: "i", Ts: e.Cycle,
+				Pid: pidChans, Tid: int(e.Ch), S: "t",
+				Args: map[string]any{"procs": []int32{int32(e.Arg), e.Proc}},
+			})
+		case KindFault:
+			pe := pfEvent{
+				Name: FaultName(e.Arg), Ph: "i", Ts: e.Cycle, S: "t",
+				Pid: pidProcs, Tid: int(e.Proc),
+			}
+			if e.Arg == FaultOutage {
+				// An outage kills the channel, not the writer: show it there.
+				pe.Pid, pe.Tid = pidChans, int(e.Ch)
+			}
+			evs = append(evs, pe)
+		case KindPhase:
+			evs = append(evs, pfEvent{
+				Name: "phase:" + phaseName(e.Phase), Ph: "i", Ts: e.Cycle, S: "t",
+				Pid: pidProcs, Tid: int(e.Proc),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&pfFile{DisplayTimeUnit: "ms", TraceEvents: evs})
+}
+
+// WritePerfetto exports the recorder's retained events as Chrome
+// trace-event JSON sized to the recorder's network shape.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	return WritePerfetto(w, r.Events(), r.phases, r.procs, r.channels)
+}

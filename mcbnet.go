@@ -23,6 +23,7 @@ package mcbnet
 import (
 	"mcbnet/internal/core"
 	"mcbnet/internal/mcb"
+	"mcbnet/internal/trace"
 )
 
 // Sort options and results.
@@ -113,6 +114,30 @@ type (
 // ErrAborted is wrapped by every typed abort error; errors.Is works
 // against it.
 var ErrAborted = mcb.ErrAborted
+
+// Cycle tracing: the structured observability plane (see internal/trace and
+// DESIGN.md "Observability"). Attach a recorder via SortOptions.Recorder /
+// SelectOptions.Recorder, then export the captured run as JSONL or
+// Perfetto-loadable Chrome trace-event JSON.
+type (
+	// TraceRecorder collects fixed-size per-cycle events (writes, reads,
+	// silences, idles, collisions, faults, phase switches) in preallocated
+	// per-processor ring buffers; recording never allocates.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded cycle event.
+	TraceEvent = trace.Event
+	// TracePhaseSummary is the per-phase rollup (cycle range, channel
+	// utilization, silences, collisions, fault counts) of a captured trace.
+	TracePhaseSummary = trace.PhaseSummary
+)
+
+// NewTraceRecorder returns a recorder for an MCB(procs, channels) network
+// holding up to eventsPerProc events per processor (oldest events are
+// overwritten beyond that). Export with its WriteJSONL / WritePerfetto /
+// Summaries methods after the run.
+func NewTraceRecorder(procs, channels, eventsPerProc int) *TraceRecorder {
+	return trace.New(procs, channels, eventsPerProc)
+}
 
 // Sort sorts a set distributed as inputs[i] at processor i over an
 // MCB(len(inputs), opts.K) network, preserving per-processor cardinalities:
