@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench lint bench-gate trace-sample
+.PHONY: build test vet race verify bench lint bench-gate trace-sample fuzz
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,13 @@ lint: vet
 bench-gate:
 	$(GO) run ./cmd/mcbbench -engine -compare BENCH_engine.json -threshold 0.20 \
 		-out BENCH_engine.fresh.json
+
+# Checkpoint-codec fuzz smoke (CI runs the same, shorter): coverage-guided
+# decoding of mutated snapshots — anything malformed must surface as a typed
+# ErrInvalid, never a panic or a silently accepted wrong state.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
 
 # The acceptance-shape cycle trace (p=16, k=4 sort), Perfetto-loadable.
 trace-sample:

@@ -17,15 +17,25 @@
 // every accepted answer is re-checked by rank recount. -degrade additionally
 // continues after processor crash-stops with the dead processors' elements
 // given up (rank -d is then taken over the survivors).
+//
+// -checkpoint-dir enables checkpointed recovery: the filtering selection
+// runs as per-iteration segments with verified phase-boundary snapshots, and
+// failures resume from the last accepted one; -resume continues a previous
+// (killed or failed) run from the directory. -outage ch:from[:to] scripts a
+// channel outage and -degrade-outage finishes on the k' < k surviving
+// channels when the failure is attributable to scripted outages.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mcbnet/internal/adversary"
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/core"
 	"mcbnet/internal/dist"
 	"mcbnet/internal/mcb"
@@ -46,6 +56,10 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (independent of the workload seed)")
 	retries := flag.Int("retries", 1, "max verify-and-retry attempts (1 = single unverified run)")
 	degrade := flag.Bool("degrade", false, "continue after processor crashes with the dead processors' elements given up")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for phase-boundary snapshots (enables checkpointed recovery)")
+	resume := flag.Bool("resume", false, "continue from a compatible snapshot in -checkpoint-dir, if one exists")
+	outageSpec := flag.String("outage", "", "scripted channel outage ch:from[:to] (to omitted = permanent)")
+	degradeOutage := flag.Bool("degrade-outage", false, "drop outage-stricken channels and finish on the survivors (k' < k)")
 	flag.Parse()
 
 	rank := *d
@@ -69,23 +83,39 @@ func main() {
 	opts := core.SelectOptions{
 		K: *k, D: rank, Algorithm: algo, StallTimeout: 5 * time.Minute,
 	}
-	faulted := *faultRate > 0
+	faulted := *faultRate > 0 || *outageSpec != ""
 	if faulted {
-		opts.Faults = &mcb.FaultPlan{
+		plan := &mcb.FaultPlan{
 			Seed:        *faultSeed,
 			DropRate:    *faultRate,
 			CorruptRate: *faultRate,
-			Checksum:    true,
+			Checksum:    *faultRate > 0,
 		}
+		if *outageSpec != "" {
+			o, oerr := parseOutage(*outageSpec, *k)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			plan.Outages = append(plan.Outages, o)
+		}
+		opts.Faults = plan
 		opts.MaxCycles = 64*int64(*n) + 1<<20
+	}
+	if *checkpointDir != "" {
+		store, serr := checkpoint.NewDir(*checkpointDir)
+		if serr != nil {
+			fatal(serr)
+		}
+		opts.Checkpoints = store
+		opts.Resume = *resume
 	}
 	start := time.Now()
 	var (
 		val int64
 		rep *core.SelectReport
 	)
-	if faulted || *retries > 1 {
-		opts.Retry = mcb.RetryPolicy{MaxAttempts: *retries, DegradeOnCrash: *degrade}
+	if faulted || *retries > 1 || opts.Checkpoints != nil {
+		opts.Retry = mcb.RetryPolicy{MaxAttempts: *retries, DegradeOnCrash: *degrade, DegradeOnOutage: *degradeOutage}
 		val, rep, err = core.SelectWithRetry(inputs, opts)
 	} else {
 		val, rep, err = core.Select(inputs, opts)
@@ -98,6 +128,11 @@ func main() {
 	if *jsonOut {
 		jr := mcb.NewReport(mcb.Config{P: *p, K: *k}, &rep.Stats)
 		jr.Attempts = rep.Attempts
+		jr.Resumes = rep.Resumes
+		jr.CheckpointPhase = rep.CheckpointPhase
+		jr.ReplayedCycles = rep.ReplayedCycles
+		jr.DegradedK = rep.DegradedK
+		jr.DeadChannels = rep.DeadChannels
 		jr.Extra = map[string]any{
 			"op":              "select",
 			"n":               *n,
@@ -140,6 +175,13 @@ func main() {
 	if len(rep.DeadProcs) > 0 {
 		fmt.Printf("degraded: gave up on processors %v; rank taken over survivors\n", rep.DeadProcs)
 	}
+	if rep.Resumes > 0 || rep.ReplayedCycles > 0 || rep.CheckpointPhase != "" {
+		fmt.Printf("recovery: %d resume(s) from checkpoint %q, %d cycles replayed (accepted path: %d)\n",
+			rep.Resumes, rep.CheckpointPhase, rep.ReplayedCycles, rep.Stats.Cycles)
+	}
+	if rep.DegradedK > 0 {
+		fmt.Printf("degraded: finished on k'=%d channels after losing %v\n", rep.DegradedK, rep.DeadChannels)
+	}
 
 	if *verbose && rep.FilterPhases > 0 {
 		fmt.Println("\nfiltering phases (Figure 2):")
@@ -164,6 +206,36 @@ func makeCard(name string, n, p int, heavy float64, seed uint64) (dist.Cardinali
 		return dist.Geometric(n, p), nil
 	}
 	return nil, fmt.Errorf("unknown distribution %q", name)
+}
+
+// parseOutage parses "ch:from[:to]" into a scripted outage window; an
+// omitted to means the channel never heals.
+func parseOutage(s string, k int) (mcb.Outage, error) {
+	var o mcb.Outage
+	o.To = 1 << 50
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return o, fmt.Errorf("bad -outage %q: want ch:from[:to]", s)
+	}
+	vals := make([]int64, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || v < 0 {
+			return o, fmt.Errorf("bad -outage %q: %q is not a non-negative integer", s, part)
+		}
+		vals[i] = v
+	}
+	o.Ch, o.From = int(vals[0]), vals[1]
+	if len(vals) == 3 {
+		o.To = vals[2]
+	}
+	if o.Ch >= k {
+		return o, fmt.Errorf("bad -outage %q: channel %d out of range [0, %d)", s, o.Ch, k)
+	}
+	if o.To <= o.From {
+		return o, fmt.Errorf("bad -outage %q: empty window", s)
+	}
+	return o, nil
 }
 
 func fatal(err error) {

@@ -20,15 +20,29 @@
 // carries attempts and fault counts. Note a fixed per-message rate compounds
 // over the ~n deliveries of a sort, so recovery demos want small n, e.g.
 // mcbsort -n 64 -p 8 -k 4 -fault-rate 0.01 -retries 8.
+//
+// -checkpoint-dir enables checkpointed recovery: the sort runs as phase
+// segments, snapshotting the verified distributed state into the directory
+// at every phase boundary, and a typed failure resumes from the last
+// accepted snapshot instead of restarting from cycle 0. With -resume, a new
+// invocation first looks for a compatible snapshot in the directory and
+// continues a previous (killed or failed) run from it. -outage ch:from[:to]
+// scripts a channel outage (to omitted = permanent) and -degrade-outage lets
+// the retry layer drop outage-stricken channels and finish on the k' < k
+// survivors; the report then carries resumes, replayed cycles and the
+// degraded channel set.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mcbnet/internal/adversary"
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/core"
 	"mcbnet/internal/dist"
 	"mcbnet/internal/mcb"
@@ -48,6 +62,10 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-delivery drop and corruption probability (0 = no fault injection)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed (independent of the workload seed)")
 	retries := flag.Int("retries", 1, "max verify-and-retry attempts (1 = single unverified run)")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for phase-boundary snapshots (enables checkpointed recovery)")
+	resume := flag.Bool("resume", false, "continue from a compatible snapshot in -checkpoint-dir, if one exists")
+	outageSpec := flag.String("outage", "", "scripted channel outage ch:from[:to] (to omitted = permanent)")
+	degradeOutage := flag.Bool("degrade-outage", false, "drop outage-stricken channels and finish on the survivors (k' < k)")
 	flag.Parse()
 
 	algorithm, err := parseAlgo(*algo)
@@ -65,26 +83,42 @@ func main() {
 	if *asc {
 		opts.Order = core.Ascending
 	}
-	faulted := *faultRate > 0
+	faulted := *faultRate > 0 || *outageSpec != ""
 	if faulted {
-		opts.Faults = &mcb.FaultPlan{
+		plan := &mcb.FaultPlan{
 			Seed:        *faultSeed,
 			DropRate:    *faultRate,
 			CorruptRate: *faultRate,
-			Checksum:    true,
+			Checksum:    *faultRate > 0,
 		}
+		if *outageSpec != "" {
+			o, oerr := parseOutage(*outageSpec, *k)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			plan.Outages = append(plan.Outages, o)
+		}
+		opts.Faults = plan
 		// Dropped messages can wedge or derail a lock-step protocol; a cycle
 		// budget turns runaway runs into a typed BudgetError the retry layer
 		// can act on.
 		opts.MaxCycles = 64*int64(*n) + 1<<20
+	}
+	if *checkpointDir != "" {
+		store, serr := checkpoint.NewDir(*checkpointDir)
+		if serr != nil {
+			fatal(serr)
+		}
+		opts.Checkpoints = store
+		opts.Resume = *resume
 	}
 	start := time.Now()
 	var (
 		outputs [][]int64
 		rep     *core.Report
 	)
-	if faulted || *retries > 1 {
-		opts.Retry = mcb.RetryPolicy{MaxAttempts: *retries}
+	if faulted || *retries > 1 || opts.Checkpoints != nil {
+		opts.Retry = mcb.RetryPolicy{MaxAttempts: *retries, DegradeOnOutage: *degradeOutage}
 		outputs, rep, err = core.SortWithRetry(inputs, opts)
 	} else {
 		outputs, rep, err = core.Sort(inputs, opts)
@@ -97,6 +131,11 @@ func main() {
 	if *jsonOut {
 		jr := mcb.NewReport(mcb.Config{P: *p, K: *k}, &rep.Stats)
 		jr.Attempts = rep.Attempts
+		jr.Resumes = rep.Resumes
+		jr.CheckpointPhase = rep.CheckpointPhase
+		jr.ReplayedCycles = rep.ReplayedCycles
+		jr.DegradedK = rep.DegradedK
+		jr.DeadChannels = rep.DeadChannels
 		jr.Extra = map[string]any{
 			"op":        "sort",
 			"n":         *n,
@@ -132,6 +171,13 @@ func main() {
 		f := &rep.Stats.Faults
 		fmt.Printf("faults (final attempt %d of %d): %d dropped, %d corrupted (%d detected), %d crash(es)\n",
 			rep.Attempts, *retries, f.Drops, f.Corruptions+f.Detected, f.Detected, len(f.Crashes))
+	}
+	if rep.Resumes > 0 || rep.ReplayedCycles > 0 || rep.CheckpointPhase != "" {
+		fmt.Printf("recovery: %d resume(s) from checkpoint %q, %d cycles replayed (accepted path: %d)\n",
+			rep.Resumes, rep.CheckpointPhase, rep.ReplayedCycles, rep.Stats.Cycles)
+	}
+	if rep.DegradedK > 0 {
+		fmt.Printf("degraded: finished on k'=%d channels after losing %v\n", rep.DegradedK, rep.DeadChannels)
 	}
 
 	if *verbose {
@@ -179,6 +225,36 @@ func makeCard(name string, n, p int, heavy float64, seed uint64) (dist.Cardinali
 		return dist.Geometric(n, p), nil
 	}
 	return nil, fmt.Errorf("unknown distribution %q", name)
+}
+
+// parseOutage parses "ch:from[:to]" into a scripted outage window; an
+// omitted to means the channel never heals.
+func parseOutage(s string, k int) (mcb.Outage, error) {
+	var o mcb.Outage
+	o.To = 1 << 50
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return o, fmt.Errorf("bad -outage %q: want ch:from[:to]", s)
+	}
+	vals := make([]int64, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || v < 0 {
+			return o, fmt.Errorf("bad -outage %q: %q is not a non-negative integer", s, part)
+		}
+		vals[i] = v
+	}
+	o.Ch, o.From = int(vals[0]), vals[1]
+	if len(vals) == 3 {
+		o.To = vals[2]
+	}
+	if o.Ch >= k {
+		return o, fmt.Errorf("bad -outage %q: channel %d out of range [0, %d)", s, o.Ch, k)
+	}
+	if o.To <= o.From {
+		return o, fmt.Errorf("bad -outage %q: empty window", s)
+	}
+	return o, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,14 @@
 //	mcbtrace -n 24 -p 4 -k 2 [-op sort|select] [-format text|jsonl|perfetto|summary]
 //	         [-o FILE] [-cycles 40] [-readers] [-seed 1]
 //	         [-fault-rate 0.001] [-fault-seed 7]
+//	         [-checkpoint -retries 4 -outage ch:from[:to] [-degrade-outage]]
+//
+// -checkpoint runs the operation under checkpointed recovery (an in-memory
+// store): failed segments resume from the last accepted phase-boundary
+// snapshot, the trace then spans every attempt, and -format summary carries
+// the recovery metadata (attempts, resumes, checkpoint phase, replayed
+// cycles, degraded channel set). -outage scripts a channel outage to
+// recover from; -degrade-outage lets the run finish on k' < k channels.
 //
 // Formats:
 //
@@ -27,8 +35,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/core"
 	"mcbnet/internal/dist"
 	"mcbnet/internal/mcb"
@@ -48,39 +58,82 @@ func main() {
 	buf := flag.Int("buf", 1<<16, "recorder ring capacity, events per processor")
 	faultRate := flag.Float64("fault-rate", 0, "inject seeded faults: per-delivery drop rate (plus corruption at half the rate, checksum-guarded)")
 	faultSeed := flag.Uint64("fault-seed", 7, "seed for -fault-rate")
+	checkpointed := flag.Bool("checkpoint", false, "run under checkpointed recovery (in-memory store); -format summary carries the resume metadata")
+	retries := flag.Int("retries", 1, "max retry attempts for -checkpoint runs")
+	outageSpec := flag.String("outage", "", "scripted channel outage ch:from[:to] (to omitted = permanent)")
+	degradeOutage := flag.Bool("degrade-outage", false, "drop outage-stricken channels and finish on the survivors (k' < k)")
 	flag.Parse()
 
 	r := dist.NewRNG(*seed)
 	inputs := dist.Values(r, dist.NearlyEven(*n, *p))
 
 	var plan *mcb.FaultPlan
-	if *faultRate > 0 {
+	if *faultRate > 0 || *outageSpec != "" {
 		plan = &mcb.FaultPlan{
 			Seed:        *faultSeed,
 			DropRate:    *faultRate,
 			CorruptRate: *faultRate / 2,
-			Checksum:    true,
+			Checksum:    *faultRate > 0,
+		}
+		if *outageSpec != "" {
+			o, oerr := parseOutage(*outageSpec, *k)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			plan.Outages = append(plan.Outages, o)
 		}
 	}
 
 	rec := trace.New(*p, *k, *buf)
+	retrying := *checkpointed || *retries > 1
 	var stats mcb.Stats
+	var rcv recoveryMeta
 	switch *op {
 	case "sort":
-		_, rep, err := core.Sort(inputs, core.SortOptions{K: *k, Recorder: rec, Faults: plan})
+		sopts := core.SortOptions{K: *k, Recorder: rec, Faults: plan}
+		var rep *core.Report
+		var err error
+		if retrying {
+			if *checkpointed {
+				sopts.Checkpoints = checkpoint.NewMem()
+			}
+			if plan != nil {
+				sopts.MaxCycles = 64*int64(*n) + 1<<20
+			}
+			sopts.Retry = mcb.RetryPolicy{MaxAttempts: *retries, DegradeOnOutage: *degradeOutage}
+			_, rep, err = core.SortWithRetry(inputs, sopts)
+		} else {
+			_, rep, err = core.Sort(inputs, sopts)
+		}
 		if err != nil {
 			runFailed(err, rep == nil)
 		}
 		if rep != nil {
 			stats = rep.Stats
+			rcv = recoveryMeta{rep.Attempts, rep.Resumes, rep.CheckpointPhase, rep.ReplayedCycles, rep.DegradedK, rep.DeadChannels}
 		}
 	case "select":
-		_, rep, err := core.Select(inputs, core.SelectOptions{K: *k, D: (*n + 1) / 2, Recorder: rec, Faults: plan})
+		sopts := core.SelectOptions{K: *k, D: (*n + 1) / 2, Recorder: rec, Faults: plan}
+		var rep *core.SelectReport
+		var err error
+		if retrying {
+			if *checkpointed {
+				sopts.Checkpoints = checkpoint.NewMem()
+			}
+			if plan != nil {
+				sopts.MaxCycles = 64*int64(*n) + 1<<20
+			}
+			sopts.Retry = mcb.RetryPolicy{MaxAttempts: *retries, DegradeOnOutage: *degradeOutage}
+			_, rep, err = core.SelectWithRetry(inputs, sopts)
+		} else {
+			_, rep, err = core.Select(inputs, sopts)
+		}
 		if err != nil {
 			runFailed(err, rep == nil)
 		}
 		if rep != nil {
 			stats = rep.Stats
+			rcv = recoveryMeta{rep.Attempts, rep.Resumes, rep.CheckpointPhase, rep.ReplayedCycles, rep.DegradedK, rep.DeadChannels}
 		}
 	default:
 		fatal(fmt.Errorf("unknown op %q", *op))
@@ -108,6 +161,12 @@ func main() {
 		err = rec.WritePerfetto(out)
 	case "summary":
 		rep := mcb.NewReport(mcb.Config{P: *p, K: *k}, &stats)
+		rep.Attempts = rcv.attempts
+		rep.Resumes = rcv.resumes
+		rep.CheckpointPhase = rcv.checkpointPhase
+		rep.ReplayedCycles = rcv.replayedCycles
+		rep.DegradedK = rcv.degradedK
+		rep.DeadChannels = rcv.deadChannels
 		rep.Extra = map[string]any{"op": *op, "n": *n, "seed": *seed}
 		mcb.AttachTraceSummary(rep, rec)
 		err = rep.WriteJSON(out)
@@ -119,6 +178,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// recoveryMeta is the retry/checkpoint metadata the summary report carries.
+type recoveryMeta struct {
+	attempts        int
+	resumes         int
+	checkpointPhase string
+	replayedCycles  int64
+	degradedK       int
+	deadChannels    []int
+}
+
+// parseOutage parses "ch:from[:to]" into a scripted outage window; an
+// omitted to means the channel never heals.
+func parseOutage(s string, k int) (mcb.Outage, error) {
+	var o mcb.Outage
+	o.To = 1 << 50
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return o, fmt.Errorf("bad -outage %q: want ch:from[:to]", s)
+	}
+	vals := make([]int64, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil || v < 0 {
+			return o, fmt.Errorf("bad -outage %q: %q is not a non-negative integer", s, part)
+		}
+		vals[i] = v
+	}
+	o.Ch, o.From = int(vals[0]), vals[1]
+	if len(vals) == 3 {
+		o.To = vals[2]
+	}
+	if o.Ch >= k {
+		return o, fmt.Errorf("bad -outage %q: channel %d out of range [0, %d)", s, o.Ch, k)
+	}
+	if o.To <= o.From {
+		return o, fmt.Errorf("bad -outage %q: empty window", s)
+	}
+	return o, nil
 }
 
 // writeText renders the per-cycle channel grid from the recorded events.

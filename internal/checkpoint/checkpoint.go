@@ -1,0 +1,299 @@
+// Package checkpoint is the phase-boundary snapshot plane of the recovery
+// layer. The paper's algorithms are strictly phase-structured (Columnsort
+// steps, selection filtering rounds), so the distributed state at a phase
+// boundary is small, deterministic and host-collectable: per-processor
+// element lists plus a handful of globally known scalars. A Snapshot captures
+// that state; a Store persists encoded snapshots so a retry attempt — or a
+// fresh host process — can resume from the last accepted phase boundary
+// instead of replaying the run from cycle 0.
+//
+// Two stores are provided: MemStore (survives retry attempts within one
+// process) and DirStore (survives host-process restarts; snapshots are
+// written atomically and corrupted or truncated files are skipped on load,
+// so a crash mid-write falls back to the previous boundary).
+//
+// Snapshots cross a trust boundary when read back from disk, so the codec is
+// versioned and checksummed: Decode rejects truncated, bit-flipped or
+// malformed input with a typed *DecodeError before any field is used.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Elem is one distributed element in a snapshot: the paper's lexicographic
+// triple (value, tiebreak, payload) plus a dummy flag for the padding cells
+// of a mid-Columnsort matrix (dummies carry no element but their positions
+// are part of the state).
+type Elem struct {
+	V, T, P int64
+	Dummy   bool
+}
+
+// Snapshot is one phase-boundary capture of a distributed sort or selection.
+// State[i] is the list held by (or attributed to) processor i at the
+// boundary; the scalar fields carry the globally known loop state. The
+// snapshot is self-describing enough to validate a resume: Kind, Algo, P, K
+// and Cards must match the run being resumed, and the element multiset is
+// re-verified against the inputs before the state is trusted.
+type Snapshot struct {
+	// Kind is the computation kind: "sort" or "select".
+	Kind string
+	// Algo is the algorithm name (Algorithm.String / SelectAlgorithm.String).
+	Algo string
+	// P and K are the network shape of the run that produced the snapshot.
+	P, K int
+	// Phase is the index of the next segment to run: state is the input of
+	// segment Phase. Phase 0 with fresh state is the run's input.
+	Phase int
+	// PhaseName labels the completed boundary for reports ("" at phase 0).
+	PhaseName string
+	// Attempt and Resumes carry the retry bookkeeping at capture time.
+	Attempt int
+	Resumes int
+	// CyclesDone / MessagesDone are the accepted engine costs up to this
+	// boundary; ReplayedCycles counts the cycles discarded by failed
+	// attempts so far.
+	CyclesDone     int64
+	MessagesDone   int64
+	ReplayedCycles int64
+	// Order is the sort order (0 descending, 1 ascending); state is stored
+	// in the internal (negated-if-ascending) element space.
+	Order int
+	// D, M, Threshold and Iter are the selection loop state: remaining rank,
+	// candidate count, termination threshold and completed iterations.
+	D, M, Threshold, Iter int
+	// Aux carries kind-specific extras (e.g. a finished selection's answer).
+	Aux []int64
+	// Cards are the original per-processor cardinalities (the sort's
+	// redistribution targets and the resume-validation anchor).
+	Cards []int
+	// State is the per-processor element state at the boundary.
+	State [][]Elem
+}
+
+// Clone returns a deep copy.
+func (s *Snapshot) Clone() *Snapshot {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Aux = append([]int64(nil), s.Aux...)
+	c.Cards = append([]int(nil), s.Cards...)
+	c.State = make([][]Elem, len(s.State))
+	for i, l := range s.State {
+		c.State[i] = append([]Elem(nil), l...)
+	}
+	return &c
+}
+
+// Store is the checkpoint sink the recovery layer threads through
+// SortOptions / SelectOptions: Save accepts a verified phase-boundary
+// snapshot, Latest returns the most recently saved one (nil when empty), and
+// Clear discards everything (a fresh, non-resuming run clears stale state
+// first). Implementations must round-trip through the codec so a loaded
+// snapshot is always an isolated, checksum-verified copy.
+type Store interface {
+	Save(*Snapshot) error
+	Latest() (*Snapshot, error)
+	Clear() error
+}
+
+// MemStore keeps encoded snapshots in memory: recovery survives retry
+// attempts within one process but not a process restart. Every Save encodes
+// and every Latest decodes, so the codec is exercised on the in-memory path
+// too and callers never share mutable state with the store. The full save
+// history is retained (snapshots are phase-boundary sized, not run sized)
+// for determinism audits via History.
+type MemStore struct {
+	mu   sync.Mutex
+	encs [][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{} }
+
+// Save encodes and retains the snapshot.
+func (m *MemStore) Save(s *Snapshot) error {
+	enc, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.encs = append(m.encs, enc)
+	m.mu.Unlock()
+	return nil
+}
+
+// Latest decodes and returns the most recently saved snapshot, or nil.
+func (m *MemStore) Latest() (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.encs) == 0 {
+		return nil, nil
+	}
+	return Decode(m.encs[len(m.encs)-1])
+}
+
+// Clear discards all saved snapshots.
+func (m *MemStore) Clear() error {
+	m.mu.Lock()
+	m.encs = nil
+	m.mu.Unlock()
+	return nil
+}
+
+// History returns the encoded bytes of every Save in order (copies).
+func (m *MemStore) History() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]byte, len(m.encs))
+	for i, e := range m.encs {
+		out[i] = append([]byte(nil), e...)
+	}
+	return out
+}
+
+// DirStore persists snapshots as files under Dir, one file per Save, named
+// <kind>-<seq>.ckpt with a monotonically increasing sequence number — so
+// recovery survives a host-process restart. Writes go through a temporary
+// file and an atomic rename; Latest walks the sequence backwards and skips
+// entries that fail to decode, so a kill mid-write falls back to the
+// previous accepted boundary instead of wedging the resume.
+type DirStore struct {
+	Dir string
+
+	mu  sync.Mutex
+	seq int // next sequence number; 0 = scan the directory first
+}
+
+// NewDir returns a store rooted at dir, creating it if needed.
+func NewDir(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &DirStore{Dir: dir}, nil
+}
+
+const ckptExt = ".ckpt"
+
+// entries returns the snapshot files in the directory, ordered by sequence.
+func (d *DirStore) entries() ([]string, []int, error) {
+	ents, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: read dir: %w", err)
+	}
+	var names []string
+	var seqs []int
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		base := strings.TrimSuffix(name, ckptExt)
+		i := strings.LastIndexByte(base, '-')
+		if i < 0 {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(base[i+1:], "%d", &seq); err != nil {
+			continue
+		}
+		names = append(names, name)
+		seqs = append(seqs, seq)
+	}
+	sort.Sort(&bySeq{names, seqs})
+	return names, seqs, nil
+}
+
+type bySeq struct {
+	names []string
+	seqs  []int
+}
+
+func (b *bySeq) Len() int           { return len(b.names) }
+func (b *bySeq) Less(i, j int) bool { return b.seqs[i] < b.seqs[j] }
+func (b *bySeq) Swap(i, j int) {
+	b.names[i], b.names[j] = b.names[j], b.names[i]
+	b.seqs[i], b.seqs[j] = b.seqs[j], b.seqs[i]
+}
+
+// Save encodes the snapshot and writes it atomically (temp file + rename).
+func (d *DirStore) Save(s *Snapshot) error {
+	enc, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seq == 0 {
+		_, seqs, err := d.entries()
+		if err != nil {
+			return err
+		}
+		d.seq = 1
+		if len(seqs) > 0 {
+			d.seq = seqs[len(seqs)-1] + 1
+		}
+	}
+	name := fmt.Sprintf("%s-%06d%s", s.Kind, d.seq, ckptExt)
+	tmp := filepath.Join(d.Dir, name+".tmp")
+	if err := os.WriteFile(tmp, enc, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.Dir, name)); err != nil {
+		return fmt.Errorf("checkpoint: commit snapshot: %w", err)
+	}
+	d.seq++
+	return nil
+}
+
+// Latest returns the newest snapshot that decodes cleanly, or nil when the
+// directory holds none. Corrupted or truncated files are skipped (a crash
+// mid-write must not block recovery on the previous boundary).
+func (d *DirStore) Latest() (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names, _, err := d.entries()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		enc, err := os.ReadFile(filepath.Join(d.Dir, names[i]))
+		if err != nil {
+			continue
+		}
+		snap, err := Decode(enc)
+		if err != nil {
+			continue // corrupt or truncated: fall back to the previous one
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
+// Clear removes every snapshot file (and stray temp files) in the directory.
+func (d *DirStore) Clear() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ents, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: read dir: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !(strings.HasSuffix(name, ckptExt) || strings.HasSuffix(name, ckptExt+".tmp")) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.Dir, name)); err != nil {
+			return fmt.Errorf("checkpoint: clear: %w", err)
+		}
+	}
+	d.seq = 1
+	return nil
+}

@@ -1,0 +1,284 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Kind:           "sort",
+		Algo:           "columnsort-gather",
+		P:              4,
+		K:              2,
+		Phase:          3,
+		PhaseName:      "columnsort:transpose",
+		Attempt:        2,
+		Resumes:        1,
+		CyclesDone:     123,
+		MessagesDone:   456,
+		ReplayedCycles: 78,
+		Order:          1,
+		D:              5,
+		M:              9,
+		Threshold:      2,
+		Iter:           1,
+		Aux:            []int64{42, -7},
+		Cards:          []int{3, 0, 2, 1},
+		State: [][]Elem{
+			{{V: -5, T: 1, P: 9}, {V: 0, T: 2, P: 0, Dummy: true}},
+			nil,
+			{{V: 7, T: -3, P: 1}},
+			{{V: 1, T: 4, P: 2}, {V: 1, T: 5, P: 3}, {V: 2, T: 6, P: 4}},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	enc, err := Encode(want)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(normalize(want), normalize(got)) {
+		t.Fatalf("round-trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+	// Re-encoding the decoded snapshot must be byte-identical.
+	enc2, err := Encode(got)
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encode not byte-identical")
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form so DeepEqual
+// compares content: the codec does not distinguish nil from empty.
+func normalize(s *Snapshot) *Snapshot {
+	c := s.Clone()
+	if len(c.Aux) == 0 {
+		c.Aux = nil
+	}
+	if len(c.Cards) == 0 {
+		c.Cards = nil
+	}
+	for i, l := range c.State {
+		if len(l) == 0 {
+			c.State[i] = nil
+		}
+	}
+	if len(c.State) == 0 {
+		c.State = nil
+	}
+	return c
+}
+
+// TestCodecDeterministicAcrossGOMAXPROCS pins the acceptance criterion that
+// encoding is byte-deterministic regardless of scheduler parallelism.
+func TestCodecDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	var ref []byte
+	for _, procs := range []int{1, 4, runtime.NumCPU()} {
+		prev := runtime.GOMAXPROCS(procs)
+		enc, err := Encode(sampleSnapshot())
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("Encode at GOMAXPROCS=%d: %v", procs, err)
+		}
+		if ref == nil {
+			ref = enc
+		} else if !bytes.Equal(ref, enc) {
+			t.Fatalf("encoding differs at GOMAXPROCS=%d", procs)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc, err := Encode(sampleSnapshot())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+			if _, err := Decode(enc[:n]); err == nil {
+				t.Fatalf("Decode accepted truncation to %d bytes", n)
+			} else if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("truncation to %d: error %v does not wrap ErrInvalid", n, err)
+			}
+		}
+	})
+
+	t.Run("bit-flip", func(t *testing.T) {
+		for _, pos := range []int{0, 5, len(enc) / 2, len(enc) - 1} {
+			mut := append([]byte(nil), enc...)
+			mut[pos] ^= 0x40
+			_, err := Decode(mut)
+			if err == nil {
+				t.Fatalf("Decode accepted bit flip at offset %d", pos)
+			}
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("bit flip at %d: error %T is not *DecodeError", pos, err)
+			}
+		}
+	})
+
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if _, err := Decode(append(append([]byte(nil), enc...), 0, 0, 0)); err == nil {
+			t.Fatal("Decode accepted trailing garbage")
+		}
+	})
+
+	t.Run("bad-version", func(t *testing.T) {
+		mut := append([]byte(nil), enc...)
+		mut[4] = 99 // version byte
+		// Re-stamp the checksum so only the version check can reject it.
+		body := mut[:len(mut)-8]
+		fixed, _ := Encode(sampleSnapshot())
+		_ = fixed
+		sum := fnv1a(body)
+		for i := 0; i < 8; i++ {
+			mut[len(body)+i] = byte(sum >> (8 * i))
+		}
+		_, err := Decode(mut)
+		if err == nil || !errors.Is(err, ErrInvalid) {
+			t.Fatalf("bad version: got %v", err)
+		}
+	})
+}
+
+func TestMemStore(t *testing.T) {
+	st := NewMem()
+	if s, err := st.Latest(); err != nil || s != nil {
+		t.Fatalf("empty Latest = %v, %v", s, err)
+	}
+	a := sampleSnapshot()
+	if err := st.Save(a); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b := sampleSnapshot()
+	b.Phase = 5
+	if err := st.Save(b); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := st.Latest()
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if got.Phase != 5 {
+		t.Fatalf("Latest.Phase = %d, want 5", got.Phase)
+	}
+	// The returned snapshot is a decoded copy: mutating it must not affect
+	// the store.
+	got.State[0][0].V = 999
+	again, _ := st.Latest()
+	if again.State[0][0].V == 999 {
+		t.Fatal("Latest returned shared state")
+	}
+	if n := len(st.History()); n != 2 {
+		t.Fatalf("History length = %d, want 2", n)
+	}
+	if err := st.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if s, _ := st.Latest(); s != nil {
+		t.Fatal("Latest after Clear != nil")
+	}
+}
+
+func TestDirStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDir(dir)
+	if err != nil {
+		t.Fatalf("NewDir: %v", err)
+	}
+	if s, err := st.Latest(); err != nil || s != nil {
+		t.Fatalf("empty Latest = %v, %v", s, err)
+	}
+	a := sampleSnapshot()
+	a.Phase = 1
+	b := sampleSnapshot()
+	b.Phase = 2
+	if err := st.Save(a); err != nil {
+		t.Fatalf("Save a: %v", err)
+	}
+	if err := st.Save(b); err != nil {
+		t.Fatalf("Save b: %v", err)
+	}
+
+	// A second store over the same directory (a fresh process) resumes from
+	// the latest file and continues the sequence.
+	st2, err := NewDir(dir)
+	if err != nil {
+		t.Fatalf("NewDir 2: %v", err)
+	}
+	got, err := st2.Latest()
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if got == nil || got.Phase != 2 {
+		t.Fatalf("Latest.Phase = %+v, want phase 2", got)
+	}
+	c := sampleSnapshot()
+	c.Phase = 3
+	if err := st2.Save(c); err != nil {
+		t.Fatalf("Save c: %v", err)
+	}
+	names, seqs, err := st2.entries()
+	if err != nil {
+		t.Fatalf("entries: %v", err)
+	}
+	if len(names) != 3 || seqs[2] <= seqs[1] || seqs[1] <= seqs[0] {
+		t.Fatalf("entries = %v seqs = %v, want 3 increasing", names, seqs)
+	}
+
+	// Corrupt the newest file: Latest must fall back to the previous one
+	// (kill-mid-write resilience).
+	newest := filepath.Join(dir, names[2])
+	if err := os.WriteFile(newest, []byte("garbage"), 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	got, err = st2.Latest()
+	if err != nil {
+		t.Fatalf("Latest after corrupt: %v", err)
+	}
+	if got == nil || got.Phase != 2 {
+		t.Fatalf("Latest after corrupt = %+v, want fallback to phase 2", got)
+	}
+
+	if err := st2.Clear(); err != nil {
+		t.Fatalf("Clear: %v", err)
+	}
+	if s, _ := st2.Latest(); s != nil {
+		t.Fatal("Latest after Clear != nil")
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		t.Fatalf("leftover file after Clear: %s", e.Name())
+	}
+}
+
+func TestSnapshotClone(t *testing.T) {
+	a := sampleSnapshot()
+	b := a.Clone()
+	b.State[0][0].V = 111
+	b.Cards[0] = 99
+	b.Aux[0] = 13
+	if a.State[0][0].V == 111 || a.Cards[0] == 99 || a.Aux[0] == 13 {
+		t.Fatal("Clone shares state with original")
+	}
+	var nilSnap *Snapshot
+	if nilSnap.Clone() != nil {
+		t.Fatal("nil Clone != nil")
+	}
+}

@@ -1,0 +1,325 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The snapshot codec: a fixed little-endian binary layout, versioned and
+// guarded by a trailing FNV-1a checksum over everything before it. The
+// format is deliberately boring — no maps, no reflection — so that encoding
+// a given Snapshot is byte-deterministic (the determinism tests compare
+// encodings across GOMAXPROCS settings) and decoding untrusted bytes is
+// strictly bounds-checked.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "MCBK"                          4 bytes
+//	version uint16                          currently 1
+//	strings Kind, Algo, PhaseName           uint16 length + bytes each
+//	scalars P K Phase Attempt Resumes       int64 each
+//	        Order D M Threshold Iter
+//	        CyclesDone MessagesDone
+//	        ReplayedCycles
+//	aux     uint32 count + int64 each
+//	cards   uint32 count + int64 each
+//	state   uint32 proc count, then per processor:
+//	          uint32 elem count + (int64 V, int64 T, int64 P, uint8 flags)
+//	checksum uint64 FNV-1a over all preceding bytes
+
+const (
+	codecMagic   = "MCBK"
+	codecVersion = 1
+
+	maxStringLen = 1 << 12
+	elemSize     = 25 // 3×int64 + 1 flag byte
+)
+
+// ErrInvalid is the sentinel every decode failure matches via errors.Is: the
+// bytes are not an acceptable snapshot (truncated, checksum mismatch, bad
+// magic or version, or malformed structure).
+var ErrInvalid = errors.New("checkpoint: invalid snapshot")
+
+// DecodeError is the typed decode failure; it wraps ErrInvalid.
+type DecodeError struct{ Reason string }
+
+func (e *DecodeError) Error() string { return "checkpoint: invalid snapshot: " + e.Reason }
+func (e *DecodeError) Unwrap() error { return ErrInvalid }
+
+func decodeErrf(format string, args ...any) error {
+	return &DecodeError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// fnv1a is the checksum guarding encoded snapshots (the same construction
+// the fault plane uses for message checksums).
+func fnv1a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// Encode renders the snapshot in the versioned binary format. It fails only
+// on unrepresentable snapshots (oversized strings or counts).
+func Encode(s *Snapshot) ([]byte, error) {
+	if s == nil {
+		return nil, fmt.Errorf("checkpoint: nil snapshot")
+	}
+	for _, str := range []string{s.Kind, s.Algo, s.PhaseName} {
+		if len(str) > maxStringLen {
+			return nil, fmt.Errorf("checkpoint: string field too long (%d bytes)", len(str))
+		}
+	}
+	if len(s.State) > math.MaxUint32 || len(s.Cards) > math.MaxUint32 || len(s.Aux) > math.MaxUint32 {
+		return nil, fmt.Errorf("checkpoint: snapshot too large")
+	}
+	n := 4 + 2 + 3*2 + len(s.Kind) + len(s.Algo) + len(s.PhaseName) + 13*8 + 4 + 8*len(s.Aux) + 4 + 8*len(s.Cards) + 4
+	for _, l := range s.State {
+		n += 4 + elemSize*len(l)
+	}
+	n += 8 // checksum
+	buf := make([]byte, 0, n)
+
+	buf = append(buf, codecMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, codecVersion)
+	appendString := func(str string) {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(str)))
+		buf = append(buf, str...)
+	}
+	appendString(s.Kind)
+	appendString(s.Algo)
+	appendString(s.PhaseName)
+	for _, v := range []int64{
+		int64(s.P), int64(s.K), int64(s.Phase), int64(s.Attempt), int64(s.Resumes),
+		int64(s.Order), int64(s.D), int64(s.M), int64(s.Threshold), int64(s.Iter),
+		s.CyclesDone, s.MessagesDone, s.ReplayedCycles,
+	} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Aux)))
+	for _, v := range s.Aux {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Cards)))
+	for _, v := range s.Cards {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.State)))
+	for _, l := range s.State {
+		if len(l) > math.MaxUint32 {
+			return nil, fmt.Errorf("checkpoint: snapshot too large")
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l)))
+		for _, e := range l {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.V))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.T))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.P))
+			var flags byte
+			if e.Dummy {
+				flags = 1
+			}
+			buf = append(buf, flags)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, fnv1a(buf))
+	return buf, nil
+}
+
+// decoder is a bounds-checked cursor over untrusted bytes.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, decodeErrf("truncated at offset %d (want %d more bytes, have %d)", d.off, n, d.remaining())
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	b, err := d.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	b, err := d.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(b)), nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxStringLen {
+		return "", decodeErrf("string field of %d bytes exceeds limit", n)
+	}
+	b, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// count reads a uint32 element count and validates it against the bytes
+// actually remaining (each element occupying at least minSize bytes), so a
+// malicious length prefix cannot force a huge allocation.
+func (d *decoder) count(minSize int) (int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return 0, err
+	}
+	if minSize > 0 && int64(n)*int64(minSize) > int64(d.remaining()) {
+		return 0, decodeErrf("count %d exceeds remaining payload", n)
+	}
+	return int(n), nil
+}
+
+// Decode parses and validates an encoded snapshot. The checksum is verified
+// before any field is interpreted; any failure — truncation, bit flip, bad
+// magic or version, malformed structure, trailing garbage — returns a
+// *DecodeError (matching errors.Is(err, ErrInvalid)).
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < 4+2+8 {
+		return nil, decodeErrf("too short (%d bytes)", len(b))
+	}
+	body, sum := b[:len(b)-8], binary.LittleEndian.Uint64(b[len(b)-8:])
+	if fnv1a(body) != sum {
+		return nil, decodeErrf("checksum mismatch")
+	}
+	d := &decoder{b: body}
+	magic, err := d.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != codecMagic {
+		return nil, decodeErrf("bad magic %q", magic)
+	}
+	version, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, decodeErrf("unsupported version %d (want %d)", version, codecVersion)
+	}
+	s := &Snapshot{}
+	if s.Kind, err = d.str(); err != nil {
+		return nil, err
+	}
+	if s.Algo, err = d.str(); err != nil {
+		return nil, err
+	}
+	if s.PhaseName, err = d.str(); err != nil {
+		return nil, err
+	}
+	ints := [13]int64{}
+	for i := range ints {
+		if ints[i], err = d.i64(); err != nil {
+			return nil, err
+		}
+	}
+	s.P, s.K, s.Phase, s.Attempt, s.Resumes = int(ints[0]), int(ints[1]), int(ints[2]), int(ints[3]), int(ints[4])
+	s.Order, s.D, s.M, s.Threshold, s.Iter = int(ints[5]), int(ints[6]), int(ints[7]), int(ints[8]), int(ints[9])
+	s.CyclesDone, s.MessagesDone, s.ReplayedCycles = ints[10], ints[11], ints[12]
+	if s.P < 0 || s.K < 0 || s.Phase < 0 {
+		return nil, decodeErrf("negative shape fields (p=%d k=%d phase=%d)", s.P, s.K, s.Phase)
+	}
+	nAux, err := d.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if nAux > 0 {
+		s.Aux = make([]int64, nAux)
+		for i := range s.Aux {
+			if s.Aux[i], err = d.i64(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nCards, err := d.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if nCards > 0 {
+		s.Cards = make([]int, nCards)
+		for i := range s.Cards {
+			v, err := d.i64()
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 || v > math.MaxInt32 {
+				return nil, decodeErrf("cardinality %d out of range", v)
+			}
+			s.Cards[i] = int(v)
+		}
+	}
+	nProcs, err := d.count(4)
+	if err != nil {
+		return nil, err
+	}
+	if nProcs > 0 {
+		s.State = make([][]Elem, nProcs)
+		for i := range s.State {
+			nElems, err := d.count(elemSize)
+			if err != nil {
+				return nil, err
+			}
+			if nElems == 0 {
+				continue
+			}
+			l := make([]Elem, nElems)
+			for j := range l {
+				if l[j].V, err = d.i64(); err != nil {
+					return nil, err
+				}
+				if l[j].T, err = d.i64(); err != nil {
+					return nil, err
+				}
+				if l[j].P, err = d.i64(); err != nil {
+					return nil, err
+				}
+				fb, err := d.bytes(1)
+				if err != nil {
+					return nil, err
+				}
+				if fb[0] > 1 {
+					return nil, decodeErrf("unknown element flags %#x", fb[0])
+				}
+				l[j].Dummy = fb[0] == 1
+			}
+			s.State[i] = l
+		}
+	}
+	if d.remaining() != 0 {
+		return nil, decodeErrf("%d trailing bytes", d.remaining())
+	}
+	return s, nil
+}

@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the snapshot decoder. The decoder must
+// never panic or over-allocate, and anything it accepts must re-encode to the
+// exact same bytes (the format has a single canonical encoding).
+func FuzzDecode(f *testing.F) {
+	if enc, err := Encode(sampleSnapshot()); err == nil {
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		flip := append([]byte(nil), enc...)
+		flip[len(flip)/3] ^= 0x10
+		f.Add(flip)
+	}
+	if enc, err := Encode(&Snapshot{Kind: "select"}); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte("MCBK"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned snapshot alongside error")
+			}
+			return
+		}
+		re, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes out", len(data), len(re))
+		}
+	})
+}

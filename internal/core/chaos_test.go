@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/mcb"
 )
 
@@ -168,6 +170,184 @@ func TestChaosSort(t *testing.T) {
 		t.Error("every chaos sort failed; rates leave the retry layer nothing to verify")
 	}
 	requireGoroutineDrain(t, base)
+}
+
+// TestChaosResumeMatrix is the chaos suite of the checkpoint/resume plane:
+//
+//   - answers: whatever faults strike, an accepted checkpointed run must
+//     answer exactly what the uninterrupted run answers — resuming from a
+//     snapshot must never bend the result;
+//   - replay economy: for a late-phase deterministic fault, resuming from
+//     checkpoints replays strictly fewer cycles than whole-run restarts;
+//   - degradation: a permanent scripted outage defeats plain retry (the
+//     outage never heals, every attempt dies the same death) but a
+//     checkpointed run with DegradeOnOutage finishes on the k' < k
+//     surviving channels.
+func TestChaosResumeMatrix(t *testing.T) {
+	t.Run("answers-identical", func(t *testing.T) {
+		base := runtime.NumGoroutine()
+		r := rand.New(rand.NewSource(0x2E5C0E))
+		const iterations = 60
+		sortResumes, selResumes, failed := 0, 0, 0
+		for iter := 0; iter < iterations; iter++ {
+			p := 3 + r.Intn(4)
+			k := 2 + r.Intn(p-1)
+			inputs := chaosInputs(r, p, p+r.Intn(40))
+			// Stochastic faults only: they reseed per attempt, so a resumed
+			// segment has a fighting chance while scripted faults would
+			// recur deterministically.
+			plan := &mcb.FaultPlan{Seed: r.Uint64(), Checksum: true, DropRate: r.Float64() * 0.02, CorruptRate: r.Float64() * 0.02}
+
+			wantOuts, _, err := Sort(inputs, SortOptions{K: k, Algorithm: AlgoColumnsortGather})
+			if err != nil {
+				t.Fatalf("iteration %d: fault-free sort failed: %v", iter, err)
+			}
+			o := SortOptions{
+				K: k, Algorithm: AlgoColumnsortGather,
+				MaxCycles: 8000, StallTimeout: 15 * time.Second,
+				Faults:      plan,
+				Retry:       mcb.RetryPolicy{MaxAttempts: 4},
+				Checkpoints: checkpoint.NewMem(),
+			}
+			outs, rep, err := SortWithRetry(inputs, o)
+			if err != nil {
+				failed++
+				requireTypedFailure(t, iter, err)
+			} else {
+				if !reflect.DeepEqual(outs, wantOuts) {
+					t.Fatalf("iteration %d: resumed sort (resumes=%d) differs from uninterrupted run", iter, rep.Resumes)
+				}
+				sortResumes += rep.Resumes
+			}
+			if rep != nil {
+				requireStatsConsistent(t, iter, &rep.Stats)
+			}
+
+			n := total(inputs)
+			d := 1 + r.Intn(n)
+			wantVal, _, err := Select(inputs, SelectOptions{K: k, D: d})
+			if err != nil {
+				t.Fatalf("iteration %d: fault-free select failed: %v", iter, err)
+			}
+			so := SelectOptions{
+				K: k, D: d,
+				MaxCycles: 8000, StallTimeout: 15 * time.Second,
+				Faults:      plan,
+				Retry:       mcb.RetryPolicy{MaxAttempts: 4},
+				Checkpoints: checkpoint.NewMem(),
+			}
+			val, srep, err := SelectWithRetry(inputs, so)
+			if err != nil {
+				failed++
+				requireTypedFailure(t, iter, err)
+			} else {
+				if val != wantVal {
+					t.Fatalf("iteration %d: resumed select answered %d, uninterrupted %d (resumes=%d)", iter, val, wantVal, srep.Resumes)
+				}
+				selResumes += srep.Resumes
+			}
+			if srep != nil {
+				requireStatsConsistent(t, iter, &srep.Stats)
+			}
+		}
+		t.Logf("resume matrix: %d sort resumes, %d select resumes, %d typed failures over %d iterations",
+			sortResumes, selResumes, failed, iterations)
+		if sortResumes == 0 && selResumes == 0 {
+			t.Error("chaos plans never forced a checkpoint resume; the matrix is not exercising recovery")
+		}
+		requireGoroutineDrain(t, base)
+	})
+
+	t.Run("late-fault-replays-less", func(t *testing.T) {
+		r := rand.New(rand.NewSource(0x1A7E))
+		inputs := chaosInputs(r, 8, 120)
+		n := total(inputs)
+		opts := SelectOptions{K: 2, D: n / 3, StallTimeout: 15 * time.Second}
+
+		want, wantRep, err := Select(inputs, opts)
+		if err != nil {
+			t.Fatalf("fault-free select failed: %v", err)
+		}
+		// Channel 0 dies for good halfway through and never heals: plain
+		// retry can only recover by restarting the whole run on the
+		// surviving channel; the checkpointed run resumes from its last
+		// boundary instead.
+		mk := func(ckpt bool) SelectOptions {
+			o := opts
+			o.Faults = permanentOutage(0, wantRep.Stats.Cycles/2)
+			o.Retry = mcb.RetryPolicy{MaxAttempts: 4, DegradeOnOutage: true}
+			if ckpt {
+				o.Checkpoints = checkpoint.NewMem()
+			}
+			return o
+		}
+		plainVal, plainRep, err := SelectWithRetry(inputs, mk(false))
+		if err != nil {
+			t.Fatalf("plain degraded select failed: %v", err)
+		}
+		ckptVal, ckptRep, err := SelectWithRetry(inputs, mk(true))
+		if err != nil {
+			t.Fatalf("checkpointed degraded select failed: %v", err)
+		}
+		if plainVal != want || ckptVal != want {
+			t.Fatalf("degraded answers differ: want %d, plain %d, checkpointed %d", want, plainVal, ckptVal)
+		}
+		if plainRep.DegradedK != 1 || ckptRep.DegradedK != 1 {
+			t.Fatalf("both paths should have degraded to k'=1: plain %+v, ckpt %+v", plainRep.DegradedK, ckptRep.DegradedK)
+		}
+		if plainRep.ReplayedCycles == 0 {
+			t.Fatal("plain retry reports no replayed cycles; the fault did not strike late")
+		}
+		if ckptRep.ReplayedCycles >= plainRep.ReplayedCycles {
+			t.Fatalf("checkpointed resume replayed %d cycles, whole-run restart replayed %d — checkpoints bought nothing",
+				ckptRep.ReplayedCycles, plainRep.ReplayedCycles)
+		}
+		t.Logf("late-phase outage: plain restart replayed %d cycles, checkpointed resume replayed %d",
+			plainRep.ReplayedCycles, ckptRep.ReplayedCycles)
+	})
+
+	t.Run("outage-degradation-beats-plain-retry", func(t *testing.T) {
+		r := rand.New(rand.NewSource(0xDE6D))
+		inputs := chaosInputs(r, 6, 60)
+		opts := SortOptions{K: 3, Algorithm: AlgoColumnsortGather, StallTimeout: 15 * time.Second}
+
+		want, wantRep, err := Sort(inputs, opts)
+		if err != nil {
+			t.Fatalf("fault-free sort failed: %v", err)
+		}
+		outageFrom := wantRep.Stats.Cycles / 2
+
+		// Plain retry without degradation: the scripted outage persists
+		// across attempts (a dead transceiver does not heal because the
+		// computation restarted), so every attempt dies and the policy
+		// exhausts MaxAttempts.
+		po := opts
+		po.Faults = permanentOutage(1, outageFrom)
+		po.Retry = mcb.RetryPolicy{MaxAttempts: 3}
+		if _, _, err := SortWithRetry(inputs, po); err == nil {
+			t.Fatal("plain retry survived a permanent outage; the scenario is not exercising degradation")
+		}
+
+		co := opts
+		co.Faults = permanentOutage(1, outageFrom)
+		co.Retry = mcb.RetryPolicy{MaxAttempts: 4, DegradeOnOutage: true}
+		co.Checkpoints = checkpoint.NewMem()
+		outs, rep, err := SortWithRetry(inputs, co)
+		if err != nil {
+			t.Fatalf("degraded checkpointed sort failed: %v", err)
+		}
+		if !reflect.DeepEqual(outs, want) {
+			t.Fatal("degraded sort outputs differ from the uninterrupted run")
+		}
+		if rep.DegradedK != 2 || len(rep.DeadChannels) != 1 || rep.DeadChannels[0] != 1 {
+			t.Fatalf("expected degradation to k'=2 with channel 1 dead, got %+v", rep)
+		}
+		if rep.ReplayedCycles == 0 {
+			t.Fatal("degraded run reports no replayed cycles; the outage did not strike mid-run")
+		}
+		t.Logf("permanent outage on channel 1: completed at k'=%d after %d attempts, %d replayed cycles",
+			rep.DegradedK, rep.Attempts, rep.ReplayedCycles)
+	})
 }
 
 func TestChaosSelect(t *testing.T) {

@@ -31,6 +31,25 @@ func gatherSort(pr mcb.Node, mine []elem, rec *phaser, rep *Report) []elem {
 
 	isRep := id == g.groups[g.myGroup].rep
 	myCol := g.myGroup
+
+	rec.mark("phase0b:collection")
+	col := collectColumn(pr, mine, g, m, isRep, myCol)
+
+	// Phases 1-9 among representatives.
+	runColumnsortPhases(pr, sh, isRep, myCol, col, rec)
+
+	// Phase 10: redistribution.
+	rec.mark("phase10:redistribution")
+	return redistribute(pr, sh, g, isRep, myCol, col, ni)
+}
+
+// collectColumn is phase 0b: element collection into the representatives, m
+// cycles. Group members broadcast their elements consecutively on the group
+// channel, offset by their prefix within the group; the representative (the
+// group's last member) listens and returns the gathered, dummy-padded
+// column. Non-representatives return nil.
+func collectColumn(pr mcb.Node, mine []elem, g *groupInfo, m int, isRep bool, myCol int) []cell {
+	ni := len(mine)
 	var col []cell
 	if isRep {
 		col = make([]cell, m)
@@ -42,11 +61,6 @@ func gatherSort(pr mcb.Node, mine []elem, rec *phaser, rep *Report) []elem {
 		}
 		pr.AccountAux(int64(2 * m)) // the gathered column (the paper's O(n/k) extra memory)
 	}
-
-	// Phase 0b: element collection, m cycles. Group members broadcast their
-	// elements consecutively on the group channel, offset by their prefix
-	// within the group; the representative (last member) listens.
-	rec.mark("phase0b:collection")
 	for c := 0; c < m; c++ {
 		switch {
 		case !isRep && c >= g.myOffset && c < g.myOffset+ni:
@@ -61,13 +75,7 @@ func gatherSort(pr mcb.Node, mine []elem, rec *phaser, rep *Report) []elem {
 			pr.Idle()
 		}
 	}
-
-	// Phases 1-9 among representatives.
-	runColumnsortPhases(pr, sh, isRep, myCol, col, rec)
-
-	// Phase 10: redistribution.
-	rec.mark("phase10:redistribution")
-	return redistribute(pr, sh, g, isRep, myCol, col, ni)
+	return col
 }
 
 // runColumnsortPhases executes the 9-phase pipeline with columns held at

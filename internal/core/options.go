@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/mcb"
 	"mcbnet/internal/trace"
 )
@@ -98,6 +99,18 @@ type SortOptions struct {
 	// successful attempt. Nil means the default VerifySort (sortedness,
 	// cardinality preservation, and multiset-permutation of the input).
 	Verifier SortVerifier
+	// Checkpoints, when non-nil, makes SortWithRetry run the sort as a
+	// sequence of phase segments, snapshotting the distributed state into the
+	// store at every phase boundary (after multiset verification). A typed
+	// failure then resumes from the last accepted checkpoint instead of
+	// replaying the run from cycle 0. Plain Sort ignores it.
+	Checkpoints checkpoint.Store
+	// Resume makes SortWithRetry first consult Checkpoints.Latest() and, if
+	// a compatible snapshot for these inputs exists (same shape, same
+	// cardinalities, multiset-consistent), continue from it — the
+	// cross-process resume path of cmd/mcbsort -resume. Without Resume, a
+	// checkpointed run clears stale snapshots and starts fresh.
+	Resume bool
 }
 
 func (o SortOptions) engineConfig(p int) mcb.Config {
@@ -129,6 +142,20 @@ type Report struct {
 	// Attempts is the number of attempts the retry layer used (0 or 1 =
 	// single attempt).
 	Attempts int
+	// Resumes is how many failures were recovered by continuing from a
+	// phase-boundary checkpoint instead of restarting from cycle 0.
+	Resumes int
+	// CheckpointPhase names the last accepted checkpoint the final attempt
+	// started from ("" when the run never resumed).
+	CheckpointPhase string
+	// ReplayedCycles counts cycles executed but discarded — work that is not
+	// part of the accepted run (failed attempts, rolled-back segments).
+	ReplayedCycles int64
+	// DegradedK is the reduced channel count a channel-degraded run finished
+	// on (0 = no degradation); DeadChannels lists the dropped original
+	// channel indices.
+	DegradedK    int
+	DeadChannels []int
 	// Trace is the engine trace when requested.
 	Trace *mcb.Trace
 }

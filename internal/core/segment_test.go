@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"mcbnet/internal/checkpoint"
+	"mcbnet/internal/mcb"
+)
+
+// Tests of the segmented (checkpointed) execution paths: the host-side group
+// table replica, fault-free equivalence with the monolithic paths, snapshot
+// determinism, and cross-process resume through an on-disk store.
+
+// TestComputeGroupTableMatchesProtocol cross-checks the host-side group-table
+// replica against the real formGroups network protocol for a spread of
+// shapes, including empty processors and single-channel networks.
+func TestComputeGroupTableMatchesProtocol(t *testing.T) {
+	r := rand.New(rand.NewSource(0x6709))
+	for trial := 0; trial < 60; trial++ {
+		p := 2 + r.Intn(7)
+		k := 1 + r.Intn(p)
+		cards := make([]int, p)
+		n := 0
+		for i := range cards {
+			cards[i] = r.Intn(9)
+			n += cards[i]
+		}
+		if n == 0 {
+			cards[r.Intn(p)] = 1 + r.Intn(8)
+		}
+
+		hg := computeGroupTable(cards, k)
+
+		infos := make([]*groupInfo, p)
+		progs := make([]func(mcb.Node), p)
+		for i := range progs {
+			id := i
+			progs[i] = func(pr mcb.Node) {
+				infos[id] = formGroups(pr, cards[id], pr.K())
+			}
+		}
+		if _, err := mcb.Run(mcb.Config{P: p, K: k}, progs); err != nil {
+			t.Fatalf("trial %d: formGroups run failed: %v", trial, err)
+		}
+
+		for id, g := range infos {
+			h := hg.infoFor(id)
+			if g.n != h.n || g.nMax != h.nMax || g.prefix != h.prefix ||
+				g.myGroup != h.myGroup || g.myOffset != h.myOffset {
+				t.Fatalf("trial %d (cards=%v k=%d): proc %d: protocol %+v, host %+v",
+					trial, cards, k, id, g, h)
+			}
+			if !reflect.DeepEqual(g.groups, h.groups) {
+				t.Fatalf("trial %d (cards=%v k=%d): groups: protocol %v, host %v",
+					trial, cards, k, g.groups, h.groups)
+			}
+			if got := g.paddedColLen(); got != hg.m {
+				t.Fatalf("trial %d: padded column length: protocol %d, host %d", trial, got, hg.m)
+			}
+		}
+	}
+}
+
+// TestCheckpointedSortMatchesPlain runs the segmented sort without faults
+// against the monolithic sort across shapes (including the single-column
+// degenerate) and both orders, requiring identical outputs and a snapshot
+// saved at every phase boundary.
+func TestCheckpointedSortMatchesPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(0x5E65))
+	for trial := 0; trial < 24; trial++ {
+		p := 2 + r.Intn(6)
+		k := 1 + r.Intn(p)
+		inputs := chaosInputs(r, p, p+r.Intn(50))
+		order := Descending
+		if trial%2 == 1 {
+			order = Ascending
+		}
+		opts := SortOptions{K: k, Order: order, Algorithm: AlgoColumnsortGather}
+
+		want, wantRep, err := Sort(inputs, opts)
+		if err != nil {
+			t.Fatalf("trial %d: plain sort failed: %v", trial, err)
+		}
+
+		store := checkpoint.NewMem()
+		copts := opts
+		copts.Checkpoints = store
+		got, rep, err := SortWithRetry(inputs, copts)
+		if err != nil {
+			t.Fatalf("trial %d: checkpointed sort failed: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (p=%d k=%d): outputs differ\nplain: %v\nckpt:  %v", trial, p, k, want, got)
+		}
+		if rep.Attempts != 1 || rep.Resumes != 0 || rep.ReplayedCycles != 0 {
+			t.Fatalf("trial %d: fault-free run reports recovery: %+v", trial, rep)
+		}
+		if rep.Columns != wantRep.Columns || rep.ColumnLen != wantRep.ColumnLen {
+			t.Fatalf("trial %d: shape mismatch: plain (%d,%d), ckpt (%d,%d)",
+				trial, wantRep.Columns, wantRep.ColumnLen, rep.Columns, rep.ColumnLen)
+		}
+		// One fresh anchor plus one snapshot per non-terminal segment.
+		segs := len(sortSegments(rep.Columns))
+		if got, want := len(store.History()), segs; got != want {
+			t.Fatalf("trial %d: %d snapshots saved, want %d (segments=%d)", trial, got, want, segs)
+		}
+		// The segmented run costs exactly the same cycles and messages as the
+		// monolithic one (segmentation moves phase boundaries, not traffic).
+		if rep.Stats.Cycles != wantRep.Stats.Cycles || rep.Stats.Messages != wantRep.Stats.Messages {
+			t.Fatalf("trial %d: cost differs: plain %d cycles/%d msgs, ckpt %d cycles/%d msgs",
+				trial, wantRep.Stats.Cycles, wantRep.Stats.Messages, rep.Stats.Cycles, rep.Stats.Messages)
+		}
+	}
+}
+
+// TestCheckpointedSelectMatchesPlain mirrors the sort equivalence test for
+// the filtering selection.
+func TestCheckpointedSelectMatchesPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(0xDEC1))
+	for trial := 0; trial < 24; trial++ {
+		p := 2 + r.Intn(6)
+		k := 1 + r.Intn(p)
+		inputs := chaosInputs(r, p, p+r.Intn(60))
+		n := total(inputs)
+		opts := SelectOptions{K: k, D: 1 + r.Intn(n)}
+
+		want, wantRep, err := Select(inputs, opts)
+		if err != nil {
+			t.Fatalf("trial %d: plain select failed: %v", trial, err)
+		}
+
+		copts := opts
+		copts.Checkpoints = checkpoint.NewMem()
+		got, rep, err := SelectWithRetry(inputs, copts)
+		if err != nil {
+			t.Fatalf("trial %d: checkpointed select failed: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (p=%d k=%d d=%d): plain %d, checkpointed %d", trial, p, k, opts.D, want, got)
+		}
+		if rep.Attempts != 1 || rep.Resumes != 0 || rep.ReplayedCycles != 0 {
+			t.Fatalf("trial %d: fault-free run reports recovery: %+v", trial, rep)
+		}
+		if rep.Stats.Cycles != wantRep.Stats.Cycles || rep.Stats.Messages != wantRep.Stats.Messages {
+			t.Fatalf("trial %d: cost differs: plain %d cycles/%d msgs, ckpt %d cycles/%d msgs",
+				trial, wantRep.Stats.Cycles, wantRep.Stats.Messages, rep.Stats.Cycles, rep.Stats.Messages)
+		}
+		if rep.FilterPhases != wantRep.FilterPhases {
+			t.Fatalf("trial %d: filter phases: plain %d, ckpt %d", trial, wantRep.FilterPhases, rep.FilterPhases)
+		}
+	}
+}
+
+// TestCheckpointedSnapshotsDeterministic runs the same checkpointed sort
+// under different GOMAXPROCS settings and requires byte-identical snapshot
+// streams: goroutine scheduling must not leak into the recovery state.
+func TestCheckpointedSnapshotsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(0x60D1))
+	inputs := chaosInputs(r, 5, 40)
+	opts := SortOptions{K: 3, Algorithm: AlgoColumnsortGather}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var histories [][][]byte
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		store := checkpoint.NewMem()
+		copts := opts
+		copts.Checkpoints = store
+		if _, _, err := SortWithRetry(inputs, copts); err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		histories = append(histories, store.History())
+	}
+	if len(histories[0]) != len(histories[1]) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(histories[0]), len(histories[1]))
+	}
+	for i := range histories[0] {
+		if !reflect.DeepEqual(histories[0][i], histories[1][i]) {
+			t.Fatalf("snapshot %d differs between GOMAXPROCS settings", i)
+		}
+	}
+}
+
+// permanentOutage scripts a channel dying at cycle from and never healing.
+func permanentOutage(ch int, from int64) *mcb.FaultPlan {
+	return &mcb.FaultPlan{Outages: []mcb.Outage{{Ch: ch, From: from, To: 1 << 50}}}
+}
+
+// TestCheckpointedSortResumesAcrossStores simulates the kill-and-resume
+// story inside one test process: invocation 1 (its own DirStore handle)
+// fails mid-run out of attempts and leaves its boundary snapshots on disk;
+// invocation 2, with a fresh handle on the same directory and Resume set,
+// must finish from the stored state — skipping the accepted prefix — and
+// produce exactly the monolithic answer.
+func TestCheckpointedSortResumesAcrossStores(t *testing.T) {
+	r := rand.New(rand.NewSource(0x0D15C))
+	inputs := chaosInputs(r, 6, 60)
+	opts := SortOptions{K: 3, Algorithm: AlgoColumnsortGather, StallTimeout: 15 * time.Second}
+
+	want, wantRep, err := Sort(inputs, opts)
+	if err != nil {
+		t.Fatalf("plain sort failed: %v", err)
+	}
+	fullCycles := wantRep.Stats.Cycles
+
+	dir := t.TempDir()
+	store1, err := checkpoint.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := opts
+	o1.Checkpoints = store1
+	o1.Faults = permanentOutage(1, fullCycles/2)
+	o1.Retry = mcb.RetryPolicy{MaxAttempts: 1}
+	if _, rep1, err := SortWithRetry(inputs, o1); err == nil {
+		t.Fatalf("invocation 1 was meant to die mid-run (outage from cycle %d), but succeeded: %+v", fullCycles/2, rep1)
+	}
+
+	store2, err := checkpoint.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := opts
+	o2.Checkpoints = store2
+	o2.Resume = true
+	got, rep2, err := SortWithRetry(inputs, o2)
+	if err != nil {
+		t.Fatalf("resumed invocation failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed outputs differ from the uninterrupted sort\nwant: %v\ngot:  %v", want, got)
+	}
+	if rep2.Stats.Cycles >= fullCycles {
+		t.Fatalf("resumed invocation executed %d cycles, a full run costs %d — it did not use the checkpoints", rep2.Stats.Cycles, fullCycles)
+	}
+	if rep2.CheckpointPhase == "" {
+		t.Fatalf("resumed invocation reports no checkpoint phase: %+v", rep2)
+	}
+	if rep2.Resumes == 0 {
+		t.Fatalf("cross-process continuation was not counted as a resume: %+v", rep2)
+	}
+}
+
+// TestCheckpointedSortIgnoresForeignSnapshot: resuming against a store
+// populated by a different input set must fall back to a fresh (correct)
+// run, not resurrect the foreign state.
+func TestCheckpointedSortIgnoresForeignSnapshot(t *testing.T) {
+	r := rand.New(rand.NewSource(0xF0E1))
+	foreign := chaosInputs(r, 5, 40)
+	inputs := chaosInputs(r, 5, 47)
+
+	dir := t.TempDir()
+	store1, err := checkpoint.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := SortOptions{K: 2, Algorithm: AlgoColumnsortGather, Checkpoints: store1}
+	if _, _, err := SortWithRetry(foreign, o); err != nil {
+		t.Fatalf("foreign run failed: %v", err)
+	}
+	// The foreign run finished; re-fail it artificially by re-saving its
+	// snapshots is unnecessary — its store still holds boundary snapshots.
+
+	store2, err := checkpoint.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := SortOptions{K: 2, Algorithm: AlgoColumnsortGather, Checkpoints: store2, Resume: true}
+	got, rep, err := SortWithRetry(inputs, o2)
+	if err != nil {
+		t.Fatalf("sort over foreign store failed: %v", err)
+	}
+	checkSorted(t, inputs, got, Descending, "foreign-store sort")
+	if rep.CheckpointPhase != "" || rep.Resumes != 0 {
+		t.Fatalf("run resumed from a foreign snapshot: %+v", rep)
+	}
+}
+
+// TestCheckpointedSelectResumesAcrossStores is the selection variant of the
+// two-invocation resume.
+func TestCheckpointedSelectResumesAcrossStores(t *testing.T) {
+	r := rand.New(rand.NewSource(0x0D15E))
+	inputs := chaosInputs(r, 8, 120)
+	n := total(inputs)
+	opts := SelectOptions{K: 2, D: n / 2, StallTimeout: 15 * time.Second}
+
+	want, wantRep, err := Select(inputs, opts)
+	if err != nil {
+		t.Fatalf("plain select failed: %v", err)
+	}
+	fullCycles := wantRep.Stats.Cycles
+
+	dir := t.TempDir()
+	store1, err := checkpoint.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := opts
+	o1.Checkpoints = store1
+	o1.Faults = permanentOutage(0, fullCycles/2)
+	o1.Retry = mcb.RetryPolicy{MaxAttempts: 1}
+	if _, _, err := SelectWithRetry(inputs, o1); err == nil {
+		t.Fatalf("invocation 1 was meant to die mid-run (outage from cycle %d), but succeeded", fullCycles/2)
+	}
+
+	store2, err := checkpoint.NewDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := opts
+	o2.Checkpoints = store2
+	o2.Resume = true
+	got, rep2, err := SelectWithRetry(inputs, o2)
+	if err != nil {
+		t.Fatalf("resumed invocation failed: %v", err)
+	}
+	if got != want {
+		t.Fatalf("resumed selection answered %d, uninterrupted answered %d", got, want)
+	}
+	if rep2.Stats.Cycles >= fullCycles {
+		t.Fatalf("resumed invocation executed %d cycles, a full run costs %d — it did not use the checkpoints", rep2.Stats.Cycles, fullCycles)
+	}
+	if rep2.Resumes == 0 {
+		t.Fatalf("cross-process continuation was not counted as a resume: %+v", rep2)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/mcb"
 	"mcbnet/internal/partial"
 	"mcbnet/internal/seq"
@@ -64,6 +65,12 @@ type SelectOptions struct {
 	// every successful attempt. Nil means the default VerifySelect (rank
 	// verification by recount).
 	Verifier SelectVerifier
+	// Checkpoints and Resume mirror SortOptions: with a store set,
+	// SelectWithRetry runs the filtering algorithm as per-iteration segments
+	// with phase-boundary snapshots, resuming from the last accepted one on
+	// a typed failure (and across process restarts with Resume).
+	Checkpoints checkpoint.Store
+	Resume      bool
 }
 
 // SelectReport carries the run statistics and filtering diagnostics. The
@@ -92,7 +99,14 @@ type SelectReport struct {
 	// elements are not part of the answered rank space. Empty for a full
 	// (non-degraded) result.
 	DeadProcs []int
-	Trace     *mcb.Trace
+	// Resumes, CheckpointPhase, ReplayedCycles, DegradedK and DeadChannels
+	// mirror Report: checkpoint/resume and channel-degradation metadata.
+	Resumes         int
+	CheckpointPhase string
+	ReplayedCycles  int64
+	DegradedK       int
+	DeadChannels    []int
+	Trace           *mcb.Trace
 }
 
 // FilterPhase is the accounting of one filtering iteration, derived from the
@@ -114,29 +128,10 @@ type FilterPhase struct {
 // distributed as inputs over an MCB(len(inputs), opts.K) network.
 func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) {
 	p := len(inputs)
-	if p == 0 {
-		return 0, nil, fmt.Errorf("core: no processors")
+	if err := validateSelect(inputs, opts); err != nil {
+		return 0, nil, err
 	}
-	if opts.K < 1 || opts.K > p {
-		return 0, nil, fmt.Errorf("core: K must satisfy 1 <= K <= P, got K=%d p=%d", opts.K, p)
-	}
-	n := 0
-	for _, in := range inputs {
-		n += len(in)
-	}
-	if n == 0 {
-		return 0, nil, fmt.Errorf("core: the distributed set is empty")
-	}
-	if opts.D < 1 || opts.D > n {
-		return 0, nil, fmt.Errorf("core: rank D=%d out of range [1, %d]", opts.D, n)
-	}
-	threshold := opts.Threshold
-	if threshold <= 0 {
-		threshold = p / opts.K
-	}
-	if threshold < 1 {
-		threshold = 1
-	}
+	threshold := selectThreshold(p, opts.K, opts.Threshold)
 
 	report := &SelectReport{Algorithm: opts.Algorithm}
 	var result int64
@@ -174,6 +169,42 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 		return 0, report, err
 	}
 	return result, report, nil
+}
+
+// validateSelect checks the inputs and options shared by Select and the
+// checkpointed selection driver.
+func validateSelect(inputs [][]int64, opts SelectOptions) error {
+	p := len(inputs)
+	if p == 0 {
+		return fmt.Errorf("core: no processors")
+	}
+	if opts.K < 1 || opts.K > p {
+		return fmt.Errorf("core: K must satisfy 1 <= K <= P, got K=%d p=%d", opts.K, p)
+	}
+	n := 0
+	for _, in := range inputs {
+		n += len(in)
+	}
+	if n == 0 {
+		return fmt.Errorf("core: the distributed set is empty")
+	}
+	if opts.D < 1 || opts.D > n {
+		return fmt.Errorf("core: rank D=%d out of range [1, %d]", opts.D, n)
+	}
+	return nil
+}
+
+// selectThreshold resolves the filtering threshold m*: the explicit request,
+// or the paper's max(1, p/k). The checkpointed driver recomputes it when a
+// channel-degraded run continues on k' < k channels.
+func selectThreshold(p, k, requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if t := p / k; t > 1 {
+		return t
+	}
+	return 1
 }
 
 // derivePhaseDiagnostics rebuilds the filtering diagnostics (FilterPhases,
@@ -250,7 +281,6 @@ func phaseCandidates(name string) (int, bool) {
 // SelectReport.derivePhaseDiagnostics). Empty disables marking, for use as
 // a subroutine inside another program's phases.
 func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, phases string) elem {
-	id := pr.ID()
 	cands := append([]elem(nil), mine...)
 	seq.Sort(cands, func(a, b elem) bool { return a.greater(b) })
 	pr.AccountAux(int64(len(cands)))
@@ -263,71 +293,90 @@ func selectFiltering(pr mcb.Node, mine []elem, d, threshold int, phases string) 
 	}
 
 	for iter := 0; m > threshold; iter++ {
-		if phases != "" {
-			pr.Phase(fmt.Sprintf("%sfilter:%02d:m=%d", phases, iter, m))
-		}
-		// Local median: descending rank ceil(mi/2); a dummy below all real
-		// elements when no candidates remain here.
-		pair := elem{V: math.MinInt64, T: -(int64(id) + 1), P: 0}
-		if len(cands) > 0 {
-			med := cands[(len(cands)+1)/2-1]
-			pair = elem{V: med.V, T: med.T, P: int64(len(cands))}
-		}
-		// Sort the pairs with the Section 5 sorter (one pair per processor;
-		// counts ride in the payload).
-		sorted := gatherSort(pr, []elem{pair}, nil, nil)
-		myPair := sorted[0]
-
-		// Weighted median: first processor where the count prefix reaches
-		// ceil(m/2) broadcasts its median as med*.
-		before, at, _ := partial.Sums(pr, myPair.P, partial.Sum)
-		half := int64((m + 1) / 2)
-		chosen := before < half && at >= half
-		var msg mcb.Message
-		var ok bool
-		if chosen {
-			msg, ok = pr.WriteRead(0, elem{V: myPair.V, T: myPair.T}.msg(tagSel), 0)
-		} else {
-			msg, ok = pr.Read(0)
-		}
-		if !ok {
-			pr.Abortf("core: selection: no weighted median broadcast")
-		}
-		medStar := elemFromMsg(msg)
-
-		// Count candidates >= med* network-wide. cands is descending, so the
-		// local count is the boundary index.
-		localGE := lowerBoundSmaller(cands, medStar)
-		mGE := int(partial.Total(pr, int64(localGE), partial.Sum))
-
-		switch {
-		case mGE == d:
-			// med* is the answer: close this iteration's phase with a
-			// zero-cycle marker (it rides on the processor's next cycle op,
-			// the exit at the latest).
-			if phases != "" {
-				pr.Phase(phases + "found")
-			}
-			return medStar
-		case mGE > d:
-			// The target is above med*: purge everything <= med*. Exactly
-			// one candidate equals med*, so mGE-1 remain.
-			keep := localGE
-			if keep > 0 && cands[keep-1].same(medStar) {
-				keep--
-			}
-			cands = cands[:keep]
-			m = mGE - 1
-		default:
-			// The target is below med*: purge everything >= med*.
-			cands = cands[localGE:]
-			d -= mGE
-			m -= mGE
+		var found bool
+		var res elem
+		cands, d, m, found, res = filterIteration(pr, cands, d, m, iter, phases)
+		if found {
+			return res
 		}
 	}
+	return collectSurvivors(pr, cands, d, m, phases)
+}
 
-	// Termination: collect the m survivors at P_1 in prefix order; it
-	// selects rank d locally and broadcasts the result.
+// filterIteration runs one filtering phase over the descending-sorted local
+// candidate list: weighted-median election, network-wide counting, then a
+// purge of one side (or exact termination). It returns the surviving local
+// candidates and the updated (d, m); found/res report that med* was the
+// answer. The checkpointed driver runs each iteration as its own segment —
+// the loop state (cands, d, m, iter) is exactly what a phase-boundary
+// snapshot carries.
+func filterIteration(pr mcb.Node, cands []elem, d, m, iter int, phases string) ([]elem, int, int, bool, elem) {
+	id := pr.ID()
+	if phases != "" {
+		pr.Phase(fmt.Sprintf("%sfilter:%02d:m=%d", phases, iter, m))
+	}
+	// Local median: descending rank ceil(mi/2); a dummy below all real
+	// elements when no candidates remain here.
+	pair := elem{V: math.MinInt64, T: -(int64(id) + 1), P: 0}
+	if len(cands) > 0 {
+		med := cands[(len(cands)+1)/2-1]
+		pair = elem{V: med.V, T: med.T, P: int64(len(cands))}
+	}
+	// Sort the pairs with the Section 5 sorter (one pair per processor;
+	// counts ride in the payload).
+	sorted := gatherSort(pr, []elem{pair}, nil, nil)
+	myPair := sorted[0]
+
+	// Weighted median: first processor where the count prefix reaches
+	// ceil(m/2) broadcasts its median as med*.
+	before, at, _ := partial.Sums(pr, myPair.P, partial.Sum)
+	half := int64((m + 1) / 2)
+	chosen := before < half && at >= half
+	var msg mcb.Message
+	var ok bool
+	if chosen {
+		msg, ok = pr.WriteRead(0, elem{V: myPair.V, T: myPair.T}.msg(tagSel), 0)
+	} else {
+		msg, ok = pr.Read(0)
+	}
+	if !ok {
+		pr.Abortf("core: selection: no weighted median broadcast")
+	}
+	medStar := elemFromMsg(msg)
+
+	// Count candidates >= med* network-wide. cands is descending, so the
+	// local count is the boundary index.
+	localGE := lowerBoundSmaller(cands, medStar)
+	mGE := int(partial.Total(pr, int64(localGE), partial.Sum))
+
+	switch {
+	case mGE == d:
+		// med* is the answer: close this iteration's phase with a
+		// zero-cycle marker (it rides on the processor's next cycle op,
+		// the exit at the latest).
+		if phases != "" {
+			pr.Phase(phases + "found")
+		}
+		return cands, d, m, true, medStar
+	case mGE > d:
+		// The target is above med*: purge everything <= med*. Exactly
+		// one candidate equals med*, so mGE-1 remain.
+		keep := localGE
+		if keep > 0 && cands[keep-1].same(medStar) {
+			keep--
+		}
+		return cands[:keep], d, mGE - 1, false, elem{}
+	default:
+		// The target is below med*: purge everything >= med*.
+		return cands[localGE:], d - mGE, m - mGE, false, elem{}
+	}
+}
+
+// collectSurvivors is the termination phase: the m surviving candidates are
+// collected at P_1 in prefix order; it selects rank d locally and broadcasts
+// the result, which every processor returns.
+func collectSurvivors(pr mcb.Node, cands []elem, d, m int, phases string) elem {
+	id := pr.ID()
 	if phases != "" {
 		pr.Phase(fmt.Sprintf("%scollect:m=%d", phases, m))
 	}

@@ -19,45 +19,9 @@ import (
 // paper's lexicographic-triple device.
 func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 	p := len(inputs)
-	if p == 0 {
-		return nil, nil, fmt.Errorf("core: no processors")
-	}
-	if opts.K < 1 || opts.K > p {
-		return nil, nil, fmt.Errorf("core: K must satisfy 1 <= K <= p, got K=%d p=%d", opts.K, p)
-	}
-	// The paper assumes n_i > 0 w.l.o.g.; this implementation also accepts
-	// empty processors (they contribute nothing and receive nothing), as
-	// long as the set itself is non-empty.
-	n := 0
-	for i, in := range inputs {
-		if len(in) >= 1<<31 {
-			return nil, nil, fmt.Errorf("core: processor %d holds too many elements", i)
-		}
-		n += len(in)
-		if opts.Order == Ascending {
-			for _, v := range in {
-				if v == math.MinInt64 {
-					return nil, nil, fmt.Errorf("core: MinInt64 unsupported with Ascending order")
-				}
-			}
-		}
-	}
-
-	if n == 0 {
-		return nil, nil, fmt.Errorf("core: the distributed set is empty")
-	}
-
-	algo := opts.Algorithm
-	if algo == AlgoAuto {
-		algo = chooseAlgorithm(inputs, opts.K)
-	}
-	if algo == AlgoColumnsortRecursive {
-		for i := range inputs {
-			if len(inputs[i]) != len(inputs[0]) {
-				return nil, nil, fmt.Errorf("core: recursive Columnsort requires an even distribution (processor %d has %d elements, processor 0 has %d)",
-					i, len(inputs[i]), len(inputs[0]))
-			}
-		}
+	algo, err := validateSort(inputs, opts)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	report := &Report{Algorithm: algo}
@@ -121,6 +85,53 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 		return nil, report, err
 	}
 	return outputs, report, nil
+}
+
+// validateSort checks the inputs and options shared by Sort and the
+// checkpointed sort driver, and resolves AlgoAuto to a concrete algorithm.
+func validateSort(inputs [][]int64, opts SortOptions) (Algorithm, error) {
+	p := len(inputs)
+	if p == 0 {
+		return 0, fmt.Errorf("core: no processors")
+	}
+	if opts.K < 1 || opts.K > p {
+		return 0, fmt.Errorf("core: K must satisfy 1 <= K <= p, got K=%d p=%d", opts.K, p)
+	}
+	// The paper assumes n_i > 0 w.l.o.g.; this implementation also accepts
+	// empty processors (they contribute nothing and receive nothing), as
+	// long as the set itself is non-empty.
+	n := 0
+	for i, in := range inputs {
+		if len(in) >= 1<<31 {
+			return 0, fmt.Errorf("core: processor %d holds too many elements", i)
+		}
+		n += len(in)
+		if opts.Order == Ascending {
+			for _, v := range in {
+				if v == math.MinInt64 {
+					return 0, fmt.Errorf("core: MinInt64 unsupported with Ascending order")
+				}
+			}
+		}
+	}
+
+	if n == 0 {
+		return 0, fmt.Errorf("core: the distributed set is empty")
+	}
+
+	algo := opts.Algorithm
+	if algo == AlgoAuto {
+		algo = chooseAlgorithm(inputs, opts.K)
+	}
+	if algo == AlgoColumnsortRecursive {
+		for i := range inputs {
+			if len(inputs[i]) != len(inputs[0]) {
+				return 0, fmt.Errorf("core: recursive Columnsort requires an even distribution (processor %d has %d elements, processor 0 has %d)",
+					i, len(inputs[i]), len(inputs[0]))
+			}
+		}
+	}
+	return algo, nil
 }
 
 // chooseAlgorithm implements AlgoAuto: Rank-Sort when only a single channel

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"fmt"
+
+	"mcbnet/internal/checkpoint"
+	"mcbnet/internal/matrix"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/schedule"
+)
+
+// This file is the checkpointed execution path of the gathered-Columnsort
+// sort: the monolithic pipeline of gatherSort is cut at its phase boundaries
+// into segments, each run as its own engine invocation on a fresh network.
+// Between segments the full distributed state (the gathered columns at the
+// representatives) is host-held, snapshotted into the checkpoint store after
+// multiset verification, and re-injected into the next segment's programs —
+// so a typed failure replays only the failed segment, and a resumed host
+// process continues from the last accepted boundary on disk.
+
+// hostGroups replicates the outcome of the formGroups network protocol as a
+// pure function of the cardinalities and the channel count: the group table
+// is deterministic global knowledge, so the host can recompute it when
+// resuming without replaying phase 0a. TestComputeGroupTableMatchesProtocol
+// cross-checks it against the protocol.
+type hostGroups struct {
+	n, nMax int
+	m       int // padded column length
+	G       int // number of groups (= Columnsort columns)
+
+	prefix   []int // inclusive cardinality prefix per processor
+	myGroup  []int
+	myOffset []int
+	groups   []groupMeta
+}
+
+// computeGroupTable mirrors formGroups: prefix sums, the group-size limit
+// ceil(n/c) + nMax - 1, and the greedy representative-selection rounds.
+// Assigned processors always form a prefix of the id space, so the rounds
+// reduce to a single left-to-right sweep with a running base offset.
+func computeGroupTable(cards []int, k int) *hostGroups {
+	p := len(cards)
+	hg := &hostGroups{
+		prefix:   make([]int, p),
+		myGroup:  make([]int, p),
+		myOffset: make([]int, p),
+	}
+	at := 0
+	for i, c := range cards {
+		at += c
+		hg.prefix[i] = at
+		if c > hg.nMax {
+			hg.nMax = c
+		}
+	}
+	hg.n = at
+	cols := k
+	if mc := maxUsableCols(hg.n, k); mc < cols {
+		cols = mc
+	}
+	limit := (hg.n+cols-1)/cols + hg.nMax - 1
+
+	base := 0  // elements already assigned to earlier groups
+	start := 0 // first unassigned processor
+	for {
+		rep := -1
+		for i := start; i < p; i++ {
+			if hg.prefix[i]-base > limit {
+				break // prefixes are non-decreasing: nobody further qualifies
+			}
+			if i == p-1 || hg.prefix[i+1]-base > limit {
+				rep = i
+				break
+			}
+		}
+		size := hg.prefix[rep] - base
+		gi := len(hg.groups)
+		hg.groups = append(hg.groups, groupMeta{rep: rep, size: size})
+		for i := start; i <= rep; i++ {
+			hg.myGroup[i] = gi
+			hg.myOffset[i] = (hg.prefix[i] - base) - cards[i]
+		}
+		if rep == p-1 {
+			break
+		}
+		base = hg.prefix[rep]
+		start = rep + 1
+	}
+	hg.G = len(hg.groups)
+	hg.m = (&groupInfo{groups: hg.groups}).paddedColLen()
+	return hg
+}
+
+// infoFor reconstructs processor id's groupInfo, as formGroups would have
+// produced it.
+func (hg *hostGroups) infoFor(id int) *groupInfo {
+	return &groupInfo{
+		n: hg.n, nMax: hg.nMax, prefix: hg.prefix[id],
+		myGroup: hg.myGroup[id], myOffset: hg.myOffset[id],
+		groups: hg.groups,
+	}
+}
+
+// sortSegKind enumerates the segment shapes of the gathered Columnsort.
+type sortSegKind int
+
+const (
+	segCollect      sortSegKind = iota // phase 0: formation + collection
+	segTransform                       // one local sort + one transformation phase
+	segRedistribute                    // final local sort + phase 10
+)
+
+// sortSegment describes one independently startable phase segment.
+type sortSegment struct {
+	name          string // checkpoint phase name (matches the engine phase label)
+	kind          sortSegKind
+	transformName string           // schedule name for segTransform
+	transform     matrix.Transform // permutation for segTransform
+	sortSkipCol0  bool             // the preceding local sort skips column 0 (paper's phase 7)
+}
+
+// sortSegments builds the segment plan for G columns: collection, one
+// segment per Columnsort transformation phase (each prefixed by its
+// cost-free local sort), and redistribution (prefixed by the final sort).
+// G == 1 degenerates to [collect, redistribute].
+func sortSegments(G int) []sortSegment {
+	segs := []sortSegment{{name: "phase0:collect", kind: segCollect}}
+	if G > 1 {
+		skip := false
+		for _, ph := range matrix.Phases() {
+			switch ph.Kind {
+			case matrix.PhaseSort:
+				skip = ph.SkipCol0
+			case matrix.PhaseTransform:
+				segs = append(segs, sortSegment{
+					name:          "phase" + itoa(ph.Num) + ":" + ph.Name,
+					kind:          segTransform,
+					transformName: ph.Name,
+					transform:     ph.Transform,
+					sortSkipCol0:  skip,
+				})
+			}
+		}
+	}
+	return append(segs, sortSegment{name: "phase10:redistribution", kind: segRedistribute})
+}
+
+// runSortSegment executes one segment as its own engine run. state is the
+// snapshot element state entering the segment (per-processor inputs for
+// segCollect, gathered columns otherwise); it is cloned before injection, so
+// a failed run never taints the checkpointed state. It returns the state
+// after the boundary (nil for segRedistribute) and, for segRedistribute, the
+// per-processor sorted outputs in internal element space.
+func runSortSegment(seg sortSegment, state [][]checkpoint.Elem, hg *hostGroups, cfg mcb.Config) (nextState [][]checkpoint.Elem, outs [][]elem, res *mcb.Result, err error) {
+	p := cfg.P
+	sh := matrix.Shape{M: hg.m, K: hg.G}
+	cols := make([][]cell, p)
+	elems := make([][]elem, p)
+	for i, l := range state {
+		if seg.kind == segCollect {
+			e, cerr := ckptToElems(l)
+			if cerr != nil {
+				return nil, nil, nil, fmt.Errorf("core: bad checkpoint state for processor %d: %w", i, cerr)
+			}
+			elems[i] = e
+		} else {
+			cols[i] = ckptToCells(l)
+		}
+	}
+	outCols := make([][]cell, p)
+	outElems := make([][]elem, p)
+
+	progs := make([]func(mcb.Node), p)
+	for i := range progs {
+		id := i
+		progs[i] = func(pr mcb.Node) {
+			rec := &phaser{pr}
+			g := hg.infoFor(id)
+			isRep := id == g.groups[g.myGroup].rep
+			myCol := g.myGroup
+			switch seg.kind {
+			case segCollect:
+				rec.mark("phase0a:formation")
+				// Run the real protocol (its cycles are part of the cost);
+				// the host-computed table must agree with its outcome.
+				pg := formGroups(pr, len(elems[id]), pr.K())
+				if pg.myGroup != g.myGroup || pg.myOffset != g.myOffset || len(pg.groups) != len(g.groups) {
+					pr.Abortf("core: group table mismatch between protocol and host (proc %d)", id)
+				}
+				rec.mark("phase0b:collection")
+				outCols[id] = collectColumn(pr, elems[id], g, hg.m, isRep, myCol)
+			case segTransform:
+				col := cols[id]
+				if isRep {
+					pr.AccountAux(int64(2 * hg.m))
+					if !(seg.sortSkipCol0 && myCol == 0) {
+						sortCells(col)
+					}
+				}
+				kind, ok := schedule.KindOf(seg.transformName)
+				if !ok {
+					pr.Abortf("core: unknown transform %q", seg.transformName)
+				}
+				sched := scheduleFor(sh, kind)
+				rec.mark(seg.name)
+				runTransform(pr, sh, seg.transform, sched, isRep, myCol, col)
+				outCols[id] = col
+			case segRedistribute:
+				col := cols[id]
+				if isRep {
+					pr.AccountAux(int64(2 * hg.m))
+					sortCells(col)
+				}
+				if hg.G == 1 {
+					rec.mark("phases1-9:single-column-sort")
+				}
+				rec.mark("phase10:redistribution")
+				ni := hg.prefix[id]
+				if id > 0 {
+					ni -= hg.prefix[id-1]
+				}
+				outElems[id] = redistribute(pr, sh, g, isRep, myCol, col, ni)
+			}
+		}
+	}
+	res, err = mcb.Run(cfg, progs)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	if seg.kind == segRedistribute {
+		return nil, outElems, res, nil
+	}
+	nextState = make([][]checkpoint.Elem, p)
+	for i, c := range outCols {
+		if c != nil {
+			nextState[i] = cellsToCkpt(c)
+		}
+	}
+	return nextState, nil, res, nil
+}
+
+// sortCheckpointed is the checkpoint/resume driver for the gathered
+// Columnsort: SortWithRetry routes here when opts.Checkpoints is set and the
+// algorithm resolves to AlgoColumnsortGather. It executes the segment plan,
+// saving a verified snapshot at every boundary; a retryable failure resumes
+// from the last accepted boundary (only the failed segment is replayed), a
+// failure attributable to scripted channel outages degrades to k' < k
+// surviving channels (restarting from phase 0 — the column structure depends
+// on k), and a failed final verification falls back to a full restart, since
+// multiset conservation cannot vouch for element positions.
+func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
+	p := len(inputs)
+	algo, err := validateSort(inputs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if algo != AlgoColumnsortGather {
+		return nil, nil, errNotSegmentable
+	}
+	verifier := opts.Verifier
+	if verifier == nil {
+		verifier = VerifySort
+	}
+	store := opts.Checkpoints
+	negate := opts.Order == Ascending
+	order := 0
+	if negate {
+		order = 1
+	}
+	cards := cardsOf(inputs)
+	elems := inputElems(inputs, negate)
+	want := elemCounts(elems)
+	pol := opts.Retry
+	maxAtt := retryAttempts(pol)
+
+	cs := newChanState(opts.K, opts.Faults)
+
+	freshSnap := func() *checkpoint.Snapshot {
+		s := &checkpoint.Snapshot{
+			Kind: "sort", Algo: algo.String(), P: p, K: cs.k(),
+			Order: order, Cards: append([]int(nil), cards...),
+			Aux:   cs.deadAux(),
+			State: make([][]checkpoint.Elem, p),
+		}
+		for i, l := range elems {
+			s.State[i] = elemsToCkpt(l)
+		}
+		return s
+	}
+
+	rep := &Report{Algorithm: algo}
+	var accepted mcb.Stats // cost of the accepted path executed by this process
+
+	var snap *checkpoint.Snapshot
+	if opts.Resume {
+		if ls, lerr := store.Latest(); lerr == nil && ls != nil {
+			if rerr := sortSnapshotUsable(ls, algo, p, opts.K, order, cards, want); rerr == nil {
+				if cs.restoreDead(ls.Aux) {
+					snap = ls
+					if ls.Phase > 0 {
+						// A cross-process continuation is a resume: this
+						// invocation starts at an accepted boundary, not
+						// cycle 0.
+						ls.Resumes++
+					}
+					rep.Resumes = ls.Resumes
+					rep.CheckpointPhase = ls.PhaseName
+				}
+			}
+		}
+	}
+	if snap == nil {
+		// Fresh start (or unusable on-disk state): discard stale snapshots
+		// and anchor the run with its phase-0 snapshot.
+		if err := store.Clear(); err != nil {
+			return nil, nil, err
+		}
+		snap = freshSnap()
+		if err := store.Save(snap); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(cs.deadOrig) > 0 {
+		rep.DegradedK = cs.k()
+		rep.DeadChannels = append([]int(nil), cs.deadOrig...)
+	}
+
+	hg := computeGroupTable(cards, cs.k())
+	segs := sortSegments(hg.G)
+
+	finishReport := func() {
+		rep.Stats = accepted
+		rep.Attempts = snap.Attempt + 1
+		rep.Resumes = snap.Resumes
+		rep.ReplayedCycles = snap.ReplayedCycles
+		rep.PhaseCycles = phaseCyclesFrom(accepted.Phases)
+		rep.Columns, rep.ColumnLen = hg.G, hg.m
+	}
+
+	// restart resets to phase 0 under the current channel state, discarding
+	// every accepted cycle (they become replayed work).
+	restart := func() error {
+		snap2 := freshSnap()
+		snap2.Attempt = snap.Attempt
+		snap2.Resumes = snap.Resumes
+		snap2.ReplayedCycles = snap.ReplayedCycles + snap.CyclesDone
+		snap = snap2
+		accepted = mcb.Stats{}
+		if err := store.Clear(); err != nil {
+			return err
+		}
+		return store.Save(snap)
+	}
+
+	var lastErr error
+	for {
+		seg := segs[snap.Phase]
+		plan := cs.curPlan.ForAttempt(snap.Attempt).Shift(snap.CyclesDone)
+		cfg := opts.engineConfig(p)
+		cfg.K = cs.k()
+		cfg.Faults = plan
+		cfg.MaxCycles = segmentBudget(opts.MaxCycles, snap.CyclesDone)
+
+		nextState, outs, res, err := runSortSegment(seg, snap.State, hg, cfg)
+		if err == nil && seg.kind != segRedistribute {
+			// Boundary reached: snapshot, verify, accept.
+			cand := snap.Clone()
+			cand.Phase++
+			cand.PhaseName = seg.name
+			cand.State = nextState
+			cand.CyclesDone += res.Stats.Cycles
+			cand.MessagesDone += res.Stats.Messages
+			if verr := verifySnapshotMultiset(cand, want, true); verr != nil {
+				err = corruptionError("sort checkpoint", verr)
+			} else {
+				if serr := store.Save(cand); serr != nil {
+					return nil, nil, serr
+				}
+				snap = cand
+				accepted.Add(&res.Stats)
+				continue
+			}
+		}
+		if err == nil {
+			// Final segment done: convert and verify the outputs.
+			outputs := make([][]int64, p)
+			for i, l := range outs {
+				o := make([]int64, len(l))
+				for j, e := range l {
+					if negate {
+						o[j] = -e.V
+					} else {
+						o[j] = e.V
+					}
+				}
+				outputs[i] = o
+			}
+			if verr := verifier(inputs, outputs, opts.Order); verr != nil {
+				// The accepted checkpoints may carry the same silent
+				// corruption (multiset conservation does not check
+				// positions): fall back to a full restart.
+				err = corruptionError("sort", verr)
+				lastErr = err
+				snap.ReplayedCycles += res.Stats.Cycles
+				snap.Attempt++
+				if snap.Attempt >= maxAtt {
+					finishReport()
+					return nil, rep, lastErr
+				}
+				retryBackoff(pol, snap.Attempt)
+				if rerr := restart(); rerr != nil {
+					return nil, nil, rerr
+				}
+				continue
+			}
+			accepted.Add(&res.Stats)
+			snap.CyclesDone += res.Stats.Cycles
+			snap.MessagesDone += res.Stats.Messages
+			finishReport()
+			return outputs, rep, nil
+		}
+
+		// Segment failed: the cycles it burned are replayed work.
+		lastErr = err
+		if res != nil {
+			snap.ReplayedCycles += res.Stats.Cycles
+		}
+		if !mcb.Retryable(err) {
+			finishReport()
+			return nil, rep, err
+		}
+		snap.Attempt++
+		if snap.Attempt >= maxAtt {
+			finishReport()
+			return nil, rep, lastErr
+		}
+		retryBackoff(pol, snap.Attempt)
+
+		if suspects := outageSuspects(pol, plan, res); len(suspects) > 0 && cs.k()-len(suspects) >= 1 {
+			// The failure is attributable to scripted channel outages:
+			// drop the dead channels and re-run on the k' survivors. The
+			// Columnsort column structure depends on k, so the degraded
+			// sort restarts from phase 0.
+			cs.degrade(suspects)
+			rep.DegradedK = cs.k()
+			rep.DeadChannels = append([]int(nil), cs.deadOrig...)
+			hg = computeGroupTable(cards, cs.k())
+			segs = sortSegments(hg.G)
+			if rerr := restart(); rerr != nil {
+				return nil, nil, rerr
+			}
+			continue
+		}
+
+		// Resume from the last accepted boundary: only the failed segment
+		// is replayed.
+		snap.Resumes++
+		rep.CheckpointPhase = snap.PhaseName
+	}
+}
+
+// sortSnapshotUsable validates an on-disk snapshot against the run being
+// resumed: kind, algorithm, shape, order and cardinalities must match, and
+// the snapshot's elements must be drawn from the input multiset (exactly,
+// for a sort). K may be smaller than the run's K (a recorded degradation,
+// restored separately via Aux).
+func sortSnapshotUsable(s *checkpoint.Snapshot, algo Algorithm, p, k, order int, cards []int, want map[elemKey]int) error {
+	switch {
+	case s.Kind != "sort":
+		return fmt.Errorf("snapshot kind %q, want sort", s.Kind)
+	case s.Algo != algo.String():
+		return fmt.Errorf("snapshot algorithm %q, want %q", s.Algo, algo)
+	case s.P != p:
+		return fmt.Errorf("snapshot has p=%d, run has p=%d", s.P, p)
+	case s.K+len(s.Aux) != k:
+		return fmt.Errorf("snapshot has k=%d with %d dead channels, run has k=%d", s.K, len(s.Aux), k)
+	case s.Order != order:
+		return fmt.Errorf("snapshot order %d, run order %d", s.Order, order)
+	case !equalCards(s.Cards, cards):
+		return fmt.Errorf("snapshot cardinalities differ from the inputs")
+	case s.Phase >= len(sortSegments(computeGroupTable(cards, s.K).G)):
+		return fmt.Errorf("snapshot phase %d out of range", s.Phase)
+	}
+	return verifySnapshotMultiset(s, want, true)
+}
+
+// errNotSegmentable reports that the resolved algorithm has no segmented
+// execution path; SortWithRetry falls back to whole-run attempts.
+var errNotSegmentable = fmt.Errorf("core: algorithm not segmentable")

@@ -662,6 +662,13 @@ func (e *engine) resolveGeneral() {
 		e.stats.PerChannel[c]++
 		if e.chOutage[c] {
 			fDelta.OutageLosses++
+			// Per-channel attribution for the degradation retry. Allocated
+			// lazily on the first actual loss, so fault-free runs (and faulted
+			// runs without outages) keep the steady-state zero-alloc invariant.
+			if e.stats.Faults.OutagePerChannel == nil {
+				e.stats.Faults.OutagePerChannel = make([]int64, e.cfg.K)
+			}
+			e.stats.Faults.OutagePerChannel[c]++
 			if e.rec != nil {
 				e.rec.Record(trace.Event{Cycle: cycle, Proc: int32(id), Ch: int32(c),
 					Phase: e.recPhase, Arg: trace.FaultOutage, Kind: trace.KindFault})

@@ -120,6 +120,67 @@ func (p *FaultPlan) WithoutCrashes(procs []int) *FaultPlan {
 	return c
 }
 
+// WithoutOutages returns a copy of the plan with the outage windows for the
+// given channels removed. The channel-degradation retry uses it: the degraded
+// attempt runs on the surviving channels only, so the outages that killed the
+// dropped channels must not be re-attributed to the survivors.
+func (p *FaultPlan) WithoutOutages(chs []int) *FaultPlan {
+	if p == nil {
+		return nil
+	}
+	dead := make(map[int]bool, len(chs))
+	for _, ch := range chs {
+		dead[ch] = true
+	}
+	c := p.Clone()
+	kept := c.Outages[:0]
+	for _, o := range c.Outages {
+		if !dead[o.Ch] {
+			kept = append(kept, o)
+		}
+	}
+	c.Outages = kept
+	return c
+}
+
+// Shift returns the plan as seen by a run that starts off cycles into the
+// original timeline: scripted windows and crash cycles move earlier by off
+// (entries that have fully expired are dropped), and the stochastic seed is
+// remixed so drop/corrupt decisions do not replay the prefix pattern. A
+// resumed segment uses it so that "outage on cycles [40, 60)" still means
+// cycles 40–60 of the attempt, not of each segment. off <= 0 returns the
+// plan unchanged.
+func (p *FaultPlan) Shift(off int64) *FaultPlan {
+	if p == nil || off <= 0 {
+		return p
+	}
+	c := p.Clone()
+	c.Seed = mix64(p.Seed ^ uint64(off))
+	kept := c.Outages[:0]
+	for _, o := range c.Outages {
+		o.From -= off
+		o.To -= off
+		if o.To <= 0 {
+			continue // window fully in the past
+		}
+		if o.From < 0 {
+			o.From = 0
+		}
+		kept = append(kept, o)
+	}
+	c.Outages = kept
+	keptCr := c.Crashes[:0]
+	for _, cr := range c.Crashes {
+		cr.Cycle -= off
+		if cr.Cycle < 0 {
+			cr.Cycle = 0 // already due: crash before the segment's first op
+		}
+		keptCr = append(keptCr, cr)
+	}
+	c.Crashes = keptCr
+	return c
+}
+
 // msgSum is the per-message checksum guarding payloads when
 // FaultPlan.Checksum is set: FNV-1a over the tag and payload words. Any
 // single-bit flip changes it, so injected corruption is always detected.
@@ -238,6 +299,10 @@ type FaultStats struct {
 	Detected int64 `json:"detected,omitempty"`
 	// OutageLosses is the number of messages written onto a dead channel.
 	OutageLosses int64 `json:"outage_losses,omitempty"`
+	// OutagePerChannel breaks OutageLosses down by channel index; nil when
+	// no outage loss occurred. The degradation retry uses it to attribute a
+	// failure to specific channels.
+	OutagePerChannel []int64 `json:"outage_per_channel,omitempty"`
 	// Crashes lists the crash-stops that fired, in processor order.
 	Crashes []CrashEvent `json:"crashes,omitempty"`
 }
@@ -256,13 +321,49 @@ func (f *FaultStats) add(t *FaultStats) {
 	f.Corruptions += t.Corruptions
 	f.Detected += t.Detected
 	f.OutageLosses += t.OutageLosses
+	if t.OutagePerChannel != nil {
+		if len(f.OutagePerChannel) < len(t.OutagePerChannel) {
+			grown := make([]int64, len(t.OutagePerChannel))
+			copy(grown, f.OutagePerChannel)
+			f.OutagePerChannel = grown
+		}
+		for ch, n := range t.OutagePerChannel {
+			f.OutagePerChannel[ch] += n
+		}
+	}
 	f.Crashes = append(f.Crashes, t.Crashes...)
 }
 
 func (f *FaultStats) clone() FaultStats {
 	c := *f
+	c.OutagePerChannel = append([]int64(nil), f.OutagePerChannel...)
 	c.Crashes = append([]CrashEvent(nil), f.Crashes...)
 	return c
+}
+
+// OutageSuspects attributes a failure at failCycle to channels: a channel is
+// a suspect when it actually lost messages during the run (OutagePerChannel)
+// and the plan scripts an outage window for it that is still open at the
+// failing cycle — a window that closed long before the failure cannot be
+// what is defeating retries. Returns the suspect channels in ascending
+// order, or nil when the failure is not attributable to channel loss.
+func OutageSuspects(plan *FaultPlan, stats *FaultStats, failCycle int64) []int {
+	if plan == nil || stats == nil || len(stats.OutagePerChannel) == 0 {
+		return nil
+	}
+	var out []int
+	for ch, n := range stats.OutagePerChannel {
+		if n <= 0 {
+			continue
+		}
+		for _, o := range plan.Outages {
+			if o.Ch == ch && o.To > failCycle {
+				out = append(out, ch)
+				break
+			}
+		}
+	}
+	return out
 }
 
 // faultState is the engine-side runtime of a FaultPlan.

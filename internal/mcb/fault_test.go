@@ -182,6 +182,9 @@ func TestFaultOutageWindow(t *testing.T) {
 	if res.Stats.Faults.OutageLosses != 3 {
 		t.Fatalf("OutageLosses = %d, want 3", res.Stats.Faults.OutageLosses)
 	}
+	if got := res.Stats.Faults.OutagePerChannel; len(got) != 1 || got[0] != 3 {
+		t.Fatalf("OutagePerChannel = %v, want [3]", got)
+	}
 }
 
 func TestFaultCrashStop(t *testing.T) {
@@ -265,6 +268,73 @@ func TestFaultPlanWithoutCrashes(t *testing.T) {
 	}
 	if len(p.Crashes) != 3 {
 		t.Fatal("WithoutCrashes must not mutate the original plan")
+	}
+}
+
+func TestFaultPlanWithoutOutages(t *testing.T) {
+	p := &FaultPlan{Outages: []Outage{
+		{Ch: 0, From: 1, To: 5},
+		{Ch: 2, From: 3, To: 8},
+		{Ch: 0, From: 10, To: 12},
+	}}
+	q := p.WithoutOutages([]int{0})
+	if len(q.Outages) != 1 || q.Outages[0].Ch != 2 {
+		t.Fatalf("WithoutOutages([0]) kept %v, want only channel 2", q.Outages)
+	}
+	if len(p.Outages) != 3 {
+		t.Fatal("WithoutOutages must not mutate the original plan")
+	}
+	var nilPlan *FaultPlan
+	if nilPlan.WithoutOutages([]int{0}) != nil {
+		t.Fatal("a nil plan stays nil")
+	}
+}
+
+func TestFaultPlanShift(t *testing.T) {
+	p := &FaultPlan{
+		Seed:    7,
+		Outages: []Outage{{Ch: 0, From: 2, To: 5}, {Ch: 1, From: 10, To: 20}},
+		Crashes: []Crash{{Proc: 0, Cycle: 3}, {Proc: 1, Cycle: 15}},
+	}
+	q := p.Shift(8)
+	// The [2,5) window has fully expired; [10,20) clips to [2,12).
+	if len(q.Outages) != 1 || q.Outages[0] != (Outage{Ch: 1, From: 2, To: 12}) {
+		t.Fatalf("Shift(8) outages = %v, want [{1 2 12}]", q.Outages)
+	}
+	// An already-due crash pins to cycle 0 (the processor stays dead); a
+	// future one moves earlier.
+	if len(q.Crashes) != 2 || q.Crashes[0] != (Crash{Proc: 0, Cycle: 0}) || q.Crashes[1] != (Crash{Proc: 1, Cycle: 7}) {
+		t.Fatalf("Shift(8) crashes = %v", q.Crashes)
+	}
+	if q.Seed == p.Seed {
+		t.Fatal("Shift must remix the stochastic seed")
+	}
+	if got := p.Shift(0); got != p {
+		t.Fatal("Shift(0) must return the plan unchanged")
+	}
+	if len(p.Outages) != 2 || p.Outages[0].From != 2 {
+		t.Fatal("Shift must not mutate the original plan")
+	}
+}
+
+func TestOutageSuspects(t *testing.T) {
+	plan := &FaultPlan{Outages: []Outage{
+		{Ch: 0, From: 0, To: 4},       // closed before the failure
+		{Ch: 1, From: 0, To: 1 << 40}, // effectively permanent
+		{Ch: 2, From: 50, To: 200},    // open at the failure
+	}}
+	stats := &FaultStats{OutagePerChannel: []int64{5, 9, 2, 0}}
+	got := OutageSuspects(plan, stats, 100)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("OutageSuspects = %v, want [1 2]", got)
+	}
+	// Channel 3 never lost a message, channel 0's window closed: neither is
+	// a suspect even though both appear somewhere.
+	if OutageSuspects(plan, &FaultStats{}, 100) != nil {
+		t.Fatal("no losses => no suspects")
+	}
+	if OutageSuspects(nil, stats, 100) != nil || OutageSuspects(plan, nil, 100) != nil {
+		t.Fatal("nil plan or stats => no suspects")
 	}
 }
 

@@ -44,6 +44,21 @@ type Report struct {
 	// Attempts is the number of attempts the verify-and-retry layer used to
 	// produce the result (0 or 1 = single attempt, no retry).
 	Attempts int `json:"attempts,omitempty"`
+	// Resumes is how many of those attempts continued from a phase-boundary
+	// checkpoint instead of restarting from cycle 0.
+	Resumes int `json:"resumes,omitempty"`
+	// CheckpointPhase names the last accepted checkpoint the final attempt
+	// started from ("" when the run never resumed).
+	CheckpointPhase string `json:"checkpoint_phase,omitempty"`
+	// ReplayedCycles counts cycles that were executed but discarded — work
+	// not on the accepted attempt's path. Lower is better; checkpointed
+	// recovery exists to shrink it.
+	ReplayedCycles int64 `json:"replayed_cycles,omitempty"`
+	// DegradedK is the reduced channel count a degraded run finished on
+	// (0 when no channel degradation occurred); DeadChannels lists the
+	// original channel indices that were dropped.
+	DegradedK    int   `json:"degraded_k,omitempty"`
+	DeadChannels []int `json:"dead_channels,omitempty"`
 
 	// Extra holds caller-specific fields; keys are caller-defined.
 	Extra map[string]any `json:"extra,omitempty"`

@@ -25,6 +25,15 @@ type RetryPolicy struct {
 	// the rank over the surviving elements. Ignored by sorting — a sort
 	// cannot deliver output to a dead processor.
 	DegradeOnCrash bool
+	// DegradeOnOutage enables channel-loss degradation: when a failure is
+	// attributable to specific channels (scripted outage windows still open
+	// at the failing cycle, per FaultStats.OutagePerChannel), the next
+	// attempt drops those channels and re-runs on the k' < k survivors.
+	// The paper's algorithms are valid for any k ≤ p, so shrinking k only
+	// costs cycles; it beats retrying into the same dead channel forever.
+	// Used by SortWithRetry / SelectWithRetry, not by raw RunWithRetry
+	// (remapping channel indices requires rebuilding the programs).
+	DegradeOnOutage bool
 }
 
 func (p RetryPolicy) attempts() int {
@@ -34,12 +43,34 @@ func (p RetryPolicy) attempts() int {
 	return p.MaxAttempts
 }
 
+// maxBackoffShift caps the exponential-backoff doubling: Backoff<<attempt
+// wraps (and can go negative) once attempt reaches the duration's leading
+// zeros, turning the wait into garbage for large MaxAttempts.
+const maxBackoffShift = 16
+
+// backoffFor returns the wait after the given 0-based attempt: Backoff
+// doubled per attempt, with the exponent capped and an overflow guard so a
+// large MaxAttempts (or a huge base Backoff) can never wrap to a negative
+// or near-zero wait.
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	d := p.Backoff << attempt
+	if d <= 0 || d>>attempt != p.Backoff { // shift overflowed (huge base Backoff)
+		return p.Backoff
+	}
+	return d
+}
+
 // sleep waits the backoff for the given 0-based attempt just completed.
 func (p RetryPolicy) sleep(attempt int) {
-	if p.Backoff <= 0 {
-		return
+	if d := p.backoffFor(attempt); d > 0 {
+		time.Sleep(d)
 	}
-	time.Sleep(p.Backoff << attempt)
 }
 
 // Retryable reports whether err is worth retrying on a fresh network: engine

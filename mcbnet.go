@@ -21,6 +21,7 @@
 package mcbnet
 
 import (
+	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/core"
 	"mcbnet/internal/mcb"
 	"mcbnet/internal/trace"
@@ -114,6 +115,38 @@ type (
 // ErrAborted is wrapped by every typed abort error; errors.Is works
 // against it.
 var ErrAborted = mcb.ErrAborted
+
+// Checkpointed recovery: with SortOptions.Checkpoints /
+// SelectOptions.Checkpoints set, SortWithRetry and SelectWithRetry run the
+// algorithms as phase segments, snapshotting the verified distributed state
+// into the store at every phase boundary. A typed failure then resumes from
+// the last accepted checkpoint (replaying only the failed segment), and with
+// Resume set a new process continues a previous run from an on-disk store —
+// see DESIGN.md §4 and the cmd/mcbsort -checkpoint-dir / -resume flags.
+type (
+	// CheckpointStore persists phase-boundary snapshots; implementations
+	// must return isolated, checksum-verified copies.
+	CheckpointStore = checkpoint.Store
+	// CheckpointSnapshot is one phase-boundary state capture.
+	CheckpointSnapshot = checkpoint.Snapshot
+)
+
+// ErrCheckpointInvalid is wrapped by every snapshot-decoding failure
+// (truncation, bit flips, version or shape mismatches); errors.Is works
+// against it.
+var ErrCheckpointInvalid = checkpoint.ErrInvalid
+
+// NewMemCheckpointStore returns an in-memory checkpoint store: recovery
+// survives retry attempts within one process but not a process restart.
+func NewMemCheckpointStore() CheckpointStore { return checkpoint.NewMem() }
+
+// NewDirCheckpointStore returns an on-disk checkpoint store rooted at dir
+// (created if needed): snapshots survive a process kill and a later
+// invocation with SortOptions.Resume / SelectOptions.Resume continues from
+// the last accepted phase boundary.
+func NewDirCheckpointStore(dir string) (CheckpointStore, error) {
+	return checkpoint.NewDir(dir)
+}
 
 // Cycle tracing: the structured observability plane (see internal/trace and
 // DESIGN.md "Observability"). Attach a recorder via SortOptions.Recorder /
