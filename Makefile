@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench lint bench-gate trace-sample fuzz
+.PHONY: build test vet race verify bench lint bench-gate bench-baseline trace-sample fuzz
 
 build:
 	$(GO) build ./...
@@ -35,11 +35,20 @@ lint: vet
 		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
 	fi
 
-# The CI benchmark regression gate, runnable locally: fresh engine sweep vs
-# the committed artifact, ±20%.
+# The CI benchmark regression gate, runnable locally: fresh sweep of both
+# execution engines (goroutine + sharded) vs the committed artifact, each
+# against its own baseline entries, ±20%. Refuses a baseline recorded on a
+# different machine (go version / GOMAXPROCS / CPU count are part of the
+# artifact); regenerate with `make bench-baseline` or, to merely smoke the
+# sweep, add -allow-env-mismatch as CI's hosted runners do.
 bench-gate:
 	$(GO) run ./cmd/mcbbench -engine -compare BENCH_engine.json -threshold 0.20 \
 		-out BENCH_engine.fresh.json
+
+# Regenerate the committed benchmark artifact on this machine, carrying the
+# previous entries over as the embedded before/after baseline.
+bench-baseline:
+	$(GO) run ./cmd/mcbbench -engine -baseline BENCH_engine.json -out BENCH_engine.json
 
 # Checkpoint-codec fuzz smoke (CI runs the same, shorter): coverage-guided
 # decoding of mutated snapshots — anything malformed must surface as a typed

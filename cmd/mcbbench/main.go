@@ -18,10 +18,16 @@
 //
 // CI regression gate: compare a fresh sweep against the committed artifact
 // and fail (exit 2) when throughput or allocations regressed beyond the
-// threshold:
+// threshold. The sweep covers both execution engines (goroutine and sharded;
+// see mcb.EngineMode), each gated against its own baseline entries. A
+// baseline generated in a different environment (go version, GOMAXPROCS,
+// CPU count) is refused with the mismatched fields named; pass
+// -allow-env-mismatch to skip the comparison (with the reason printed)
+// instead of failing:
 //
 //	mcbbench -engine -compare BENCH_engine.json -threshold 0.20 \
 //	         -out BENCH_engine.fresh.json
+//	mcbbench -engine -compare BENCH_engine.json -allow-env-mismatch  # CI runners
 package main
 
 import (
@@ -29,7 +35,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"mcbnet/internal/experiments"
@@ -52,13 +57,14 @@ type jsonExperiment struct {
 }
 
 // engineBenchFile is the on-disk schema of BENCH_engine.json: the engine
-// microbenchmark sweep of this build (Entries) plus, optionally, the numbers
-// of the previous build (Baseline) so the perf trajectory stays reviewable.
+// microbenchmark sweep of this build (Entries, covering both execution
+// engines) plus, optionally, the numbers of the previous build (Baseline) so
+// the perf trajectory stays reviewable. The embedded mcb.BenchEnv fields
+// (go/gomaxprocs/num_cpu) record the provenance a later -compare is checked
+// against.
 type engineBenchFile struct {
-	Schema      string                 `json:"schema"`
-	GoVersion   string                 `json:"go"`
-	GOMAXPROCS  int                    `json:"gomaxprocs"`
-	NumCPU      int                    `json:"num_cpu"`
+	Schema string `json:"schema"`
+	mcb.BenchEnv
 	GeneratedAt string                 `json:"generated_at"`
 	Entries     []mcb.EngineBenchEntry `json:"entries"`
 	Baseline    []mcb.EngineBenchEntry `json:"baseline,omitempty"`
@@ -68,50 +74,74 @@ type engineBenchFile struct {
 // perf regression from an operational error).
 var errRegression = fmt.Errorf("engine benchmark regression")
 
-// loadEngineBench reads the entries of a previous BENCH_engine.json.
-func loadEngineBench(path string) ([]mcb.EngineBenchEntry, error) {
+// loadEngineBench reads a previous BENCH_engine.json: its entries and its
+// recorded provenance.
+func loadEngineBench(path string) ([]mcb.EngineBenchEntry, mcb.BenchEnv, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("read baseline: %w", err)
+		return nil, mcb.BenchEnv{}, fmt.Errorf("read baseline: %w", err)
 	}
 	var prev engineBenchFile
 	if err := json.Unmarshal(b, &prev); err != nil {
-		return nil, fmt.Errorf("parse baseline: %w", err)
+		return nil, mcb.BenchEnv{}, fmt.Errorf("parse baseline: %w", err)
 	}
-	return prev.Entries, nil
+	return prev.Entries, prev.BenchEnv, nil
 }
 
-// runEngineBench executes the engine microbenchmark sweep and writes the
-// JSON artifact to outPath ("" = stdout). baselinePath, when set, names a
-// previous artifact whose entries are carried over as the baseline.
-// comparePath, when set, names the artifact the fresh sweep is regression-
-// checked against with the given relative threshold; regressions are
-// reported on stderr and returned as errRegression.
-func runEngineBench(outPath, baselinePath, comparePath string, threshold float64, cycles int64) error {
+// runEngineBench executes the engine microbenchmark sweep — both execution
+// engines, each over its default grid — and writes the JSON artifact to
+// outPath ("" = stdout). baselinePath, when set, names a previous artifact
+// whose entries are carried over as the baseline. comparePath, when set,
+// names the artifact the fresh sweep is regression-checked against with the
+// given relative threshold; regressions are reported on stderr and returned
+// as errRegression.
+//
+// A comparison is only meaningful between sweeps of the same environment:
+// if the baseline's recorded go version, GOMAXPROCS or CPU count differ from
+// the runner's, the gate refuses (naming the mismatched fields) — or, with
+// allowEnvMismatch, explicitly skips the comparison with the same named
+// reasons and passes.
+func runEngineBench(outPath, baselinePath, comparePath string, threshold float64, cycles int64, allowEnvMismatch bool) error {
 	var baseline []mcb.EngineBenchEntry
 	if baselinePath != "" {
 		var err error
-		if baseline, err = loadEngineBench(baselinePath); err != nil {
+		if baseline, _, err = loadEngineBench(baselinePath); err != nil {
 			return err
 		}
 	}
-	entries, err := mcb.EngineBenchSweep(nil, cycles)
-	if err != nil {
-		return err
-	}
-	var regressions []string
-	if comparePath != "" {
-		gate, err := loadEngineBench(comparePath)
+	var entries []mcb.EngineBenchEntry
+	for _, engine := range []mcb.EngineMode{mcb.EngineGoroutine, mcb.EngineSharded} {
+		es, err := mcb.EngineBenchSweep(engine, nil, cycles)
 		if err != nil {
 			return err
 		}
-		regressions = mcb.CompareEngineBench(entries, gate, threshold)
+		entries = append(entries, es...)
+	}
+	compareSkipped := false
+	var regressions []string
+	if comparePath != "" {
+		gate, gateEnv, err := loadEngineBench(comparePath)
+		if err != nil {
+			return err
+		}
+		if mismatches := mcb.CurrentBenchEnv().Mismatch(gateEnv); len(mismatches) > 0 {
+			for _, m := range mismatches {
+				fmt.Fprintln(os.Stderr, "mcbbench: baseline environment mismatch:", m)
+			}
+			if !allowEnvMismatch {
+				return fmt.Errorf("baseline %s was generated in a different environment (%d field(s) differ, listed above); "+
+					"regenerate it on this runner or pass -allow-env-mismatch to skip the comparison",
+					comparePath, len(mismatches))
+			}
+			fmt.Fprintf(os.Stderr, "mcbbench: SKIPPING regression gate against %s: environment mismatch allowed by -allow-env-mismatch\n", comparePath)
+			compareSkipped = true
+		} else {
+			regressions = mcb.CompareEngineBench(entries, gate, threshold)
+		}
 	}
 	out := engineBenchFile{
 		Schema:      "mcbnet/engine-bench/v1",
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		BenchEnv:    mcb.CurrentBenchEnv(),
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Entries:     entries,
 		Baseline:    baseline,
@@ -128,7 +158,7 @@ func runEngineBench(outPath, baselinePath, comparePath string, threshold float64
 	} else if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	if comparePath != "" {
+	if comparePath != "" && !compareSkipped {
 		if len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintln(os.Stderr, "mcbbench: REGRESSION:", r)
@@ -152,10 +182,12 @@ func main() {
 	engineCycles := flag.Int64("engine-cycles", 0, "with -engine: cycles per configuration (0 = per-size default)")
 	compare := flag.String("compare", "", "with -engine: regression-gate the sweep against this artifact (exit 2 on regression)")
 	threshold := flag.Float64("threshold", 0.20, "with -engine -compare: relative regression threshold")
+	allowEnvMismatch := flag.Bool("allow-env-mismatch", false,
+		"with -engine -compare: on go/gomaxprocs/num_cpu provenance mismatch, warn and skip the comparison instead of failing")
 	flag.Parse()
 
 	if *engine {
-		if err := runEngineBench(*out, *baseline, *compare, *threshold, *engineCycles); err != nil {
+		if err := runEngineBench(*out, *baseline, *compare, *threshold, *engineCycles, *allowEnvMismatch); err != nil {
 			if err == errRegression {
 				os.Exit(2)
 			}

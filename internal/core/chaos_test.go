@@ -131,9 +131,20 @@ func requireGoroutineDrain(t *testing.T, base int) {
 }
 
 func TestChaosSort(t *testing.T) {
+	chaosSort(t, mcb.EngineGoroutine, 0xC0FFEE, 120)
+}
+
+// TestChaosSortSharded re-runs the sort chaos suite on the sharded engine:
+// the full failure plane (drops, corruption, outages, crash-stops) plus the
+// retry layer must behave identically when shard workers, not a global
+// barrier, coordinate the processors. Run under -race in CI.
+func TestChaosSortSharded(t *testing.T) {
+	chaosSort(t, mcb.EngineSharded, 0x5A4DED, 60)
+}
+
+func chaosSort(t *testing.T, engine mcb.EngineMode, seed int64, iterations int) {
 	base := runtime.NumGoroutine()
-	r := rand.New(rand.NewSource(0xC0FFEE))
-	const iterations = 120
+	r := rand.New(rand.NewSource(seed))
 	failed, recovered := 0, 0
 	for iter := 0; iter < iterations; iter++ {
 		p := 3 + r.Intn(4)
@@ -147,6 +158,7 @@ func TestChaosSort(t *testing.T) {
 			StallTimeout: 15 * time.Second,
 			Faults:       chaosPlan(r, p, k),
 			Retry:        mcb.RetryPolicy{MaxAttempts: 2},
+			Engine:       engine,
 		}
 		outs, rep, err := SortWithRetry(inputs, o)
 		if err != nil {

@@ -62,7 +62,7 @@ func MultiSelect(inputs [][]int64, ds []int, opts SelectOptions) ([]int64, *Sele
 		}
 	}
 	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout,
-		Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels}
+		Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels, Engine: opts.Engine}
 	res, err := mcb.Run(cfg, progs)
 	if err != nil {
 		return nil, nil, err

@@ -90,6 +90,11 @@ type SortOptions struct {
 	// ProfileLabels attaches pprof phase labels to processor goroutines
 	// (see mcb.Config.ProfileLabels).
 	ProfileLabels bool
+	// Engine selects the execution engine that steps the processors
+	// (mcb.EngineAuto, mcb.EngineGoroutine or mcb.EngineSharded). The zero
+	// value is EngineAuto: sharded coordination once p reaches the
+	// p >> cores regime, classic per-processor barrier below it.
+	Engine mcb.EngineMode
 	// Faults enables deterministic fault injection (see mcb.FaultPlan).
 	Faults *mcb.FaultPlan
 	// Retry configures the verify-and-retry layer; only SortWithRetry
@@ -122,6 +127,7 @@ func (o SortOptions) engineConfig(p int) mcb.Config {
 		Faults:        o.Faults,
 		Recorder:      o.Recorder,
 		ProfileLabels: o.ProfileLabels,
+		Engine:        o.Engine,
 	}
 }
 

@@ -55,6 +55,8 @@ type SelectOptions struct {
 	Trace         bool
 	Recorder      *trace.Recorder
 	ProfileLabels bool
+	// Engine selects the execution engine (mirrors SortOptions.Engine).
+	Engine mcb.EngineMode
 	// Faults enables deterministic fault injection (see mcb.FaultPlan).
 	Faults *mcb.FaultPlan
 	// Retry configures the verify-and-retry layer; only SelectWithRetry
@@ -153,7 +155,7 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 		}
 	}
 	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout,
-		Faults: opts.Faults, Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels}
+		Faults: opts.Faults, Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels, Engine: opts.Engine}
 	res, err := mcb.Run(cfg, progs)
 	if res != nil {
 		report.Stats = res.Stats

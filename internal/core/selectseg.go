@@ -258,6 +258,7 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 		cfg := mcb.Config{
 			P: p, K: cs.k(), Trace: opts.Trace, StallTimeout: opts.StallTimeout,
 			Faults: plan, Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels,
+			Engine:    opts.Engine,
 			MaxCycles: segmentBudget(opts.MaxCycles, snap.CyclesDone),
 		}
 

@@ -27,13 +27,55 @@ const (
 // EngineBenchEntry is one measured engine microbenchmark configuration, in
 // the stable schema recorded in BENCH_engine.json.
 type EngineBenchEntry struct {
-	Name           string  `json:"name"` // BenchBarrier or BenchWriteRead
+	Name           string  `json:"name"`             // BenchBarrier or BenchWriteRead
+	Engine         string  `json:"engine,omitempty"` // execution engine; "" means goroutine (pre-sharded artifacts)
 	P              int     `json:"p"`
 	K              int     `json:"k"`
 	Cycles         int64   `json:"cycles"`           // cycles in the timed run
 	NsPerCycle     float64 `json:"ns_per_cycle"`     // wall time per cycle
 	CyclesPerSec   float64 `json:"cycles_per_sec"`   // throughput
 	AllocsPerCycle float64 `json:"allocs_per_cycle"` // marginal heap allocations per cycle
+}
+
+// BenchEnv is the provenance of a benchmark artifact: the runner properties
+// that make throughput numbers comparable. Two sweeps measured under
+// different Go versions, GOMAXPROCS or core counts are different experiments
+// — gating one against the other yields nonsense in both directions (a
+// single-core baseline makes any multi-core run look like a huge win, and
+// vice versa), which is why CompareEngineBench consumers must check
+// Mismatch first.
+type BenchEnv struct {
+	GoVersion  string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CurrentBenchEnv captures the provenance of the running process.
+func CurrentBenchEnv() BenchEnv {
+	return BenchEnv{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Mismatch compares this (runner) environment against a baseline's recorded
+// provenance and returns one human-readable line per differing field, naming
+// the field and both values. Empty means the environments match and a
+// benchmark comparison is meaningful. A baseline with no recorded provenance
+// (all zero values, pre-provenance artifacts) mismatches on every field.
+func (e BenchEnv) Mismatch(base BenchEnv) []string {
+	var out []string
+	if e.GoVersion != base.GoVersion {
+		out = append(out, fmt.Sprintf("go: runner %q vs baseline %q", e.GoVersion, base.GoVersion))
+	}
+	if e.GOMAXPROCS != base.GOMAXPROCS {
+		out = append(out, fmt.Sprintf("gomaxprocs: runner %d vs baseline %d", e.GOMAXPROCS, base.GOMAXPROCS))
+	}
+	if e.NumCPU != base.NumCPU {
+		out = append(out, fmt.Sprintf("num_cpu: runner %d vs baseline %d", e.NumCPU, base.NumCPU))
+	}
+	return out
 }
 
 // engineBenchProgram returns the uniform processor program for one workload:
@@ -65,10 +107,13 @@ func engineBenchProgram(name string, k int, cycles int64) (func(Node), error) {
 }
 
 // EngineBench runs one engine microbenchmark workload on an MCB(p, k) engine
-// for the given number of cycles and returns the measured entry. It runs the
-// workload twice (full length and half length) to separate steady-state
-// per-cycle allocations from run setup.
-func EngineBench(name string, p, k int, cycles int64) (EngineBenchEntry, error) {
+// for the given number of cycles under the given execution engine and returns
+// the measured entry. It runs the workload twice (full length and half
+// length) to separate steady-state per-cycle allocations from run setup.
+func EngineBench(engine EngineMode, name string, p, k int, cycles int64) (EngineBenchEntry, error) {
+	if engine == EngineAuto {
+		engine = EngineGoroutine
+	}
 	if cycles < 4 {
 		cycles = 4
 	}
@@ -77,7 +122,7 @@ func EngineBench(name string, p, k int, cycles int64) (EngineBenchEntry, error) 
 		if err != nil {
 			return 0, 0, err
 		}
-		cfg := Config{P: p, K: k, StallTimeout: 5 * time.Minute}
+		cfg := Config{P: p, K: k, Engine: engine, StallTimeout: 5 * time.Minute}
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
@@ -113,6 +158,7 @@ func EngineBench(name string, p, k int, cycles int64) (EngineBenchEntry, error) 
 	ns := float64(elapsed.Nanoseconds()) / float64(cycles)
 	e := EngineBenchEntry{
 		Name:           name,
+		Engine:         string(engine),
 		P:              p,
 		K:              k,
 		Cycles:         cycles,
@@ -135,7 +181,13 @@ func EngineBench(name string, p, k int, cycles int64) (EngineBenchEntry, error) 
 // empty result means the gate passes.
 func CompareEngineBench(fresh, baseline []EngineBenchEntry, threshold float64) []string {
 	key := func(e *EngineBenchEntry) string {
-		return fmt.Sprintf("%s/p=%d/k=%d", e.Name, e.P, e.K)
+		eng := e.Engine
+		if eng == "" {
+			// Pre-sharded artifacts carry no engine field; they measured the
+			// goroutine engine.
+			eng = string(EngineGoroutine)
+		}
+		return fmt.Sprintf("%s/%s/p=%d/k=%d", eng, e.Name, e.P, e.K)
 	}
 	base := make(map[string]*EngineBenchEntry, len(baseline))
 	for i := range baseline {
@@ -164,12 +216,46 @@ func CompareEngineBench(fresh, baseline []EngineBenchEntry, threshold float64) [
 	return regressions
 }
 
-// EngineBenchSweep runs the standard engine benchmark grid: both workloads
-// over p in ps with k = max(1, p/4). cycles <= 0 picks a per-size default
-// that keeps the sweep under a few seconds.
-func EngineBenchSweep(ps []int, cycles int64) ([]EngineBenchEntry, error) {
+// engineSweepSizes is the default processor grid per engine. The goroutine
+// engine stops at p=4096, where one OS goroutine per processor already costs
+// milliseconds per cycle; the sharded engine — the p >> cores mode — sweeps
+// on to p=65536.
+func engineSweepSizes(engine EngineMode) []int {
+	if engine == EngineSharded {
+		return []int{4, 16, 64, 256, 1024, 4096, 16384, 65536}
+	}
+	return []int{4, 16, 64, 256, 1024, 4096}
+}
+
+// engineSweepCycles picks the per-size default cycle count: the historical
+// 262144/p (floor 2048) for the small sizes the trajectory was recorded at,
+// relaxed to a floor of 64 for the large-p extension so the full sweep stays
+// in CI-friendly time even at millisecond cycles.
+func engineSweepCycles(p int) int64 {
+	n := 262144 / int64(p)
+	switch {
+	case p <= 256:
+		if n < 2048 {
+			n = 2048
+		}
+	default:
+		if n < 64 {
+			n = 64
+		}
+	}
+	return n
+}
+
+// EngineBenchSweep runs the standard engine benchmark grid for one execution
+// engine: both workloads over p in ps with k = max(1, p/4). ps nil picks the
+// per-engine default grid; cycles <= 0 picks a per-size default that keeps
+// the sweep under a few tens of seconds.
+func EngineBenchSweep(engine EngineMode, ps []int, cycles int64) ([]EngineBenchEntry, error) {
+	if engine == EngineAuto {
+		engine = EngineGoroutine
+	}
 	if len(ps) == 0 {
-		ps = []int{4, 16, 64, 256}
+		ps = engineSweepSizes(engine)
 	}
 	var out []EngineBenchEntry
 	for _, name := range []string{BenchBarrier, BenchWriteRead} {
@@ -180,12 +266,9 @@ func EngineBenchSweep(ps []int, cycles int64) ([]EngineBenchEntry, error) {
 			}
 			n := cycles
 			if n <= 0 {
-				n = 262144 / int64(p)
-				if n < 2048 {
-					n = 2048
-				}
+				n = engineSweepCycles(p)
 			}
-			e, err := EngineBench(name, p, k, n)
+			e, err := EngineBench(engine, name, p, k, n)
 			if err != nil {
 				return nil, err
 			}

@@ -102,6 +102,91 @@ func BenchmarkEngineCycleGeneral(b *testing.B) {
 	}
 }
 
+// shardedBenchSizes extends the grid into the p >> cores regime the sharded
+// engine exists for. Kept modest here (the full p=65536 sweep lives in
+// cmd/mcbbench -engine); the race-mode CI smoke runs these at -benchtime=25x.
+var shardedBenchSizes = []int{16, 256, 4096}
+
+// BenchmarkBarrierRoundTripSharded measures the sharded engine's bare cycle:
+// gate handoffs, worker collection and the O(workers) rendezvous.
+func BenchmarkBarrierRoundTripSharded(b *testing.B) {
+	for _, p := range shardedBenchSizes {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			n := b.N
+			cfg := benchConfig(p, benchK(p))
+			cfg.Engine = EngineSharded
+			runCycles(b, cfg, func(pr Node) {
+				pr.IdleN(n)
+			}, n)
+		})
+	}
+}
+
+// BenchmarkEngineCycleSharded measures the full traffic cycle under the
+// sharded engine.
+func BenchmarkEngineCycleSharded(b *testing.B) {
+	for _, p := range shardedBenchSizes {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			k := benchK(p)
+			cfg := benchConfig(p, k)
+			cfg.Engine = EngineSharded
+			runCycles(b, cfg, engineCycleProgram(k, b.N), b.N)
+		})
+	}
+}
+
+// TestBenchEnvMismatch pins the provenance check of the bench-gate: every
+// differing field is reported by name, and matching environments report
+// nothing.
+func TestBenchEnvMismatch(t *testing.T) {
+	cur := CurrentBenchEnv()
+	if cur.GoVersion == "" || cur.GOMAXPROCS < 1 || cur.NumCPU < 1 {
+		t.Fatalf("CurrentBenchEnv incomplete: %+v", cur)
+	}
+	if m := cur.Mismatch(cur); len(m) != 0 {
+		t.Fatalf("identical environments mismatch: %v", m)
+	}
+	base := BenchEnv{GoVersion: "go0.0", GOMAXPROCS: cur.GOMAXPROCS + 1, NumCPU: cur.NumCPU + 7}
+	m := cur.Mismatch(base)
+	if len(m) != 3 {
+		t.Fatalf("got %d mismatches (%v), want 3", len(m), m)
+	}
+	for i, field := range []string{"go:", "gomaxprocs:", "num_cpu:"} {
+		if len(m[i]) < len(field) || m[i][:len(field)] != field {
+			t.Errorf("mismatch %d = %q, want it to name field %q", i, m[i], field)
+		}
+	}
+	// A pre-provenance artifact (zero env) mismatches on every field.
+	if m := cur.Mismatch(BenchEnv{}); len(m) != 3 {
+		t.Fatalf("zero-provenance baseline yielded %d mismatches (%v), want 3", len(m), m)
+	}
+}
+
+// TestCompareEngineBenchKeyedByEngine: entries of different engines must
+// never gate against each other, and a baseline without an engine field (a
+// pre-sharded artifact) keys as the goroutine engine.
+func TestCompareEngineBenchKeyedByEngine(t *testing.T) {
+	baseline := []EngineBenchEntry{
+		{Name: BenchBarrier, P: 4, K: 1, CyclesPerSec: 1e6},                                // legacy: no engine field
+		{Name: BenchBarrier, Engine: string(EngineSharded), P: 4, K: 1, CyclesPerSec: 1e5}, //nolint:lll
+	}
+	// The sharded run is 5x slower than the goroutine BASELINE but matches
+	// its own baseline: no regression may fire.
+	fresh := []EngineBenchEntry{
+		{Name: BenchBarrier, Engine: string(EngineGoroutine), P: 4, K: 1, CyclesPerSec: 1e6},
+		{Name: BenchBarrier, Engine: string(EngineSharded), P: 4, K: 1, CyclesPerSec: 1.1e5},
+	}
+	if regs := CompareEngineBench(fresh, baseline, 0.2); len(regs) != 0 {
+		t.Fatalf("cross-engine comparison leaked: %v", regs)
+	}
+	// A real sharded regression still fires, keyed to the sharded entry.
+	fresh[1].CyclesPerSec = 1e4
+	regs := CompareEngineBench(fresh, baseline, 0.2)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions (%v), want 1", len(regs), regs)
+	}
+}
+
 // BenchmarkEnginePhaseMarker measures a cycle that carries a (repeated, so
 // coalescing) phase marker each iteration: the marker path must stay cheap.
 func BenchmarkEnginePhaseMarker(b *testing.B) {

@@ -126,6 +126,65 @@ func TestCrossPathDeterminism(t *testing.T) {
 	}
 }
 
+// TestCrossEngineDeterminism holds the goroutine and sharded engines to
+// byte-identical Report JSON — fast path, general path (trace) and a faulted
+// run (drops, corruption, outage window, crash-stop) — across GOMAXPROCS in
+// {1, 4, NumCPU} (which changes the sharded worker count) and repeated runs.
+func TestCrossEngineDeterminism(t *testing.T) {
+	const p, k, cycles = 9, 3, 96
+	plan := &FaultPlan{
+		Seed:        42,
+		DropRate:    0.05,
+		CorruptRate: 0.05,
+		Checksum:    true,
+		Outages:     []Outage{{Ch: 1, From: 20, To: 40}},
+		Crashes:     []Crash{{Proc: 7, Cycle: 60}},
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	procsSweep := []int{1, 4, runtime.NumCPU()}
+
+	var fastRef, faultRef []byte
+	for _, gmp := range procsSweep {
+		runtime.GOMAXPROCS(gmp)
+		for rep := 0; rep < 3; rep++ {
+			for _, mode := range []EngineMode{EngineGoroutine, EngineSharded} {
+				tag := fmt.Sprintf("GOMAXPROCS=%d rep=%d engine=%s", gmp, rep, mode)
+
+				cfg := detConfig(p, k, nil, false)
+				cfg.Engine = mode
+				fast := reportJSON(t, cfg, p, k, cycles)
+				if fastRef == nil {
+					fastRef = fast
+				}
+				if !bytes.Equal(fast, fastRef) {
+					t.Fatalf("%s: fast-path report diverged:\n%s\n--- want ---\n%s", tag, fast, fastRef)
+				}
+
+				cfg = detConfig(p, k, nil, true)
+				cfg.Engine = mode
+				general := reportJSON(t, cfg, p, k, cycles)
+				if !bytes.Equal(general, fastRef) {
+					t.Fatalf("%s: general-path report differs:\n%s\n--- want ---\n%s", tag, general, fastRef)
+				}
+
+				cfg = detConfig(p, k, plan.Clone(), false)
+				cfg.Engine = mode
+				faulty := reportJSON(t, cfg, p, k, cycles)
+				if faultRef == nil {
+					faultRef = faulty
+				}
+				if !bytes.Equal(faulty, faultRef) {
+					t.Fatalf("%s: faulted report diverged:\n%s\n--- want ---\n%s", tag, faulty, faultRef)
+				}
+			}
+		}
+	}
+	if bytes.Equal(fastRef, faultRef) {
+		t.Fatal("fault plan injected nothing; workload lost its fault coverage")
+	}
+}
+
 // TestFastPathSelection pins down which configurations take which resolver:
 // an inactive (zero or nil) fault plan must not force the general path, and
 // an attached cycle recorder must.

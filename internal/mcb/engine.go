@@ -12,12 +12,59 @@ import (
 	"mcbnet/internal/trace"
 )
 
+// EngineMode selects the execution engine of a run. Both engines implement
+// the same lock-step cycle semantics and produce byte-identical Reports for
+// identical (Config, FaultPlan, programs), so the choice is purely a
+// performance decision; the cross-engine determinism tests hold them to it.
+type EngineMode string
+
+const (
+	// EngineAuto (the zero value) picks EngineSharded for large networks
+	// (P >= autoShardP) and EngineGoroutine otherwise.
+	EngineAuto EngineMode = ""
+	// EngineGoroutine binds one goroutine per processor; every processor
+	// arrives at a shared sense-reversing barrier each cycle and the last
+	// arriver resolves. Fastest for small p, where the spin window catches
+	// the resolver finishing on another core; degrades superlinearly as p
+	// grows (O(p) parked goroutines woken per cycle).
+	EngineGoroutine EngineMode = "goroutine"
+	// EngineSharded coordinates the cycle through M ~ GOMAXPROCS workers,
+	// each stepping p/M virtual processors in a tight loop: workers collect
+	// their processors' per-cycle submissions into the shared op table and
+	// rendezvous at an O(M) barrier, where the last worker resolves the
+	// whole batch. Amortizes the per-cycle barrier from O(p) parked
+	// goroutines to O(M) worker arrivals; built for p in the tens of
+	// thousands (see DESIGN.md "Sharded execution").
+	EngineSharded EngineMode = "sharded"
+)
+
+// autoShardP is the processor count at which EngineAuto switches to the
+// sharded engine: below it the goroutine engine's spin window wins, above it
+// the O(p) barrier wake-up dominates everything else.
+const autoShardP = 1024
+
+// engineMode resolves EngineAuto to a concrete engine.
+func (c Config) engineMode() EngineMode {
+	if c.Engine == EngineAuto {
+		if c.P >= autoShardP {
+			return EngineSharded
+		}
+		return EngineGoroutine
+	}
+	return c.Engine
+}
+
 // Config describes an MCB(p, k) network and run options.
 type Config struct {
 	// P is the number of processors (p >= 1).
 	P int
 	// K is the number of shared broadcast channels (1 <= k <= p).
 	K int
+	// Engine selects the execution engine: EngineGoroutine (one goroutine
+	// per processor), EngineSharded (M ~ GOMAXPROCS workers stepping p/M
+	// virtual processors each), or EngineAuto (the default: sharded for
+	// P >= 1024). Reports are byte-identical across engines.
+	Engine EngineMode
 	// Trace enables full per-cycle traffic recording (expensive; tests only).
 	Trace bool
 	// MaxCycles aborts the run once this many cycles have elapsed: the run
@@ -65,6 +112,11 @@ func (c Config) validate() error {
 	}
 	if c.Recorder != nil && c.Recorder.Procs() < c.P {
 		return fmt.Errorf("mcb: recorder sized for %d processors, network has %d", c.Recorder.Procs(), c.P)
+	}
+	switch c.Engine {
+	case EngineAuto, EngineGoroutine, EngineSharded:
+	default:
+		return fmt.Errorf("mcb: unknown engine mode %q (want %q, %q or auto)", c.Engine, EngineGoroutine, EngineSharded)
 	}
 	return nil
 }
@@ -158,9 +210,39 @@ type abortPanic struct{ err error }
 // crash-stop fires; the run itself keeps going.
 type crashPanic struct{}
 
+// paddedInt64 is a cache-line-isolated signed atomic, used for the per-worker
+// outstanding-submission countdowns of the sharded engine.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// shardWorker is the per-worker state of the sharded engine: the contiguous
+// range [lo, hi) of processor ids it owns and the idle-batch replay table
+// (skip[i-lo] > 0 means processor i's current opIdle slot stands for that many
+// more cycles without waking its goroutine; see Proc.IdleN).
+type shardWorker struct {
+	lo, hi int
+	skip   []int64
+}
+
 type engine struct {
 	cfg  Config
-	fast bool // no faults and no trace: resolve takes the specialized path
+	fast bool       // no faults and no trace: resolve takes the specialized path
+	mode EngineMode // resolved execution mode, never EngineAuto
+
+	// Sharded-engine state (nil / zero in goroutine mode). Processor id i is
+	// owned by worker i/shardChunk; workers rendezvous at the arrived/expected
+	// barrier in place of the processors. workerLive and activeWorkers are
+	// resolver-owned (synchronized by the barrier like live/liveN).
+	shardChunk    int
+	shards        []shardWorker
+	gates         []chan struct{} // per-processor wake gates, cap 1
+	idleBatch     []paddedMirror  // per-processor pending IdleN batch length
+	shardPend     []paddedInt64   // per-worker outstanding submissions this cycle
+	workerWake    []chan struct{} // per-worker "all submissions in" tokens, cap 1
+	workerLive    []int           // per-worker live processor count
+	activeWorkers int             // workers with at least one live processor
 
 	slots      []paddedOp     // per-processor cycle submissions
 	results    []paddedResult // per-processor read results
@@ -224,10 +306,22 @@ func (e *engine) abort(err error) {
 	e.failed.Store(true)
 	e.abortOne.Do(func() { close(e.aborted) })
 	// Wake parked waiters so they observe the failure; spinners check the
-	// failed flag on every probe.
+	// failed flag on every probe. failed is stored before taking barMu, and a
+	// waiter holds barMu from its parked re-check until Wait releases it, so
+	// this Broadcast cannot slip into that window: the waiter either sees
+	// failed set and never parks, or parks before we acquire the lock and is
+	// woken by the Broadcast.
 	e.barMu.Lock()
 	e.barCond.Broadcast()
 	e.barMu.Unlock()
+	// Sharded mode: also wake workers sleeping on their submission token so
+	// they observe the failure and release their parked processors.
+	for w := range e.workerWake {
+		select {
+		case e.workerWake[w] <- struct{}{}:
+		default:
+		}
+	}
 }
 
 func (e *engine) abortError() error {
@@ -251,6 +345,9 @@ func (e *engine) softErr(err error) {
 // processor has arrived, resolves the cycle. It blocks until resolution and
 // returns the read result for reading ops.
 func (e *engine) step(id int, kind opKind) readResult {
+	if e.mode == EngineSharded {
+		return e.stepSharded(id, kind)
+	}
 	if e.failed.Load() {
 		panic(abortPanic{e.abortError()})
 	}
@@ -315,11 +412,23 @@ func (e *engine) await(g uint64) {
 // advance opens the next barrier generation and releases this cycle's
 // waiters. The generation bump is the release edge for all plain stores the
 // resolver made (results, stats): waiters synchronize on loading the new
-// value. Called only by the resolver.
+// value. Called only by the resolver. In goroutine mode the barrier counts
+// live processors; in sharded mode it counts workers with live processors.
 func (e *engine) advance() {
 	e.arrived.Store(0)
-	e.expected.Store(int32(e.liveN))
+	if e.mode == EngineSharded {
+		e.expected.Store(int32(e.activeWorkers))
+	} else {
+		e.expected.Store(int32(e.liveN))
+	}
 	e.barGen.Add(1)
+	// Park-ordering invariant (see TestBarrierAbortStorm): parked is read
+	// only after the generation bump above, while a waiter publishes its
+	// parked increment before re-checking the generation (under barMu, before
+	// Wait). sync/atomic's total order over these four operations leaves no
+	// interleaving where the waiter parks and this load misses it: either we
+	// observe parked > 0 and broadcast, or the waiter's re-check observes the
+	// new generation and never waits.
 	if e.parked.Load() > 0 {
 		e.barMu.Lock()
 		e.barCond.Broadcast()
@@ -385,6 +494,20 @@ func (e *engine) stageWrite(id int, op *cycleOp) bool {
 	return true
 }
 
+// markExited removes processor id from the lock-step protocol. Called only by
+// the resolver (pass 3); in sharded mode it also retires the owning worker
+// from the barrier head count when its last processor leaves.
+func (e *engine) markExited(id int) {
+	e.live[id] = false
+	e.liveN--
+	if e.mode == EngineSharded {
+		w := id / e.shardChunk
+		if e.workerLive[w]--; e.workerLive[w] == 0 {
+			e.activeWorkers--
+		}
+	}
+}
+
 // endCycle applies the run budgets and either finishes the run or opens the
 // next barrier generation. Shared tail of both resolver paths. On abort the
 // generation is left closed: waiters observe the failed flag instead.
@@ -395,6 +518,13 @@ func (e *engine) endCycle() {
 	}
 	if e.liveN == 0 {
 		close(e.allDone)
+		if e.mode == EngineSharded {
+			// Exiting processors never wait on the cycle outcome, but the
+			// OTHER workers are parked at the rendezvous: open the generation
+			// so they observe termination and return (expected is already 0,
+			// so nothing resolves again).
+			e.advance()
+		}
 		return
 	}
 	e.advance()
@@ -471,8 +601,7 @@ func (e *engine) resolveFast() {
 	if sawExit {
 		for id := 0; id < p; id++ {
 			if e.live[id] && e.slots[id].op.kind == opExit {
-				e.live[id] = false
-				e.liveN--
+				e.markExited(id)
 			}
 		}
 	}
@@ -643,8 +772,7 @@ func (e *engine) resolveGeneral() {
 	// Pass 3: exits.
 	for id := 0; id < p; id++ {
 		if e.live[id] && e.slots[id].op.kind == opExit {
-			e.live[id] = false
-			e.liveN--
+			e.markExited(id)
 		}
 	}
 	// Commit: the cycle resolved without failure, so fold its traffic into
@@ -770,13 +898,18 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		e.live[i] = true
 	}
 	e.liveN = cfg.P
-	e.expected.Store(int32(cfg.P))
+	e.mode = cfg.engineMode()
 	e.barCond.L = &e.barMu
 	if runtime.GOMAXPROCS(0) > 1 {
 		// With real parallelism a short pure-spin window usually catches the
 		// resolver finishing on another core; on a single-P runtime it would
 		// only delay the resolver, so waiters go straight to yielding.
 		e.busySpins = 96
+	}
+	if e.mode == EngineSharded {
+		e.initShards()
+	} else {
+		e.expected.Store(int32(cfg.P))
 	}
 
 	var wg sync.WaitGroup
@@ -812,6 +945,13 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 			}()
 			prog(p)
 		}()
+	}
+	for w := range e.shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.workerRun(w)
+		}(w)
 	}
 
 	stall := cfg.StallTimeout

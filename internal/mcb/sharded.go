@@ -1,0 +1,229 @@
+package mcb
+
+import "runtime"
+
+// This file is the sharded execution engine (Config.Engine = EngineSharded):
+// the p >> cores regime the paper's algorithms are stated in. Processor
+// programs still run on their own goroutines (they are arbitrary blocking
+// func(Node) bodies), but the per-cycle coordination is delegated to
+// M = min(GOMAXPROCS, p) workers, each owning a contiguous shard of p/M
+// processors:
+//
+//   - A processor submits its cycle op by writing its slot (exactly as in
+//     goroutine mode), decrementing its worker's outstanding-submission
+//     countdown, and parking on its private gate channel. It never touches
+//     the shared barrier.
+//   - The processor whose decrement drains the countdown hands its worker a
+//     wake token. The worker then folds newly announced IdleN batches into
+//     its replay table and arrives at the shared arrived/expected barrier,
+//     which in this mode counts workers, not processors.
+//   - The last worker to arrive resolves the cycle with the SAME resolver as
+//     the goroutine engine (resolveFast / resolveGeneral, processor-id
+//     order), which is what makes Reports byte-identical across engines and
+//     preserves the exact fault/outage/crash semantics.
+//   - After release, each worker wakes exactly the owned processors that must
+//     produce a new submission — dead processors and processors inside an
+//     IdleN batch are skipped, their previous opIdle slot standing for the
+//     cycle — and goes back to sleep until the countdown drains again.
+//
+// The per-cycle cost model: one gate send + one countdown RMW per awake
+// processor (a buffered-channel handoff to a blocked receiver, the cheapest
+// wake the runtime offers), plus an O(M) worker rendezvous — versus the
+// goroutine engine's O(p) barrier arrivals with up to barrierYields scheduler
+// passes each, and an O(p) condvar broadcast storm per cycle once spinning
+// stops catching the resolver. See DESIGN.md "Sharded execution".
+//
+// Memory ordering: a processor's slot write happens-before the worker's (and
+// resolver's) read of it via the countdown RMW chain and the wake token; the
+// resolver's result write happens-before the processor's read via the barrier
+// generation bump and the gate send. All edges are sync/atomic or channel
+// operations, so the race detector checks them for real.
+
+// initShards sizes the worker set and allocates the sharded-mode state.
+// Called from Run before any goroutine starts. The countdowns start primed:
+// in round 0 the processors submit unprompted (nobody is parked yet), so the
+// workers' first act is to wait for their tokens.
+func (e *engine) initShards() {
+	p := e.cfg.P
+	m := runtime.GOMAXPROCS(0)
+	if m > p {
+		m = p
+	}
+	if m < 1 {
+		m = 1
+	}
+	chunk := (p + m - 1) / m
+	nw := (p + chunk - 1) / chunk
+	e.shardChunk = chunk
+	e.shards = make([]shardWorker, nw)
+	e.gates = make([]chan struct{}, p)
+	for i := range e.gates {
+		e.gates[i] = make(chan struct{}, 1)
+	}
+	e.idleBatch = make([]paddedMirror, p)
+	e.shardPend = make([]paddedInt64, nw)
+	e.workerWake = make([]chan struct{}, nw)
+	e.workerLive = make([]int, nw)
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > p {
+			hi = p
+		}
+		e.shards[w] = shardWorker{lo: lo, hi: hi, skip: make([]int64, hi-lo)}
+		e.workerLive[w] = hi - lo
+		e.shardPend[w].v.Store(int64(hi - lo))
+		e.workerWake[w] = make(chan struct{}, 1)
+	}
+	e.activeWorkers = nw
+	e.expected.Store(int32(nw))
+}
+
+// stepSharded is the sharded-mode counterpart of step: processor id has
+// already written its submission into slots[id]; announce it to the owning
+// worker and park until the cycle is resolved. Exiting processors do not wait
+// for the outcome, exactly like the goroutine engine.
+func (e *engine) stepSharded(id int, kind opKind) readResult {
+	if e.failed.Load() {
+		panic(abortPanic{e.abortError()})
+	}
+	e.submitShard(id)
+	if kind == opExit {
+		return readResult{}
+	}
+	<-e.gates[id]
+	if e.failed.Load() {
+		panic(abortPanic{e.abortError()})
+	}
+	return e.results[id].r
+}
+
+// submitShard counts processor id's submission against its worker's
+// countdown; the last submission of the shard hands the worker its wake
+// token. The send is non-blocking because abort() may already have stuffed
+// the buffer.
+func (e *engine) submitShard(id int) {
+	w := id / e.shardChunk
+	if e.shardPend[w].v.Add(-1) == 0 {
+		select {
+		case e.workerWake[w] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// stepIdleBatch announces an n-cycle idle stretch (the slot already holds the
+// opIdle submission and the mirror has been pre-credited, see Proc.IdleN) and
+// parks for the whole stretch: the worker replays the slot for the remaining
+// n-1 cycles without waking this goroutine, and the gate send only comes with
+// the result of the batch's LAST cycle.
+func (e *engine) stepIdleBatch(id int, n int) {
+	if e.failed.Load() {
+		panic(abortPanic{e.abortError()})
+	}
+	// The batch length must be visible before the submission is counted: the
+	// worker reads idleBatch only after receiving the token the count drains
+	// into.
+	e.idleBatch[id].v.Store(uint64(n))
+	e.submitShard(id)
+	<-e.gates[id]
+	if e.failed.Load() {
+		panic(abortPanic{e.abortError()})
+	}
+}
+
+// wakeShardProcs releases every owned processor gate (non-blocking: cap-1
+// buffers make the token idempotent). Called by a worker leaving its loop on
+// failure, so that parked processors wake, observe the failed flag and unwind
+// — including a processor that parks AFTER this runs, since the token stays
+// buffered for it.
+func (e *engine) wakeShardProcs(wk *shardWorker) {
+	for i := wk.lo; i < wk.hi; i++ {
+		select {
+		case e.gates[i] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// workerRun is the sharded engine's per-worker loop. One iteration is one
+// cycle: collect the shard's submissions, rendezvous, (maybe) resolve, wake
+// the shard for the next cycle.
+func (e *engine) workerRun(w int) {
+	wk := &e.shards[w]
+	first := true
+	for {
+		if e.failed.Load() {
+			e.wakeShardProcs(wk)
+			return
+		}
+		g := e.barGen.Load()
+		// Count the owned processors that owe a submission this cycle: the
+		// live ones not inside an IdleN batch. skip is decremented in the
+		// wake pass below so the two passes agree.
+		ownLive, pending := 0, int64(0)
+		for i := wk.lo; i < wk.hi; i++ {
+			if e.live[i] {
+				ownLive++
+				if wk.skip[i-wk.lo] == 0 {
+					pending++
+				}
+			}
+		}
+		if ownLive == 0 {
+			// The whole shard has exited; the resolver already retired this
+			// worker from the barrier head count (markExited).
+			return
+		}
+		if pending > 0 {
+			// The countdown must be primed before the first gate opens: a
+			// woken processor may submit immediately. Round 0 is special —
+			// the countdown was primed by initShards and the processors
+			// self-start, so the worker neither stores nor wakes.
+			if !first {
+				e.shardPend[w].v.Store(pending)
+			}
+			for i := wk.lo; i < wk.hi; i++ {
+				if !e.live[i] {
+					continue
+				}
+				if s := wk.skip[i-wk.lo]; s > 0 {
+					wk.skip[i-wk.lo] = s - 1
+					continue
+				}
+				if !first {
+					e.gates[i] <- struct{}{}
+				}
+			}
+			<-e.workerWake[w]
+			if e.failed.Load() {
+				e.wakeShardProcs(wk)
+				return
+			}
+			// Fold newly announced IdleN batches into the replay table: a
+			// batch of n covers the cycle just submitted plus n-1 gate-free
+			// replays of the same opIdle slot.
+			for i := wk.lo; i < wk.hi; i++ {
+				if e.idleBatch[i].v.Load() != 0 {
+					wk.skip[i-wk.lo] = int64(e.idleBatch[i].v.Swap(0)) - 1
+				}
+			}
+		} else {
+			// Every live owned processor is mid-batch: their slots already
+			// hold this cycle's opIdle and nobody needs waking.
+			for i := wk.lo; i < wk.hi; i++ {
+				if e.live[i] {
+					wk.skip[i-wk.lo]--
+				}
+			}
+		}
+		first = false
+		// Worker rendezvous: the last arriver resolves the cycle for all p
+		// processors with the shared resolver.
+		if e.arrived.Add(1) == e.expected.Load() {
+			e.resolve()
+		} else {
+			e.await(g)
+		}
+	}
+}

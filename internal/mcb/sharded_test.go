@@ -1,0 +1,286 @@
+package mcb
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Tests of the sharded execution engine's own machinery: mode selection,
+// failure-path unwinding (no goroutine leaks, no wedged barriers), the IdleN
+// batch replay, large-p operation and the zero-alloc steady state. The
+// cross-engine Report equivalence lives in determinism_test.go.
+
+func shardedCfg(p, k int) Config {
+	c := cfg(p, k)
+	c.Engine = EngineSharded
+	return c
+}
+
+func TestEngineModeResolution(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want EngineMode
+	}{
+		{Config{P: 4, K: 1}, EngineGoroutine},
+		{Config{P: autoShardP, K: 1}, EngineSharded},
+		{Config{P: 4, K: 1, Engine: EngineSharded}, EngineSharded},
+		{Config{P: autoShardP, K: 1, Engine: EngineGoroutine}, EngineGoroutine},
+	}
+	for _, c := range cases {
+		if got := c.cfg.engineMode(); got != c.want {
+			t.Errorf("engineMode(P=%d, Engine=%q) = %q, want %q", c.cfg.P, c.cfg.Engine, got, c.want)
+		}
+	}
+	bad := Config{P: 2, K: 1, Engine: EngineMode("threads")}
+	if err := bad.validate(); err == nil {
+		t.Error("validate accepted an unknown engine mode")
+	}
+}
+
+// TestShardedRelayTraffic runs real collision-free traffic (every processor
+// writes in turn, everyone reads) through the sharded engine and checks the
+// model accounting, at worker counts both below and above the processor count.
+func TestShardedRelayTraffic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, gmp := range []int{1, 4, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(gmp)
+		const p, k, cycles = 6, 2, 30
+		res, err := Run(shardedCfg(p, k), relayPrograms(p, k, cycles, nil))
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", gmp, err)
+		}
+		if res.Stats.Cycles != cycles {
+			t.Fatalf("GOMAXPROCS=%d: Cycles = %d, want %d", gmp, res.Stats.Cycles, cycles)
+		}
+		if res.Stats.Messages != cycles {
+			t.Fatalf("GOMAXPROCS=%d: Messages = %d, want %d (one writer per cycle)", gmp, res.Stats.Messages, cycles)
+		}
+	}
+}
+
+// TestShardedIdleNBatch pins the IdleN batch replay to the per-cycle
+// semantics: ragged idle stretches across processors must produce exactly the
+// same cycle count as the goroutine engine, and a mid-stretch crash-stop must
+// still fire on its exact cycle.
+func TestShardedIdleNBatch(t *testing.T) {
+	prog := func(pr Node) {
+		id := pr.ID()
+		pr.IdleN(5 + id*3) // ragged: batches of different lengths interleave
+		if id == 0 {
+			pr.Write(0, MsgX(1, 42))
+		} else {
+			pr.Read(0)
+		}
+		pr.IdleN(4)
+	}
+	g, err := RunUniform(cfg(4, 1), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunUniform(shardedCfg(4, 1), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.Cycles != s.Stats.Cycles || g.Stats.Messages != s.Stats.Messages {
+		t.Fatalf("sharded (cycles=%d msgs=%d) != goroutine (cycles=%d msgs=%d)",
+			s.Stats.Cycles, s.Stats.Messages, g.Stats.Cycles, g.Stats.Messages)
+	}
+
+	// Crash inside the idle stretch: IdleN must fall back to per-cycle issue
+	// so the processor completes exactly 7 operations.
+	c := shardedCfg(3, 1)
+	c.Faults = &FaultPlan{Seed: 9, Crashes: []Crash{{Proc: 1, Cycle: 7}}}
+	res, err := RunUniform(c, func(pr Node) { pr.IdleN(20) })
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want CrashError", err)
+	}
+	if len(res.Stats.Faults.Crashes) != 1 || res.Stats.Faults.Crashes[0].Cycle != 7 {
+		t.Fatalf("crash events = %+v, want one crash after cycle 7", res.Stats.Faults.Crashes)
+	}
+}
+
+// TestShardedLargeP exercises the p >> GOMAXPROCS regime the engine exists
+// for: 4096 processors, real traffic, a ragged IdleN tail.
+func TestShardedLargeP(t *testing.T) {
+	const p, k, cycles = 4096, 8, 4
+	res, err := RunUniform(shardedCfg(p, k), func(pr Node) {
+		id := pr.ID()
+		for c := 0; c < cycles; c++ {
+			if id == c*k/cycles { // unique writer per (cycle, channel 0)
+				pr.Write(0, MsgX(1, int64(id)))
+			} else {
+				pr.Read(0)
+			}
+		}
+		pr.IdleN(id % 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles != cycles+2 || res.Stats.Messages != cycles {
+		t.Fatalf("Cycles=%d Messages=%d, want %d and %d", res.Stats.Cycles, res.Stats.Messages, cycles+2, cycles)
+	}
+}
+
+// TestShardedNoLeakAfterAborts drives every abort flavour through the sharded
+// engine and checks that workers, processors and the run itself all drain:
+// a failure while workers sleep on their submission tokens and processors
+// park on their gates must wake everybody.
+func TestShardedNoLeakAfterAborts(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < 10; i++ {
+		// Collision.
+		_, err := RunUniform(shardedCfg(4, 2), func(pr Node) {
+			pr.Write(0, MsgX(1, int64(pr.ID())))
+			pr.IdleN(3)
+		})
+		var colErr *CollisionError
+		if !errors.As(err, &colErr) {
+			t.Fatalf("iteration %d: got %v, want CollisionError", i, err)
+		}
+
+		// Abortf, with the other processors parked mid-IdleN-batch.
+		_, err = RunUniform(shardedCfg(4, 2), func(pr Node) {
+			pr.Idle()
+			if pr.ID() == 1 {
+				pr.Idle()
+				pr.Abortf("deliberate")
+			}
+			pr.IdleN(40)
+		})
+		var ae *AbortError
+		if !errors.As(err, &ae) {
+			t.Fatalf("iteration %d: got %v, want AbortError", i, err)
+		}
+		if ae.Proc != 1 {
+			t.Fatalf("iteration %d: AbortError.Proc = %d, want 1", i, ae.Proc)
+		}
+
+		// Crash-stop of a whole shard: every processor a worker owns exits.
+		c := shardedCfg(4, 2)
+		c.Faults = &FaultPlan{Seed: uint64(i + 1), Crashes: []Crash{{Proc: 2, Cycle: 3}}}
+		_, err = Run(c, relayPrograms(4, 2, 10, nil))
+		var ce *CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("iteration %d: got %v, want CrashError", i, err)
+		}
+
+		// MaxCycles budget, firing while every processor sits in one big
+		// batch (the resolver aborts from inside a worker).
+		c = shardedCfg(4, 2)
+		c.MaxCycles = 16
+		_, err = RunUniform(c, func(pr Node) { pr.IdleN(1000) })
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("iteration %d: got %v, want BudgetError", i, err)
+		}
+	}
+	waitGoroutines(t, base, 5*time.Second)
+}
+
+// TestShardedStallWatchdog: a processor that stops issuing ops leaves its
+// worker asleep on the submission token; the stall watchdog must still fire
+// and the run must drain.
+func TestShardedStallWatchdog(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c := shardedCfg(3, 1)
+	c.StallTimeout = 50 * time.Millisecond
+	progs := []func(Node){
+		func(pr Node) { pr.IdleN(8) },
+		func(pr Node) { pr.IdleN(8) },
+		func(pr Node) {
+			pr.Idle()
+			time.Sleep(300 * time.Millisecond)
+			pr.IdleN(7)
+		},
+	}
+	_, err := Run(c, progs)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want StallError", err)
+	}
+	waitGoroutines(t, base, 3*time.Second)
+}
+
+// TestShardedSteadyStateZeroAllocs is the sharded-engine variant of
+// TestSteadyStateCycleZeroAllocs: worker rounds, gate handoffs and the batched
+// resolver must all be allocation-free in the steady state.
+func TestShardedSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	const p, k = 8, 2
+	run := func(cycles int, idleOnly bool) float64 {
+		c := Config{P: p, K: k, StallTimeout: time.Minute, Engine: EngineSharded}
+		return testingAllocsPerRun(t, c, cycles, idleOnly)
+	}
+	short := run(100, false)
+	long := run(2100, false)
+	if perCycle := (long - short) / 2000; perCycle > 0.01 {
+		t.Fatalf("sharded steady-state cycle allocates: %.4f allocs/cycle (short %.1f, long %.1f)",
+			perCycle, short, long)
+	}
+	shortIdle := run(100, true)
+	longIdle := run(2100, true)
+	if perCycle := (longIdle - shortIdle) / 2000; perCycle > 0.01 {
+		t.Fatalf("sharded idle cycle allocates: %.4f allocs/cycle (short %.1f, long %.1f)",
+			perCycle, shortIdle, longIdle)
+	}
+}
+
+// testingAllocsPerRun measures the average allocations of one run of the
+// write/read (or idle-only) steady-state workload under the given config.
+func testingAllocsPerRun(t *testing.T, c Config, cycles int, idleOnly bool) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(4, func() {
+		var res *Result
+		var err error
+		if idleOnly {
+			res, err = RunUniform(c, func(pr Node) { pr.IdleN(cycles) })
+		} else {
+			res, err = RunUniform(c, func(pr Node) {
+				id := pr.ID()
+				if id < c.K {
+					m := MsgX(1, int64(id))
+					for i := 0; i < cycles; i++ {
+						pr.WriteRead(id, m, id)
+					}
+					return
+				}
+				ch := id % c.K
+				for i := 0; i < cycles; i++ {
+					pr.Read(ch)
+				}
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idleOnly && res.Stats.Cycles != int64(cycles) {
+			t.Fatalf("ran %d cycles, want %d", res.Stats.Cycles, cycles)
+		}
+	})
+}
+
+// TestShardedPanicUnwinds: a plain panic in a program under the sharded
+// engine surfaces as an engine error and the run drains (the panicking
+// processor exits the protocol; the survivors finish).
+func TestShardedPanicUnwinds(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := RunUniform(shardedCfg(4, 2), func(pr Node) {
+		pr.Idle()
+		if pr.ID() == 2 {
+			panic(fmt.Sprintf("boom from %d", pr.ID()))
+		}
+		pr.IdleN(3)
+	})
+	if err == nil || !errors.Is(err, ErrAborted) {
+		t.Fatalf("got %v, want an abort wrapping ErrAborted", err)
+	}
+	waitGoroutines(t, base, 3*time.Second)
+}

@@ -35,6 +35,7 @@ type VProc struct {
 	vcycles int64
 	opCh    chan vOp
 	resCh   chan readResult
+	dead    chan struct{} // closed when the host driver unwinds (abort/crash)
 }
 
 type vOp struct {
@@ -80,10 +81,24 @@ func (v *VProc) P() int { return v.pv }
 // K returns the number of virtual channels.
 func (v *VProc) K() int { return v.kv }
 
+// vDead unwinds a virtual-program goroutine whose host driver died (engine
+// abort or host crash-stop): without it the goroutine would block forever on
+// the unbuffered op/result channels nobody services anymore.
+type vDead struct{}
+
 func (v *VProc) step(op vOp) readResult {
 	v.vcycles++
-	v.opCh <- op
-	return <-v.resCh
+	select {
+	case v.opCh <- op:
+	case <-v.dead:
+		panic(vDead{})
+	}
+	select {
+	case r := <-v.resCh:
+		return r
+	case <-v.dead:
+		panic(vDead{})
+	}
 }
 
 // WriteRead broadcasts on a virtual channel and reads another in the same
@@ -142,6 +157,13 @@ func runHostDriver(pr Node, hostID, q, pv, kv int, program func(*VProc)) {
 		err  error // panic from the virtual program, surfaced on exit
 	}
 	slots := make([]*slotState, q)
+	// dead releases the virtual programs if this driver unwinds (abortPanic
+	// from an engine op, host crash-stop): deferred closes run while a panic
+	// propagates, so the virtual goroutines never outlive the run. Their
+	// drain is asynchronous — Run's grace period covers only engine
+	// processors — but prompt (one select per parked virtual program).
+	dead := make(chan struct{})
+	defer close(dead)
 	var wg sync.WaitGroup
 	for s := 0; s < q; s++ {
 		vid := s*p + hostID
@@ -149,19 +171,26 @@ func runHostDriver(pr Node, hostID, q, pv, kv int, program func(*VProc)) {
 			slots[s] = &slotState{live: false}
 			continue
 		}
-		vp := &VProc{id: vid, pv: pv, kv: kv, opCh: make(chan vOp), resCh: make(chan readResult)}
+		vp := &VProc{id: vid, pv: pv, kv: kv, opCh: make(chan vOp), resCh: make(chan readResult), dead: dead}
 		st := &slotState{vp: vp, live: true}
 		slots[s] = st
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
-					if va, ok := r.(*vAbort); ok {
-						st.err = va
-					} else {
-						st.err = fmt.Errorf("virtual processor %d panicked: %v", vp.id, r)
-					}
+				switch r := recover().(type) {
+				case nil:
+				case *vAbort:
+					st.err = r
+				case vDead:
+					// The host driver died first; nothing to report.
+				default:
+					// A plain panic is wrapped as a vAbort too, so the
+					// virtual processor id stays structured: hostAbort
+					// raises an *AbortError carrying it, instead of
+					// attributing the failure to whichever engine processor
+					// (or sharded worker batch) stepped the virtual program.
+					st.err = &vAbort{vproc: vp.id, msg: fmt.Sprintf("panicked: %v", r)}
 				}
 				close(vp.opCh)
 			}()

@@ -2,6 +2,7 @@ package mcb
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -38,7 +39,9 @@ func TestSimulateVProcAbortTyped(t *testing.T) {
 }
 
 // TestSimulateVProcPanicReported: a plain panic inside a virtual program is
-// still reported as an engine abort (no hang, errors.Is ErrAborted).
+// still reported as an engine abort (no hang, errors.Is ErrAborted), and the
+// abort stays attributed to the panicking VIRTUAL processor — not merely to
+// the host processor that happened to be stepping it.
 func TestSimulateVProcPanicReported(t *testing.T) {
 	_, err := SimulateUniform(simCfg(2, 1), 4, 2, func(v *VProc) {
 		v.Idle()
@@ -50,6 +53,60 @@ func TestSimulateVProcPanicReported(t *testing.T) {
 	if err == nil || !errors.Is(err, ErrAborted) {
 		t.Fatalf("got %v, want an abort wrapping ErrAborted", err)
 	}
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("got %T (%v), want *AbortError", err, err)
+	}
+	if ae.VProc != 2 {
+		t.Fatalf("AbortError.VProc = %d, want virtual processor 2", ae.VProc)
+	}
+	if ae.Proc != 0 { // vid 2 runs on host processor 2 mod 2 = 0
+		t.Fatalf("AbortError.Proc = %d, want host processor 0", ae.Proc)
+	}
+}
+
+// TestSimulateVProcAbortSharded re-runs the virtual abort and panic
+// attribution under the sharded engine, where the host processors are stepped
+// by shared workers: the AbortError must still carry the virtual processor id
+// (not a worker's), the run must not wedge the worker rendezvous, and the
+// goroutine count must drain (virtual programs, host drivers, workers).
+func TestSimulateVProcAbortSharded(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		host := simCfg(2, 1)
+		host.Engine = EngineSharded
+		_, err := SimulateUniform(host, 6, 2, func(v *VProc) {
+			v.Idle()
+			if v.ID() == 3 {
+				v.Abortf("deliberate virtual failure %d", v.ID())
+			}
+			v.IdleN(3)
+		})
+		var ae *AbortError
+		if !errors.As(err, &ae) {
+			t.Fatalf("iteration %d: got %T (%v), want *AbortError", i, err, err)
+		}
+		if ae.VProc != 3 || ae.Proc != 1 {
+			t.Fatalf("iteration %d: AbortError = Proc %d / VProc %d, want Proc 1 / VProc 3", i, ae.Proc, ae.VProc)
+		}
+
+		host = simCfg(2, 1)
+		host.Engine = EngineSharded
+		_, err = SimulateUniform(host, 4, 2, func(v *VProc) {
+			v.Idle()
+			if v.ID() == 2 {
+				panic("boom")
+			}
+			v.IdleN(2)
+		})
+		if !errors.As(err, &ae) {
+			t.Fatalf("iteration %d: got %T (%v), want *AbortError", i, err, err)
+		}
+		if ae.VProc != 2 {
+			t.Fatalf("iteration %d: AbortError.VProc = %d, want 2", i, ae.VProc)
+		}
+	}
+	waitGoroutines(t, base, 5*time.Second)
 }
 
 // TestSimulateHostDropFaultSurfaces: faults injected on the HOST network

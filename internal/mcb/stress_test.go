@@ -137,6 +137,75 @@ func TestManyProcessorsOneCycle(t *testing.T) {
 	}
 }
 
+// TestBarrierAbortStorm is the lost-wakeup regression for the barrier park
+// protocol (engine.await / engine.advance / engine.abort), pinned to
+// GOMAXPROCS=1 where busySpins == 0 and every waiter actually parks on
+// barCond instead of catching the generation bump while spinning.
+//
+// The protocol's soundness argument (audited with this test as its witness):
+// a waiter publishes parked.Add(1) under barMu and then re-checks the
+// generation and the failed flag before calling Wait, while advance() bumps
+// barGen before reading parked, and abort() sets failed before taking barMu
+// to Broadcast. sync/atomic gives these operations a single total order, so
+// either the releaser observes the waiter's parked increment (and broadcasts
+// — for abort, the Broadcast serializes on barMu, which the waiter holds
+// until Wait releases it, so the wakeup cannot slip between the waiter's
+// re-check and its Wait), or the waiter's re-check observes the new
+// generation / failed flag and never parks. A regression in that ordering
+// makes a waiter sleep forever; this test turns it into a hang caught by the
+// deadline below, hammering aborts from every protocol stage: mid-cycle
+// Abortf, collisions detected by the resolver, and a laggard that forces the
+// other processors past their yield budget into the parked state first.
+func TestBarrierAbortStorm(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+
+	const p, k = 8, 2
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 150; i++ {
+			abortCycle := i % 7
+			aborter := i % p
+			laggard := (i + 3) % p
+			collide := i%3 == 0 // every third run aborts via resolver-detected collision
+			_, err := RunUniform(cfg(p, k), func(pr Node) {
+				id := pr.ID()
+				for c := 0; ; c++ {
+					if id == laggard && c == abortCycle {
+						// Let the other processors burn their yield budget
+						// and park before the abort lands.
+						time.Sleep(200 * time.Microsecond)
+					}
+					if c == abortCycle && id == aborter {
+						if collide {
+							pr.Write(0, MsgX(1, int64(id)))
+							continue
+						}
+						pr.Abortf("storm %d", i)
+					}
+					if collide && c == abortCycle && id == (aborter+1)%p {
+						pr.Write(0, MsgX(1, int64(id))) // second writer: collision
+						continue
+					}
+					pr.Idle()
+				}
+			})
+			if err == nil {
+				t.Errorf("iteration %d: run succeeded, abort lost", i)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("abort storm wedged: a barrier wakeup was lost\n%s", buf)
+	}
+}
+
 // TestAbortDuringSimulation covers the failure path of the simulation
 // driver: a virtual program that aborts must surface as a host error.
 func TestAbortDuringSimulation(t *testing.T) {

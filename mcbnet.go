@@ -71,6 +71,27 @@ const (
 	SelSortBaseline = core.SelSortBaseline
 )
 
+// EngineMode selects the execution engine that steps the p processors of a
+// run (SortOptions.Engine / SelectOptions.Engine). Both engines produce
+// byte-identical reports; they differ only in how cycles are scheduled onto
+// OS threads.
+type EngineMode = mcb.EngineMode
+
+// Execution engine constants.
+const (
+	// EngineAuto (the zero value) picks per run: sharded coordination once
+	// p reaches the p >> cores regime, the classic barrier below it.
+	EngineAuto = mcb.EngineAuto
+	// EngineGoroutine coordinates all p processor goroutines through one
+	// sense-reversing barrier — the classic engine, best when p is within a
+	// small factor of the core count.
+	EngineGoroutine = mcb.EngineGoroutine
+	// EngineSharded rendezvouses ~GOMAXPROCS shard workers instead of p
+	// processors, batching idle stretches without waking their processors —
+	// the p >> cores engine (see DESIGN.md "Engine internals").
+	EngineSharded = mcb.EngineSharded
+)
+
 // Failure plane: deterministic fault injection, the typed error taxonomy,
 // and the verify-and-retry recovery layer (see internal/mcb and DESIGN.md
 // §4 "Failure semantics").
