@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench lint bench-gate bench-baseline trace-sample fuzz
+.PHONY: build test vet race verify bench lint bench-gate bench-baseline trace-sample fuzz transport-chaos
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,16 @@ bench-baseline:
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+
+# Transport robustness gate, mirroring the CI transport-chaos job: the
+# conformance suite over the in-process and TCP transports (plain and under
+# flaky links), the socket chaos tests (kill-and-resume, permanent link
+# loss with channel degradation, partition/reconnect, corruption recovery),
+# all race-enabled, plus the 4-OS-process mcbpeer smoke (clean-run report
+# parity and SIGKILL + -resume rejoin).
+transport-chaos:
+	$(GO) test -race -count=1 ./internal/transport/...
+	MCBNET_MULTIPROC=1 $(GO) test -race -count=1 -run TestMultiProcSmoke ./internal/transport/tcp
 
 # The acceptance-shape cycle trace (p=16, k=4 sort), Perfetto-loadable.
 trace-sample:

@@ -63,12 +63,18 @@ func MultiSelect(inputs [][]int64, ds []int, opts SelectOptions) ([]int64, *Sele
 	}
 	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout,
 		Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels, Engine: opts.Engine}
-	res, err := mcb.Run(cfg, progs)
+	env := opts.runEnv()
+	res, err := env.run(cfg, progs)
 	if err != nil {
 		return nil, nil, err
 	}
 	report.Stats = res.Stats
 	report.Trace = res.Trace
 	report.derivePhaseDiagnostics()
+	// All answers were captured at processor 0; under a distributed
+	// transport only the peer hosting it has them.
+	if err := exchangeScalar(env, "multiselect:results", p, &results); err != nil {
+		return nil, nil, err
+	}
 	return results, report, nil
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mcbnet/internal/checkpoint"
 	"mcbnet/internal/mcb"
 	"mcbnet/internal/trace"
+	"mcbnet/internal/transport"
 )
 
 // Order selects the output order. The paper's canonical order is descending
@@ -116,6 +118,18 @@ type SortOptions struct {
 	// cross-process resume path of cmd/mcbsort -resume. Without Resume, a
 	// checkpointed run clears stale snapshots and starts fresh.
 	Resume bool
+	// Transport selects where the processor programs execute. Nil (or
+	// transport.Local{}) runs them in-process on this machine's engine —
+	// the fast path, byte-for-byte unchanged. A tcp.Client runs this
+	// process's processor range against a remote sequencer's engine, with
+	// the per-processor results exchanged across the peer group after every
+	// successful run (see internal/transport).
+	Transport transport.Transport
+	// Ctx, when non-nil, cancels the run: cancellation surfaces as a typed
+	// *mcb.AbortError (or the typed cause installed via
+	// context.WithCancelCause) from the engine, locally and over a tcp
+	// transport alike. Nil means context.Background().
+	Ctx context.Context
 }
 
 func (o SortOptions) engineConfig(p int) mcb.Config {

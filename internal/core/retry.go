@@ -31,25 +31,18 @@ func retryAttempts(pol mcb.RetryPolicy) int {
 	return pol.MaxAttempts
 }
 
-// maxRetryShift caps the exponential-backoff doubling so the shift can never
-// overflow time.Duration (mirrors the cap in mcb.RetryPolicy).
-const maxRetryShift = 16
-
 // retryBackoff sleeps before retry attempt a (1-based attempt index of the
-// upcoming attempt), doubling the policy's base backoff each time, capped so
-// the doubling cannot overflow.
+// upcoming attempt). The schedule — capped exponential doubling with the
+// policy's deterministic seeded jitter — is mcb.RetryPolicy.BackoffFor, the
+// single implementation shared with the engine-level retry layer and the
+// tcp transport's dial loop.
 func retryBackoff(pol mcb.RetryPolicy, a int) {
-	if pol.Backoff <= 0 || a <= 0 {
+	if a <= 0 {
 		return
 	}
-	if a-1 > maxRetryShift {
-		a = maxRetryShift + 1
+	if d := pol.BackoffFor(a - 1); d > 0 {
+		time.Sleep(d)
 	}
-	d := pol.Backoff << (a - 1)
-	if d <= 0 || d>>(a-1) != pol.Backoff {
-		d = pol.Backoff
-	}
-	time.Sleep(d)
 }
 
 // SortWithRetry sorts like Sort, but re-executes faulted runs: an attempt is

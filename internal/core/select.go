@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"mcbnet/internal/partial"
 	"mcbnet/internal/seq"
 	"mcbnet/internal/trace"
+	"mcbnet/internal/transport"
 )
 
 // SelectAlgorithm selects the selection strategy.
@@ -73,6 +75,10 @@ type SelectOptions struct {
 	// a typed failure (and across process restarts with Resume).
 	Checkpoints checkpoint.Store
 	Resume      bool
+	// Transport and Ctx mirror SortOptions: where the processor programs
+	// execute (nil = in-process) and the context that can cancel the run.
+	Transport transport.Transport
+	Ctx       context.Context
 }
 
 // SelectReport carries the run statistics and filtering diagnostics. The
@@ -156,7 +162,8 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 	}
 	cfg := mcb.Config{P: p, K: opts.K, Trace: opts.Trace, MaxCycles: opts.MaxCycles, StallTimeout: opts.StallTimeout,
 		Faults: opts.Faults, Recorder: opts.Recorder, ProfileLabels: opts.ProfileLabels, Engine: opts.Engine}
-	res, err := mcb.Run(cfg, progs)
+	env := opts.runEnv()
+	res, err := env.run(cfg, progs)
 	if res != nil {
 		report.Stats = res.Stats
 		report.Trace = res.Trace
@@ -168,6 +175,11 @@ func Select(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 		if res == nil {
 			report = nil
 		}
+		return 0, report, err
+	}
+	// The answer was captured at processor 0; under a distributed transport
+	// only the peer hosting it has it.
+	if err := exchangeScalar(env, "select:result", p, &result); err != nil {
 		return 0, report, err
 	}
 	return result, report, nil

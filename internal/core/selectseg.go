@@ -42,7 +42,7 @@ type selSegOut struct {
 // state is the snapshot element state entering the segment (raw per-processor
 // inputs for selInit, descending-sorted candidate lists otherwise) and is
 // cloned before injection.
-func runSelectSegment(kind selSegKind, state [][]checkpoint.Elem, d, m, iter int, cfg mcb.Config) (*selSegOut, *mcb.Result, error) {
+func runSelectSegment(env runEnv, kind selSegKind, state [][]checkpoint.Elem, d, m, iter int, cfg mcb.Config) (*selSegOut, *mcb.Result, error) {
 	p := cfg.P
 	elems := make([][]elem, p)
 	for i, l := range state {
@@ -83,14 +83,36 @@ func runSelectSegment(kind selSegKind, state [][]checkpoint.Elem, d, m, iter int
 			}
 		}
 	}
-	res, err := mcb.Run(cfg, progs)
+	res, err := env.run(cfg, progs)
 	if err != nil {
 		return nil, res, err
 	}
 	for i, l := range nextElems {
 		out.state[i] = elemsToCkpt(l)
 	}
+	// Under a distributed transport only the hosted processors computed
+	// their candidate lists, and the agreed scalars were captured at
+	// processor 0: exchange both so every peer's driver continues from the
+	// identical boundary.
+	if xerr := exchangeSlices(env, "select:seg:state", out.state); xerr != nil {
+		return nil, res, xerr
+	}
+	scalars := selSegScalars{D: out.d, M: out.m, Found: out.found, Res: out.res}
+	if xerr := exchangeScalar(env, "select:seg:scalars", p, &scalars); xerr != nil {
+		return nil, res, xerr
+	}
+	out.d, out.m, out.found, out.res = scalars.D, scalars.M, scalars.Found, scalars.Res
 	return out, res, nil
+}
+
+// selSegScalars is the wire form of a segment's globally agreed scalars for
+// the processor-0 exchange (elem's fields are exported, so the trip through
+// JSON is exact).
+type selSegScalars struct {
+	D     int  `json:"d"`
+	M     int  `json:"m"`
+	Found bool `json:"found,omitempty"`
+	Res   elem `json:"res"`
 }
 
 // verifySelectSnapshot accepts a selection boundary only when the surviving
@@ -155,6 +177,7 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 	store := opts.Checkpoints
 	pol := opts.Retry
 	maxAtt := retryAttempts(pol)
+	env := opts.runEnv()
 
 	cs := newChanState(opts.K, opts.Faults)
 	cur := inputs
@@ -211,6 +234,11 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 		rep.DegradedK = cs.k()
 		rep.DeadChannels = append([]int(nil), cs.deadOrig...)
 	}
+	hist := newPhaseHistory()
+	hist.record(snap, &accepted)
+	// Distributed runs align the peer drivers at the start of every attempt
+	// (see resyncPhases); in-process runs skip the exchange entirely.
+	needSync := true
 
 	finishReport := func() {
 		rep.Stats = accepted
@@ -228,6 +256,8 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 		snap2.ReplayedCycles = snap.ReplayedCycles + snap.CyclesDone
 		snap = snap2
 		accepted = mcb.Stats{}
+		hist.reset()
+		hist.record(snap, &accepted)
 		if err := store.Clear(); err != nil {
 			return err
 		}
@@ -247,11 +277,34 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 		}
 		snap = cand
 		accepted.Add(&res.Stats)
+		hist.record(snap, &accepted)
 		return nil
 	}
 
 	var lastErr error
 	for {
+		if needSync {
+			rs, rerr := resyncPhases(env, "select", p, snap, hist, &accepted)
+			if rerr != nil {
+				if !mcb.Retryable(rerr) {
+					finishReport()
+					return 0, rep, rerr
+				}
+				lastErr = rerr
+				snap.Attempt++
+				if snap.Attempt >= maxAtt {
+					finishReport()
+					return 0, rep, lastErr
+				}
+				retryBackoff(pol, snap.Attempt)
+				continue
+			}
+			if rs != snap {
+				snap = rs
+				rep.CheckpointPhase = snap.PhaseName
+			}
+			needSync = false
+		}
 		threshold := selectThreshold(p, cs.k(), opts.Threshold)
 		snap.Threshold = threshold
 		plan := cs.curPlan.ForAttempt(snap.Attempt).Shift(snap.CyclesDone)
@@ -275,7 +328,7 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 			kind, name = selCollect, "select:collect"
 		}
 
-		out, res, err := runSelectSegment(kind, snap.State, snap.D, snap.M, snap.Iter, cfg)
+		out, res, err := runSelectSegment(env, kind, snap.State, snap.D, snap.M, snap.Iter, cfg)
 		if err == nil {
 			switch {
 			case kind == selCollect || out.found:
@@ -327,6 +380,7 @@ func selectCheckpointed(inputs [][]int64, opts SelectOptions) (int64, *SelectRep
 			return 0, rep, lastErr
 		}
 		retryBackoff(pol, snap.Attempt)
+		needSync = true
 
 		var crash *mcb.CrashError
 		switch {

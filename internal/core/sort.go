@@ -70,7 +70,8 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 			outputs[id] = out
 		}
 	}
-	res, err := mcb.Run(opts.engineConfig(p), progs)
+	env := opts.runEnv()
+	res, err := env.run(opts.engineConfig(p), progs)
 	if res != nil {
 		report.Stats = res.Stats
 		report.Trace = res.Trace
@@ -84,7 +85,26 @@ func Sort(inputs [][]int64, opts SortOptions) ([][]int64, *Report, error) {
 		}
 		return nil, report, err
 	}
+	// Under a distributed transport only the hosted processors' outputs were
+	// produced locally; gather the rest from the peer group. The Columnsort
+	// geometry is recorded by processor 0's program, so peers that do not
+	// host it fetch it the same way.
+	if err := exchangeSlices(env, "sort:outputs", outputs); err != nil {
+		return nil, report, err
+	}
+	geom := sortGeometry{Columns: report.Columns, ColumnLen: report.ColumnLen}
+	if err := exchangeScalar(env, "sort:geometry", p, &geom); err != nil {
+		return nil, report, err
+	}
+	report.Columns, report.ColumnLen = geom.Columns, geom.ColumnLen
 	return outputs, report, nil
+}
+
+// sortGeometry carries the processor-0-recorded Columnsort geometry to the
+// rest of a distributed peer group.
+type sortGeometry struct {
+	Columns   int `json:"columns"`
+	ColumnLen int `json:"column_len"`
 }
 
 // validateSort checks the inputs and options shared by Sort and the

@@ -151,7 +151,7 @@ func sortSegments(G int) []sortSegment {
 // a failed run never taints the checkpointed state. It returns the state
 // after the boundary (nil for segRedistribute) and, for segRedistribute, the
 // per-processor sorted outputs in internal element space.
-func runSortSegment(seg sortSegment, state [][]checkpoint.Elem, hg *hostGroups, cfg mcb.Config) (nextState [][]checkpoint.Elem, outs [][]elem, res *mcb.Result, err error) {
+func runSortSegment(env runEnv, seg sortSegment, state [][]checkpoint.Elem, hg *hostGroups, cfg mcb.Config) (nextState [][]checkpoint.Elem, outs [][]elem, res *mcb.Result, err error) {
 	p := cfg.P
 	sh := matrix.Shape{M: hg.m, K: hg.G}
 	cols := make([][]cell, p)
@@ -223,11 +223,17 @@ func runSortSegment(seg sortSegment, state [][]checkpoint.Elem, hg *hostGroups, 
 			}
 		}
 	}
-	res, err = mcb.Run(cfg, progs)
+	res, err = env.run(cfg, progs)
 	if err != nil {
 		return nil, nil, res, err
 	}
 	if seg.kind == segRedistribute {
+		// Under a distributed transport only the hosted processors'
+		// outputs were produced locally; gather the rest so every peer's
+		// driver sees the identical final table.
+		if xerr := exchangeSlices(env, "sort:"+seg.name, outElems); xerr != nil {
+			return nil, nil, res, xerr
+		}
 		return nil, outElems, res, nil
 	}
 	nextState = make([][]checkpoint.Elem, p)
@@ -235,6 +241,12 @@ func runSortSegment(seg sortSegment, state [][]checkpoint.Elem, hg *hostGroups, 
 		if c != nil {
 			nextState[i] = cellsToCkpt(c)
 		}
+	}
+	// Boundary state exchange: every peer snapshots (and verifies) the
+	// complete distributed state, keeping the redundant checkpoint drivers
+	// byte-identical across the group.
+	if xerr := exchangeSlices(env, "sort:"+seg.name, nextState); xerr != nil {
+		return nil, nil, res, xerr
 	}
 	return nextState, nil, res, nil
 }
@@ -272,6 +284,7 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 	want := elemCounts(elems)
 	pol := opts.Retry
 	maxAtt := retryAttempts(pol)
+	env := opts.runEnv()
 
 	cs := newChanState(opts.K, opts.Faults)
 
@@ -327,6 +340,11 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 
 	hg := computeGroupTable(cards, cs.k())
 	segs := sortSegments(hg.G)
+	hist := newPhaseHistory()
+	hist.record(snap, &accepted)
+	// Distributed runs align the peer drivers at the start of every attempt
+	// (see resyncPhases); in-process runs skip the exchange entirely.
+	needSync := true
 
 	finishReport := func() {
 		rep.Stats = accepted
@@ -346,6 +364,8 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 		snap2.ReplayedCycles = snap.ReplayedCycles + snap.CyclesDone
 		snap = snap2
 		accepted = mcb.Stats{}
+		hist.reset()
+		hist.record(snap, &accepted)
 		if err := store.Clear(); err != nil {
 			return err
 		}
@@ -354,6 +374,30 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 
 	var lastErr error
 	for {
+		if needSync {
+			rs, rerr := resyncPhases(env, "sort", p, snap, hist, &accepted)
+			if rerr != nil {
+				if !mcb.Retryable(rerr) {
+					finishReport()
+					return nil, rep, rerr
+				}
+				lastErr = rerr
+				snap.Attempt++
+				if snap.Attempt >= maxAtt {
+					finishReport()
+					return nil, rep, lastErr
+				}
+				retryBackoff(pol, snap.Attempt)
+				continue
+			}
+			if rs != snap {
+				// Rewound to the group minimum: report the boundary the run
+				// actually continues from.
+				snap = rs
+				rep.CheckpointPhase = snap.PhaseName
+			}
+			needSync = false
+		}
 		seg := segs[snap.Phase]
 		plan := cs.curPlan.ForAttempt(snap.Attempt).Shift(snap.CyclesDone)
 		cfg := opts.engineConfig(p)
@@ -361,7 +405,7 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 		cfg.Faults = plan
 		cfg.MaxCycles = segmentBudget(opts.MaxCycles, snap.CyclesDone)
 
-		nextState, outs, res, err := runSortSegment(seg, snap.State, hg, cfg)
+		nextState, outs, res, err := runSortSegment(env, seg, snap.State, hg, cfg)
 		if err == nil && seg.kind != segRedistribute {
 			// Boundary reached: snapshot, verify, accept.
 			cand := snap.Clone()
@@ -378,6 +422,7 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 				}
 				snap = cand
 				accepted.Add(&res.Stats)
+				hist.record(snap, &accepted)
 				continue
 			}
 		}
@@ -408,6 +453,7 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 					return nil, rep, lastErr
 				}
 				retryBackoff(pol, snap.Attempt)
+				needSync = true
 				if rerr := restart(); rerr != nil {
 					return nil, nil, rerr
 				}
@@ -435,6 +481,7 @@ func sortCheckpointed(inputs [][]int64, opts SortOptions) ([][]int64, *Report, e
 			return nil, rep, lastErr
 		}
 		retryBackoff(pol, snap.Attempt)
+		needSync = true
 
 		if suspects := outageSuspects(pol, plan, res); len(suspects) > 0 && cs.k()-len(suspects) >= 1 {
 			// The failure is attributable to scripted channel outages:

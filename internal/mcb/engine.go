@@ -1,6 +1,7 @@
 package mcb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -101,6 +102,12 @@ type Config struct {
 	// unwind after an abort before giving up and returning a nil Result
 	// (the stragglers' goroutines leak; see Run). Zero means 2 seconds.
 	AbortGrace time.Duration
+	// AbortC, when non-nil, is closed as soon as the run fails, before Run
+	// returns. Programs that block on sources other than the engine (e.g. a
+	// transport relay waiting for a remote processor's next op) select on it
+	// to unwind promptly instead of wedging the abort grace period. It is
+	// never closed on a successful run.
+	AbortC chan struct{}
 }
 
 func (c Config) validate() error {
@@ -304,7 +311,12 @@ func (e *engine) abort(err error) {
 	}
 	e.abortMu.Unlock()
 	e.failed.Store(true)
-	e.abortOne.Do(func() { close(e.aborted) })
+	e.abortOne.Do(func() {
+		close(e.aborted)
+		if e.cfg.AbortC != nil {
+			close(e.cfg.AbortC)
+		}
+	})
 	// Wake parked waiters so they observe the failure; spinners check the
 	// failed flag on every probe. failed is stored before taking barMu, and a
 	// waiter holds barMu from its parked re-check until Wait releases it, so
@@ -864,6 +876,17 @@ func (e *engine) finalize() {
 // cycles that completed before the abort, when the engine could collect it
 // safely; the Result is nil if a processor goroutine could not be stopped.
 func Run(cfg Config, programs []func(Node)) (*Result, error) {
+	return RunContext(context.Background(), cfg, programs)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run aborts
+// like any other typed failure. The abort error is context.Cause(ctx) when
+// the caller installed a typed cause (context.WithCancelCause — the transport
+// layer maps peer loss to a *StallError this way), otherwise a generic
+// *AbortError carrying the context error, so errors.Is(err, ErrAborted)
+// holds either way. A background context adds no per-cycle cost: the engine
+// hot path never consults it; only the supervisor select does.
+func RunContext(ctx context.Context, cfg Config, programs []func(Node)) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -979,8 +1002,20 @@ func Run(cfg Config, programs []func(Node)) (*Result, error) {
 		}
 		return e.abortError()
 	}
+	ctxDone := ctx.Done()
 	for {
 		select {
+		case <-ctxDone:
+			// Cancelled from outside: fail the run with the caller's typed
+			// cause when one was installed, then let the abort path below
+			// collect the partial result. Nil the channel so this case fires
+			// once.
+			cause := context.Cause(ctx)
+			if cause == nil || cause == ctx.Err() {
+				cause = &AbortError{Proc: -1, VProc: -1, Msg: "context: " + ctx.Err().Error()}
+			}
+			e.abort(cause)
+			ctxDone = nil
 		case <-e.allDone:
 			wg.Wait()
 			e.finalize()

@@ -34,6 +34,14 @@ type RetryPolicy struct {
 	// Used by SortWithRetry / SelectWithRetry, not by raw RunWithRetry
 	// (remapping channel indices requires rebuilding the programs).
 	DegradeOnOutage bool
+	// JitterSeed, when non-zero, dithers the exponential backoff with
+	// deterministic "equal jitter": attempt a waits d/2 + r·(d/2) where d is
+	// the undithered doubled wait and r ∈ [0, 1] is a pure function of
+	// (JitterSeed, a). Without it every peer of a distributed run retries at
+	// exactly the same instants and thundering-herds the sequencer; distinct
+	// per-peer seeds de-synchronize the herd while keeping each peer's
+	// schedule reproducible. Zero keeps the exact undithered doubling.
+	JitterSeed uint64
 }
 
 func (p RetryPolicy) attempts() int {
@@ -48,11 +56,14 @@ func (p RetryPolicy) attempts() int {
 // zeros, turning the wait into garbage for large MaxAttempts.
 const maxBackoffShift = 16
 
-// backoffFor returns the wait after the given 0-based attempt: Backoff
+// BackoffFor returns the wait after the given 0-based attempt: Backoff
 // doubled per attempt, with the exponent capped and an overflow guard so a
 // large MaxAttempts (or a huge base Backoff) can never wrap to a negative
-// or near-zero wait.
-func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+// or near-zero wait. With JitterSeed set the doubled wait d is dithered into
+// [d/2, d] deterministically (see JitterSeed); the result stays monotonically
+// bounded by the clamp either way. Exported so transports reuse the exact
+// schedule for connection dialing.
+func (p RetryPolicy) BackoffFor(attempt int) time.Duration {
 	if p.Backoff <= 0 {
 		return 0
 	}
@@ -61,14 +72,22 @@ func (p RetryPolicy) backoffFor(attempt int) time.Duration {
 	}
 	d := p.Backoff << attempt
 	if d <= 0 || d>>attempt != p.Backoff { // shift overflowed (huge base Backoff)
-		return p.Backoff
+		d = p.Backoff
 	}
-	return d
+	if p.JitterSeed == 0 {
+		return d
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	r := mix64(p.JitterSeed ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	return half + time.Duration(r%(uint64(half)+1))
 }
 
 // sleep waits the backoff for the given 0-based attempt just completed.
 func (p RetryPolicy) sleep(attempt int) {
-	if d := p.backoffFor(attempt); d > 0 {
+	if d := p.BackoffFor(attempt); d > 0 {
 		time.Sleep(d)
 	}
 }

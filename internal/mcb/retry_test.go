@@ -11,15 +11,15 @@ import (
 // never yields a non-positive wait.
 func TestBackoffExponentCapped(t *testing.T) {
 	p := RetryPolicy{Backoff: time.Millisecond}
-	if got := p.backoffFor(0); got != time.Millisecond {
+	if got := p.BackoffFor(0); got != time.Millisecond {
 		t.Fatalf("backoffFor(0) = %v, want 1ms", got)
 	}
-	if got := p.backoffFor(3); got != 8*time.Millisecond {
+	if got := p.BackoffFor(3); got != 8*time.Millisecond {
 		t.Fatalf("backoffFor(3) = %v, want 8ms", got)
 	}
-	capped := p.backoffFor(maxBackoffShift)
+	capped := p.BackoffFor(maxBackoffShift)
 	for _, a := range []int{maxBackoffShift + 1, 40, 63, 64, 100, math.MaxInt32} {
-		got := p.backoffFor(a)
+		got := p.BackoffFor(a)
 		if got != capped {
 			t.Fatalf("backoffFor(%d) = %v, want capped %v", a, got, capped)
 		}
@@ -30,11 +30,11 @@ func TestBackoffExponentCapped(t *testing.T) {
 	// A base so large that even the capped shift overflows falls back to the
 	// un-doubled base instead of wrapping negative.
 	huge := RetryPolicy{Backoff: time.Duration(math.MaxInt64 / 2)}
-	if got := huge.backoffFor(10); got != huge.Backoff {
+	if got := huge.BackoffFor(10); got != huge.Backoff {
 		t.Fatalf("huge base backoffFor(10) = %v, want base %v", got, huge.Backoff)
 	}
 	zero := RetryPolicy{}
-	if got := zero.backoffFor(5); got != 0 {
+	if got := zero.BackoffFor(5); got != 0 {
 		t.Fatalf("zero policy backoffFor = %v, want 0", got)
 	}
 }

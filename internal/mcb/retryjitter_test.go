@@ -1,0 +1,58 @@
+package mcb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds: with JitterSeed set, every attempt's wait lands in
+// [d/2, d] of the undithered doubled wait, and the maxBackoffShift clamp and
+// overflow guard still apply.
+func TestBackoffJitterBounds(t *testing.T) {
+	base := RetryPolicy{Backoff: time.Millisecond}
+	jit := RetryPolicy{Backoff: time.Millisecond, JitterSeed: 7}
+	for a := 0; a < maxBackoffShift+8; a++ {
+		d := base.BackoffFor(a)
+		got := jit.BackoffFor(a)
+		if got < d/2 || got > d {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]", a, got, d/2, d)
+		}
+	}
+	huge := RetryPolicy{Backoff: time.Duration(1) << 55, JitterSeed: 3}
+	if got := huge.BackoffFor(10); got < huge.Backoff/2 || got > huge.Backoff {
+		t.Fatalf("huge base jittered %v outside [%v, %v]", got, huge.Backoff/2, huge.Backoff)
+	}
+}
+
+// TestBackoffJitterDeterministic: the schedule is a pure function of
+// (JitterSeed, attempt) — same seed, same waits; distinct seeds disagree
+// somewhere (the thundering-herd de-synchronization the jitter exists for).
+func TestBackoffJitterDeterministic(t *testing.T) {
+	a := RetryPolicy{Backoff: 10 * time.Millisecond, JitterSeed: 1}
+	b := RetryPolicy{Backoff: 10 * time.Millisecond, JitterSeed: 1}
+	c := RetryPolicy{Backoff: 10 * time.Millisecond, JitterSeed: 2}
+	differ := false
+	for at := 0; at < 12; at++ {
+		if a.BackoffFor(at) != b.BackoffFor(at) {
+			t.Fatalf("attempt %d: same seed, different waits", at)
+		}
+		if a.BackoffFor(at) != c.BackoffFor(at) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatalf("seeds 1 and 2 produced identical 12-attempt schedules")
+	}
+}
+
+// TestBackoffZeroSeedUnchanged pins that the zero value keeps the exact
+// legacy undithered doubling (existing callers see no behavior change).
+func TestBackoffZeroSeedUnchanged(t *testing.T) {
+	p := RetryPolicy{Backoff: time.Millisecond}
+	for a := 0; a < 8; a++ {
+		want := time.Millisecond << a
+		if got := p.BackoffFor(a); got != want {
+			t.Fatalf("attempt %d: %v, want %v", a, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// FlakyOptions configures deterministic chaos on one direction of a
+// connection. Every decision is a pure function of (Seed, frame index), so a
+// failing chaos test replays bit-identically from its seed. Rates are
+// per-written-frame probabilities in [0, 1]; at most one fault fires per
+// frame (they are carved out of one uniform draw in the order drop, dup,
+// corrupt, cut), plus an independent latency draw.
+//
+// The faults map onto the tcp package's failure plane as follows:
+//
+//	drop      → the receiver sees a sequence gap on the next frame → link error
+//	dup       → the receiver's sequence window discards the copy → harmless
+//	corrupt   → the frame checksum fails on receipt → link error
+//	cut       → half a frame is written, then the conn closes → read error
+//	latency   → the frame arrives late; within the peer timeout → harmless
+type FlakyOptions struct {
+	// Seed drives every decision; distinct seeds give independent chaos.
+	Seed uint64
+	// DropRate swallows a frame whole (never written).
+	DropRate float64
+	// DupRate writes a frame twice back to back.
+	DupRate float64
+	// CorruptRate flips one bit of the frame before writing it.
+	CorruptRate float64
+	// CutRate writes only the first half of the frame and then severs the
+	// connection — the mid-frame cut of a dying peer.
+	CutRate float64
+	// LatencyRate delays a frame by Latency before writing it.
+	LatencyRate float64
+	// Latency is the injected delay (default 2ms when only the rate is set).
+	Latency time.Duration
+}
+
+// Flaky wraps a net.Conn and perturbs written frames per FlakyOptions. It is
+// frame-boundary aware because the tcp package writes each frame with a
+// single Write call; wrapping both ends of a pipe perturbs both directions.
+type Flaky struct {
+	net.Conn
+	opt FlakyOptions
+
+	mu sync.Mutex
+	n  uint64 // frames written so far (the decision index)
+}
+
+// errCut is returned by Write after an injected mid-frame cut.
+var errCut = errors.New("transport: flaky mid-frame cut")
+
+// WrapFlaky wraps c; a zero-valued options struct passes everything through.
+func WrapFlaky(c net.Conn, opt FlakyOptions) *Flaky {
+	if opt.LatencyRate > 0 && opt.Latency == 0 {
+		opt.Latency = 2 * time.Millisecond
+	}
+	return &Flaky{Conn: c, opt: opt}
+}
+
+// splitmix64 is the same finalizer the fault plane uses: decisions depend
+// only on the seeded index, never on timing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a draw to [0, 1).
+func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Write perturbs the frame b per the options, then forwards it. The reported
+// length is always len(b) for swallowed frames (the writer must believe the
+// frame left) and the underlying conn's answer otherwise.
+func (f *Flaky) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	idx := f.n
+	f.n++
+	f.mu.Unlock()
+
+	if f.opt.LatencyRate > 0 && unit(splitmix64(f.opt.Seed^0xa5a5a5a5^idx*0x9e3779b97f4a7c15)) < f.opt.LatencyRate {
+		time.Sleep(f.opt.Latency)
+	}
+	u := unit(splitmix64(f.opt.Seed ^ idx*0xd6e8feb86659fd93))
+	switch {
+	case u < f.opt.DropRate:
+		return len(b), nil
+	case u < f.opt.DropRate+f.opt.DupRate:
+		if n, err := f.Conn.Write(b); err != nil {
+			return n, err
+		}
+		return f.Conn.Write(b)
+	case u < f.opt.DropRate+f.opt.DupRate+f.opt.CorruptRate:
+		c := make([]byte, len(b))
+		copy(c, b)
+		bit := splitmix64(f.opt.Seed ^ 0x5bd1e995 ^ idx)
+		c[bit%uint64(len(c))] ^= 1 << (bit >> 32 % 8)
+		return f.Conn.Write(c)
+	case u < f.opt.DropRate+f.opt.DupRate+f.opt.CorruptRate+f.opt.CutRate:
+		half := len(b) / 2
+		if half > 0 {
+			f.Conn.Write(b[:half])
+		}
+		f.Conn.Close()
+		return half, errCut
+	}
+	return f.Conn.Write(b)
+}

@@ -1,0 +1,17 @@
+package transport_test
+
+import (
+	"testing"
+
+	"mcbnet/internal/transport"
+	"mcbnet/internal/transport/transporttest"
+)
+
+// TestLocalConformance pins the in-process transport to the conformance
+// contract — in particular byte-identical reports with a direct mcb.Run,
+// which is the fast path's no-regression guarantee at this seam.
+func TestLocalConformance(t *testing.T) {
+	transporttest.RunSuite(t, func(t *testing.T, p, k int) transport.Transport {
+		return transport.Local{}
+	})
+}

@@ -1,0 +1,474 @@
+package tcp_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcbnet/internal/checkpoint"
+	"mcbnet/internal/core"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/transport"
+	"mcbnet/internal/transport/tcp"
+)
+
+// These tests exercise the real distributed architecture: every peer runs
+// its own redundant copy of the algorithm driver (core.Sort*, exactly as
+// cmd/mcbpeer does) over the full inputs, with only the engine rounds and
+// boundary exchanges collective. The drivers run as goroutines here instead
+// of OS processes — the multi-process variant is the mcbpeer smoke test —
+// but each owns a private client, checkpoint store and result table, so the
+// coordination paths are the same.
+
+func seededInputs(seed uint64, p, n int) [][]int64 {
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	inputs := make([][]int64, p)
+	for i := 0; i < n; i++ {
+		id := int(next() % uint64(p))
+		inputs[id] = append(inputs[id], int64(next()%2001)-1000)
+	}
+	return inputs
+}
+
+func startSequencer(t *testing.T, job string, p int, wrap func(net.Conn) net.Conn) *tcp.Sequencer {
+	t.Helper()
+	seq, err := tcp.NewSequencer(tcp.SequencerOptions{Addr: "127.0.0.1:0", Job: job, P: p, Wrap: wrap})
+	if err != nil {
+		t.Fatalf("sequencer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); seq.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		seq.Close()
+		<-done
+	})
+	return seq
+}
+
+type sortResult struct {
+	outs [][]int64
+	rep  *core.Report
+	err  error
+}
+
+// TestSortReportParityFourPeers is the acceptance criterion: a 4-peer TCP
+// loopback sort must produce outputs and a Report byte-identical to the
+// in-process run for the same (seed, config) — with and without transport
+// chaos (latency spikes and duplicate frames, which the protocol absorbs).
+func TestSortReportParityFourPeers(t *testing.T) {
+	const p, k, n = 8, 3, 96
+	inputs := seededInputs(0xA11CE, p, n)
+	opts := core.SortOptions{K: k, Algorithm: core.AlgoColumnsortGather, StallTimeout: 30 * time.Second}
+
+	wantOuts, wantRep, err := core.Sort(inputs, opts)
+	if err != nil {
+		t.Fatalf("in-process sort: %v", err)
+	}
+	wantJSON, err := json.Marshal(wantRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		wrap func(net.Conn) net.Conn
+	}{
+		{"clean", nil},
+		{"flaky-dup-latency", func(c net.Conn) net.Conn {
+			return transport.WrapFlaky(c, transport.FlakyOptions{
+				Seed: 99, DupRate: 0.05, LatencyRate: 0.08, Latency: time.Millisecond,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := startSequencer(t, "parity-"+tc.name, p, tc.wrap)
+			results := make([]sortResult, 4)
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				lo, hi := i*2, i*2+2
+				cl, err := tcp.NewClient(tcp.ClientOptions{
+					Addr: seq.Addr(), Job: "parity-" + tc.name,
+					Name: fmt.Sprintf("peer%d", i), Lo: lo, Hi: hi,
+					JitterSeed: uint64(i + 1), Wrap: tc.wrap,
+				})
+				if err != nil {
+					t.Fatalf("client %d: %v", i, err)
+				}
+				t.Cleanup(func() { cl.Close() })
+				po := opts
+				po.Transport = cl
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					outs, rep, err := core.Sort(inputs, po)
+					results[i] = sortResult{outs, rep, err}
+				}(i)
+			}
+			wg.Wait()
+			for i, r := range results {
+				if r.err != nil {
+					t.Fatalf("peer %d: %v", i, r.err)
+				}
+				if !reflect.DeepEqual(r.outs, wantOuts) {
+					t.Errorf("peer %d outputs diverged from the in-process run", i)
+				}
+				got, err := json.Marshal(r.rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(wantJSON) {
+					t.Errorf("peer %d report diverged:\n got: %s\nwant: %s", i, got, wantJSON)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectScalarParityTCP checks the processor-0 scalar exchange: every
+// peer — owner of processor 0 or not — must report the same selected value
+// and stats as the in-process run.
+func TestSelectScalarParityTCP(t *testing.T) {
+	const p, k, n = 6, 2, 72
+	inputs := seededInputs(0xBEEF, p, n)
+	opts := core.SelectOptions{K: k, D: n / 3, StallTimeout: 30 * time.Second}
+
+	want, wantRep, err := core.Select(inputs, opts)
+	if err != nil {
+		t.Fatalf("in-process select: %v", err)
+	}
+
+	seq := startSequencer(t, "select-parity", p, nil)
+	type res struct {
+		val int64
+		rep *core.SelectReport
+		err error
+	}
+	results := make([]res, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		lo, hi := i*2, i*2+2
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: "select-parity",
+			Name: fmt.Sprintf("peer%d", i), Lo: lo, Hi: hi, JitterSeed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		po := opts
+		po.Transport = cl
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, rep, err := core.Select(inputs, po)
+			results[i] = res{val, rep, err}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("peer %d: %v", i, r.err)
+		}
+		if r.val != want {
+			t.Errorf("peer %d selected %d, in-process selected %d", i, r.val, want)
+		}
+		if r.rep.Stats.Cycles != wantRep.Stats.Cycles || r.rep.Stats.Messages != wantRep.Stats.Messages {
+			t.Errorf("peer %d stats (%d cycles, %d messages) diverged from in-process (%d, %d)",
+				i, r.rep.Stats.Cycles, r.rep.Stats.Messages, wantRep.Stats.Cycles, wantRep.Stats.Messages)
+		}
+	}
+}
+
+// cutAfter severs the connection after a fixed number of outgoing frames —
+// the deterministic stand-in for a peer process dying mid-run.
+type cutAfter struct {
+	net.Conn
+	left int64
+}
+
+func (c *cutAfter) Write(b []byte) (int, error) {
+	if atomic.AddInt64(&c.left, -1) < 0 {
+		c.Conn.Close()
+		return 0, errors.New("cut: simulated peer death")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestKillPeerCheckpointResumeTCP is the kill-and-rejoin acceptance story:
+// peer b dies mid-run (its link is severed after a fixed frame budget), peer
+// a's checkpointed retry loop re-proposes and waits, and a restarted peer b
+// — a fresh client and driver over the same checkpoint directory, with
+// Resume set — rejoins the job so both drivers complete from the last
+// accepted phase boundary.
+func TestKillPeerCheckpointResumeTCP(t *testing.T) {
+	const p, k, n = 4, 2, 60
+	const job = "kill-resume"
+	inputs := seededInputs(0xD00D, p, n)
+	wantOuts, _, err := core.Sort(inputs, core.SortOptions{K: k, Algorithm: core.AlgoColumnsortGather})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
+	seq := startSequencer(t, job, p, nil)
+	dirA, dirB := t.TempDir(), t.TempDir()
+
+	mkOpts := func(store checkpoint.Store, resume bool, maxAttempts int, tr transport.Transport) core.SortOptions {
+		return core.SortOptions{
+			K: k, Algorithm: core.AlgoColumnsortGather,
+			StallTimeout: 20 * time.Second,
+			Retry:        mcb.RetryPolicy{MaxAttempts: maxAttempts, Backoff: 5 * time.Millisecond, JitterSeed: 3},
+			Checkpoints:  store,
+			Resume:       resume,
+			Transport:    tr,
+		}
+	}
+	newClient := func(name string, lo, hi int, wrap func(net.Conn) net.Conn) *tcp.Client {
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: job, Name: name, Lo: lo, Hi: hi,
+			JitterSeed: uint64(len(name)), Wrap: wrap,
+		})
+		if err != nil {
+			t.Fatalf("client %s: %v", name, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	storeA, err := checkpoint.NewDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Driver a: patient — retries through the partner's death.
+	aDone := make(chan sortResult, 1)
+	go func() {
+		outs, rep, err := core.SortWithRetry(inputs, mkOpts(storeA, false, 8, newClient("a", 0, 2, nil)))
+		aDone <- sortResult{outs, rep, err}
+	}()
+
+	// Driver b, first life: its link dies after cutFrames outgoing frames.
+	// One attempt only — a real dead process does not retry.
+	storeB1, err := checkpoint.NewDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := func(c net.Conn) net.Conn { return &cutAfter{Conn: c, left: cutFrames} }
+	_, _, err = core.SortWithRetry(inputs, mkOpts(storeB1, false, 1, newClient("b", 2, 4, cut)))
+	if err == nil {
+		t.Fatalf("peer b survived a link cut after %d frames; raise the workload or lower cutFrames", cutFrames)
+	}
+	if !mcb.Retryable(err) {
+		t.Fatalf("peer b's death surfaced as non-retryable: %v", err)
+	}
+	t.Logf("peer b died as planned: %v", err)
+
+	// Driver b, second life: fresh client, same checkpoint directory,
+	// Resume set — must pick up from the last accepted boundary.
+	storeB2, err := checkpoint.NewDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outsB, repB, err := core.SortWithRetry(inputs, mkOpts(storeB2, true, 8, newClient("b", 2, 4, nil)))
+	if err != nil {
+		t.Fatalf("restarted peer b failed: %v", err)
+	}
+	a := <-aDone
+	if a.err != nil {
+		t.Fatalf("peer a failed: %v", a.err)
+	}
+	if !reflect.DeepEqual(outsB, wantOuts) || !reflect.DeepEqual(a.outs, wantOuts) {
+		t.Error("kill-and-resume outputs diverged from the uninterrupted run")
+	}
+	if repB.Resumes < 1 {
+		t.Errorf("restarted peer b reports %d resumes; the checkpoint was not used", repB.Resumes)
+	}
+	t.Logf("peer a: attempts=%d resumes=%d; peer b (restarted): attempts=%d resumes=%d phase=%q",
+		a.rep.Attempts, a.rep.Resumes, repB.Attempts, repB.Resumes, repB.CheckpointPhase)
+}
+
+// cutFrames is the frame budget of peer b's first life in the kill test:
+// past the first phase boundaries (so a checkpoint exists to resume from)
+// but well before the run completes. Calibrated against the workload in
+// TestKillPeerCheckpointResumeTCP, which fails loudly if the budget ever
+// outlives the whole run.
+const cutFrames = 260
+
+// TestDegradeOnOutagePermanentCutTCP is the permanent-link-loss acceptance
+// story: a scripted outage kills channel 1 forever, every peer's retry
+// layer attributes the failure to the outage from the shipped fault
+// counters, and the job completes on the k' = 1 survivors.
+func TestDegradeOnOutagePermanentCutTCP(t *testing.T) {
+	const p, k, n = 4, 2, 48
+	const job = "degrade"
+	inputs := seededInputs(0xCAFE, p, n)
+	want, _, err := core.Sort(inputs, core.SortOptions{K: k, Algorithm: core.AlgoColumnsortGather})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
+	seq := startSequencer(t, job, p, nil)
+	results := make([]sortResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		lo, hi := i*2, i*2+2
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: job, Name: fmt.Sprintf("peer%d", i),
+			Lo: lo, Hi: hi, JitterSeed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		opts := core.SortOptions{
+			K: k, Algorithm: core.AlgoColumnsortGather,
+			StallTimeout: 20 * time.Second, MaxCycles: 20000,
+			Faults:    &mcb.FaultPlan{Outages: []mcb.Outage{{Ch: 1, From: 25, To: 1 << 50}}},
+			Retry:     mcb.RetryPolicy{MaxAttempts: 5, Backoff: 5 * time.Millisecond, JitterSeed: 7, DegradeOnOutage: true},
+			Transport: cl,
+		}
+		wg.Add(1)
+		go func(i int, opts core.SortOptions) {
+			defer wg.Done()
+			outs, rep, err := core.SortWithRetry(inputs, opts)
+			results[i] = sortResult{outs, rep, err}
+		}(i, opts)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("peer %d: %v", i, r.err)
+		}
+		if !reflect.DeepEqual(r.outs, want) {
+			t.Errorf("peer %d degraded outputs diverged", i)
+		}
+		if r.rep.DegradedK != 1 {
+			t.Errorf("peer %d finished on k'=%d, want 1 (degradation did not fire)", i, r.rep.DegradedK)
+		}
+	}
+}
+
+// TestPartitionReconnectTCP severs a peer's link between rounds and checks
+// the next round transparently re-dials and rejoins.
+func TestPartitionReconnectTCP(t *testing.T) {
+	const p, k, n = 4, 2, 40
+	const job = "partition"
+	inputs := seededInputs(0xF00D, p, n)
+	want, _, err := core.Sort(inputs, core.SortOptions{K: k, Algorithm: core.AlgoRankSort})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
+	seq := startSequencer(t, job, p, nil)
+	clients := make([]*tcp.Client, 2)
+	for i := range clients {
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: job, Name: fmt.Sprintf("peer%d", i),
+			Lo: i * 2, Hi: i*2 + 2, JitterSeed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		clients[i] = cl
+	}
+	runBoth := func() error {
+		errs := make(chan error, 2)
+		for i := range clients {
+			opts := core.SortOptions{K: k, Algorithm: core.AlgoRankSort, StallTimeout: 20 * time.Second, Transport: clients[i]}
+			go func(opts core.SortOptions) {
+				outs, _, err := core.Sort(inputs, opts)
+				if err == nil && !reflect.DeepEqual(outs, want) {
+					err = errors.New("outputs diverged")
+				}
+				errs <- err
+			}(opts)
+		}
+		return errors.Join(<-errs, <-errs)
+	}
+	if err := runBoth(); err != nil {
+		t.Fatalf("pre-partition run: %v", err)
+	}
+	clients[1].Kill() // partition: peer1's link drops between rounds
+	if err := runBoth(); err != nil {
+		t.Fatalf("post-partition run: %v", err)
+	}
+}
+
+// TestFlakyCorruptionRecoveryTCP runs a checkpointed sort while every new
+// connection gets a fresh deterministic chaos schedule that corrupts and
+// cuts frames. Checksums turn corruption into link failures, the retry
+// layer re-dials, and checkpoint resume keeps the accumulated progress, so
+// the job must still complete with the right answer.
+func TestFlakyCorruptionRecoveryTCP(t *testing.T) {
+	const p, k, n = 4, 2, 48
+	const job = "flaky-corrupt"
+	inputs := seededInputs(0x5EED, p, n)
+	want, _, err := core.Sort(inputs, core.SortOptions{K: k, Algorithm: core.AlgoColumnsortGather})
+	if err != nil {
+		t.Fatalf("in-process reference: %v", err)
+	}
+
+	// Per-dial chaos reseeding: each reconnection draws a different fault
+	// schedule (deterministic for the test as a whole), so retries are not
+	// doomed to die at the same frame index forever.
+	var dials uint64
+	wrap := func(c net.Conn) net.Conn {
+		d := atomic.AddUint64(&dials, 1)
+		return transport.WrapFlaky(c, transport.FlakyOptions{
+			Seed: 0x1234 + d, CorruptRate: 0.0015, CutRate: 0.0008,
+		})
+	}
+	seq := startSequencer(t, job, p, nil)
+	results := make([]sortResult, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: job, Name: fmt.Sprintf("peer%d", i),
+			Lo: i * 2, Hi: i*2 + 2, JitterSeed: uint64(i + 1), Wrap: wrap,
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		opts := core.SortOptions{
+			K: k, Algorithm: core.AlgoColumnsortGather,
+			StallTimeout: 20 * time.Second,
+			Retry:        mcb.RetryPolicy{MaxAttempts: 30, Backoff: 2 * time.Millisecond, JitterSeed: uint64(i + 5)},
+			Checkpoints:  checkpoint.NewMem(),
+			Transport:    cl,
+		}
+		wg.Add(1)
+		go func(i int, opts core.SortOptions) {
+			defer wg.Done()
+			outs, rep, err := core.SortWithRetry(inputs, opts)
+			results[i] = sortResult{outs, rep, err}
+		}(i, opts)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("peer %d never completed under chaos: %v", i, r.err)
+		}
+		if !reflect.DeepEqual(r.outs, want) {
+			t.Errorf("peer %d outputs diverged under chaos", i)
+		}
+	}
+	t.Logf("completed under chaos: peer0 attempts=%d resumes=%d, peer1 attempts=%d resumes=%d, dials=%d",
+		results[0].rep.Attempts, results[0].rep.Resumes, results[1].rep.Attempts, results[1].rep.Resumes, atomic.LoadUint64(&dials))
+}

@@ -1,0 +1,652 @@
+package tcp
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/transport"
+)
+
+// ClientOptions configures one peer process of a distributed run.
+type ClientOptions struct {
+	// Addr is the sequencer address.
+	Addr string
+	// Job and Name identify this peer to the sequencer; Lo/Hi is the owned
+	// processor range [Lo, Hi).
+	Job, Name string
+	Lo, Hi    int
+	// Resume marks the hello of a restarted peer rejoining a run.
+	Resume bool
+	// Dial robustness: attempts (default 8), base backoff (default 50ms,
+	// doubling, capped), per-attempt timeout (default 2s). JitterSeed
+	// de-synchronizes a herd of reconnecting peers deterministically; zero
+	// keeps the undithered schedule.
+	DialAttempts int
+	DialBackoff  time.Duration
+	DialTimeout  time.Duration
+	JitterSeed   uint64
+	// HeartbeatEvery paces liveness frames (default 500ms); PeerTimeout is
+	// the per-read deadline on the sequencer link (default 5s); WriteTimeout
+	// bounds each frame write (default 10s).
+	HeartbeatEvery, PeerTimeout, WriteTimeout time.Duration
+	// Wrap, when non-nil, wraps the dialed connection (transport.WrapFlaky
+	// in chaos tests).
+	Wrap func(net.Conn) net.Conn
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *ClientOptions) defaults() {
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+}
+
+// Client is the peer-side Transport: Run executes the owned processors'
+// programs locally against remote Nodes whose cycle ops travel to the
+// sequencer, and Exchange rendezvouses boundary state through it. A Client
+// survives connection loss between rounds: the next Run or Exchange re-dials
+// (with backoff + jitter) and rejoins, which is what makes a killed and
+// restarted peer able to resume a checkpointed run.
+type Client struct {
+	opt ClientOptions
+
+	mu   sync.Mutex
+	sess *session
+}
+
+// NewClient returns a client; the connection is established lazily by the
+// first Run or Exchange.
+func NewClient(opt ClientOptions) (*Client, error) {
+	opt.defaults()
+	if opt.Addr == "" || opt.Hi <= opt.Lo || opt.Lo < 0 {
+		return nil, fmt.Errorf("tcp: bad client options: addr %q, range [%d, %d)", opt.Addr, opt.Lo, opt.Hi)
+	}
+	return &Client{opt: opt}, nil
+}
+
+// Owns reports whether proc's program executes in this process.
+func (c *Client) Owns(proc int) bool { return proc >= c.opt.Lo && proc < c.opt.Hi }
+
+// InProcess reports false: peers hold only their own processors.
+func (c *Client) InProcess() bool { return false }
+
+func (c *Client) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// Close says goodbye to the sequencer (best effort) and drops the link.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	s := c.sess
+	c.sess = nil
+	c.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	s.enqueue(fBye, nil)
+	// Give the writer a moment to flush the bye before tearing down.
+	timer := time.NewTimer(100 * time.Millisecond)
+	select {
+	case <-s.dead:
+	case <-timer.C:
+	}
+	timer.Stop()
+	s.teardown(nil)
+	return nil
+}
+
+// session is one live connection to the sequencer.
+type session struct {
+	cl  *Client
+	c   net.Conn
+	out chan outMsg
+
+	dead     chan struct{}
+	deadOnce sync.Once
+	deadMu   sync.Mutex
+	deadErr  error
+
+	// Control-frame routing: the client protocol is lock-step (one
+	// outstanding request), so capacity-1 channels drained before each
+	// request suffice.
+	startC  chan startBody
+	doneC   chan doneBody
+	xchgC   chan xchgAllBody
+	failC   chan *wireError
+	welcome chan welcomeBody // lazily created; rmu-guarded
+
+	// Active round, for fResults routing.
+	rmu   sync.Mutex
+	round *clientRound
+
+	wg sync.WaitGroup
+}
+
+// clientRound is the peer-local state of one engine round.
+type clientRound struct {
+	num   uint64
+	lo    int
+	resC  []chan wireRes // per owned proc, cap 1
+	downC chan struct{}  // closed when the round is over (fDone, link loss)
+	once  sync.Once
+	err   error // set before downC closes on abnormal teardown
+}
+
+func (r *clientRound) down(err error) {
+	r.once.Do(func() {
+		r.err = err
+		close(r.downC)
+	})
+}
+
+// ensure returns the live session, dialing and handshaking if needed.
+func (c *Client) ensure(ctx context.Context) (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess != nil {
+		select {
+		case <-c.sess.dead:
+			c.sess = nil // fall through to re-dial
+		default:
+			return c.sess, nil
+		}
+	}
+	conn, err := dial(ctx, c.opt.Addr, c.opt.DialAttempts, c.opt.DialBackoff, c.opt.JitterSeed, c.opt.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if c.opt.Wrap != nil {
+		conn = c.opt.Wrap(conn)
+	}
+	s := &session{
+		cl: c, c: conn,
+		out:    make(chan outMsg, 512),
+		dead:   make(chan struct{}),
+		startC: make(chan startBody, 1),
+		doneC:  make(chan doneBody, 1),
+		xchgC:  make(chan xchgAllBody, 1),
+		failC:  make(chan *wireError, 1),
+	}
+	s.wg.Add(2)
+	go s.writeLoop()
+	go s.readLoop()
+	s.enqueue(fHello, marshal(helloBody{
+		Job: c.opt.Job, Name: c.opt.Name, Lo: c.opt.Lo, Hi: c.opt.Hi, Resume: c.opt.Resume,
+	}))
+	welcome, err := s.awaitWelcome(ctx)
+	if err != nil {
+		s.teardown(err)
+		return nil, err
+	}
+	if !welcome.OK {
+		err := fmt.Errorf("tcp: sequencer rejected peer %q: %s", c.opt.Name, welcome.Reason)
+		s.teardown(err)
+		return nil, err
+	}
+	c.logf("joined %s as %q (procs [%d, %d) of %d)", c.opt.Addr, c.opt.Name, c.opt.Lo, c.opt.Hi, welcome.P)
+	c.sess = s
+	return s, nil
+}
+
+func (s *session) awaitWelcome(ctx context.Context) (welcomeBody, error) {
+	select {
+	case w := <-s.welcomeC():
+		return w, nil
+	case <-s.dead:
+		return welcomeBody{}, s.deadError()
+	case <-ctx.Done():
+		return welcomeBody{}, &transport.LinkError{Peer: "sequencer", Op: "hello", Err: ctx.Err()}
+	}
+}
+
+func (s *session) welcomeC() chan welcomeBody {
+	s.rmu.Lock()
+	defer s.rmu.Unlock()
+	if s.welcome == nil {
+		s.welcome = make(chan welcomeBody, 1)
+	}
+	return s.welcome
+}
+
+func (s *session) deadError() error {
+	s.deadMu.Lock()
+	defer s.deadMu.Unlock()
+	if s.deadErr != nil {
+		return s.deadErr
+	}
+	return &transport.LinkError{Peer: "sequencer", Op: "read", Err: fmt.Errorf("connection closed")}
+}
+
+// teardown closes the link exactly once.
+func (s *session) teardown(err error) {
+	s.deadOnce.Do(func() {
+		s.deadMu.Lock()
+		s.deadErr = err
+		s.deadMu.Unlock()
+		close(s.dead)
+		s.c.Close()
+	})
+	s.rmu.Lock()
+	r := s.round
+	s.rmu.Unlock()
+	if r != nil {
+		r.down(s.deadError())
+	}
+}
+
+func (s *session) enqueue(typ byte, pay []byte) {
+	select {
+	case s.out <- outMsg{typ, pay}:
+	case <-s.dead:
+	}
+}
+
+func (s *session) writeLoop() {
+	defer s.wg.Done()
+	hb := time.NewTicker(s.cl.opt.HeartbeatEvery)
+	defer hb.Stop()
+	var seq uint32
+	var buf []byte
+	write := func(typ byte, pay []byte) bool {
+		seq++
+		buf = appendFrame(buf[:0], typ, seq, pay)
+		s.c.SetWriteDeadline(time.Now().Add(s.cl.opt.WriteTimeout))
+		if _, err := s.c.Write(buf); err != nil {
+			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "write", Err: err})
+			return false
+		}
+		return true
+	}
+	for {
+		select {
+		case <-s.dead:
+			return
+		case m := <-s.out:
+			if !write(m.typ, m.pay) {
+				return
+			}
+		case <-hb.C:
+			if !write(fHeartbeat, nil) {
+				return
+			}
+		}
+	}
+}
+
+func (s *session) readLoop() {
+	defer s.wg.Done()
+	br := bufio.NewReader(s.c)
+	var win seqWindow
+	for {
+		s.c.SetReadDeadline(time.Now().Add(s.cl.opt.PeerTimeout))
+		f, err := readFrame(br)
+		if err != nil {
+			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "read", Err: err})
+			return
+		}
+		dup, err := win.admit(f.seq)
+		if err != nil {
+			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "frame", Err: err})
+			return
+		}
+		if dup {
+			continue
+		}
+		switch f.typ {
+		case fHeartbeat:
+		case fWelcome:
+			var w welcomeBody
+			if jsonUnmarshal(f.pay, &w) == nil {
+				select {
+				case s.welcomeC() <- w:
+				default:
+				}
+			}
+		case fStart:
+			var b startBody
+			if jsonUnmarshal(f.pay, &b) == nil {
+				select {
+				case s.startC <- b:
+				default:
+				}
+			}
+		case fResults:
+			var b resultsBody
+			if jsonUnmarshal(f.pay, &b) != nil {
+				continue
+			}
+			s.rmu.Lock()
+			r := s.round
+			s.rmu.Unlock()
+			if r == nil || r.num != b.Round {
+				continue
+			}
+			for _, res := range b.Res {
+				if i := res.Proc - r.lo; i >= 0 && i < len(r.resC) {
+					select {
+					case r.resC[i] <- res:
+					default: // protocol guarantees one outstanding op; drop excess defensively
+					}
+				}
+			}
+		case fDone:
+			var b doneBody
+			if jsonUnmarshal(f.pay, &b) == nil {
+				select {
+				case s.doneC <- b:
+				default:
+				}
+			}
+		case fXchgAll:
+			var b xchgAllBody
+			if jsonUnmarshal(f.pay, &b) == nil {
+				select {
+				case s.xchgC <- b:
+				default:
+				}
+			}
+		case fFail:
+			var b failBody
+			if jsonUnmarshal(f.pay, &b) == nil {
+				select {
+				case s.failC <- b.Err:
+				default:
+				}
+			}
+		default:
+			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "frame", Err: fmt.Errorf("unexpected frame type %d", f.typ)})
+			return
+		}
+	}
+}
+
+// drain empties the lock-step control channels before a new request.
+func (s *session) drain() {
+	for {
+		select {
+		case <-s.startC:
+		case <-s.doneC:
+		case <-s.xchgC:
+		case <-s.failC:
+		default:
+			return
+		}
+	}
+}
+
+// Run proposes one engine round and executes the owned programs against it.
+func (c *Client) Run(ctx context.Context, cfg mcb.Config, programs []func(mcb.Node)) (*mcb.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(programs) != cfg.P {
+		return nil, fmt.Errorf("tcp: %d programs for %d processors", len(programs), cfg.P)
+	}
+	if c.opt.Hi > cfg.P {
+		return nil, fmt.Errorf("tcp: owned range [%d, %d) outside [0, %d)", c.opt.Lo, c.opt.Hi, cfg.P)
+	}
+	cfgJSON, err := encodeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := c.ensure(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.drain()
+	s.enqueue(fRound, marshal(roundBody{Cfg: cfgJSON}))
+
+	var start startBody
+	select {
+	case start = <-s.startC:
+	case w := <-s.failC:
+		return nil, decodeErr(w)
+	case b := <-s.doneC:
+		return nil, fmt.Errorf("tcp: unexpected done for round %d before start", b.Round)
+	case <-s.dead:
+		return nil, s.deadError()
+	case <-ctx.Done():
+		// Not yet in a round: drop the link so the sequencer's gather does
+		// not wait on a peer that will never follow through.
+		s.teardown(&transport.LinkError{Peer: "sequencer", Op: "round", Err: ctx.Err()})
+		return nil, &mcb.AbortError{Proc: -1, VProc: -1, Msg: "context: " + ctx.Err().Error()}
+	}
+
+	r := &clientRound{num: start.Round, lo: c.opt.Lo, downC: make(chan struct{})}
+	r.resC = make([]chan wireRes, c.opt.Hi-c.opt.Lo)
+	for i := range r.resC {
+		r.resC[i] = make(chan wireRes, 1)
+	}
+	s.rmu.Lock()
+	s.round = r
+	s.rmu.Unlock()
+	defer func() {
+		s.rmu.Lock()
+		s.round = nil
+		s.rmu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	for id := c.opt.Lo; id < c.opt.Hi; id++ {
+		n := &rnode{s: s, r: r, id: id, p: cfg.P, k: cfg.K}
+		prog := programs[id]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				switch rec := recover().(type) {
+				case nil:
+					n.sendExit()
+				case nodeDown:
+					// Round over (abort, link loss); nothing more to send.
+				default:
+					// Program bug: mirror the engine by failing the run with
+					// a processor-attributed abort, then leave.
+					n.sendRaw(wireOp{Proc: n.id, Kind: wAbort,
+						Str: fmt.Sprintf("processor %d panicked: %v", n.id, rec)})
+				}
+			}()
+			prog(n)
+		}()
+	}
+
+	// Supervise: the round ends with fDone, link loss, or cancellation.
+	var done doneBody
+	var roundErr error
+	select {
+	case done = <-s.doneC:
+		roundErr = decodeErr(done.Err)
+		r.down(roundErr)
+	case w := <-s.failC:
+		roundErr = decodeErr(w)
+		r.down(roundErr)
+	case <-s.dead:
+		roundErr = s.deadError()
+		r.down(roundErr)
+	case <-ctx.Done():
+		// Cancel the whole distributed round, then wait for its verdict so
+		// every peer agrees on the typed error.
+		s.enqueue(fAbort, marshal(abortBody{Msg: ctx.Err().Error()}))
+		grace := time.NewTimer(2 * c.opt.PeerTimeout)
+		select {
+		case done = <-s.doneC:
+			roundErr = decodeErr(done.Err)
+		case <-s.dead:
+			roundErr = s.deadError()
+		case <-grace.C:
+			roundErr = &mcb.AbortError{Proc: -1, VProc: -1, Msg: "context: " + ctx.Err().Error()}
+			s.teardown(roundErr)
+		}
+		grace.Stop()
+		r.down(roundErr)
+	}
+	wg.Wait()
+
+	var res *mcb.Result
+	if done.Stats != nil {
+		res = &mcb.Result{Stats: *done.Stats}
+	}
+	return res, roundErr
+}
+
+// Exchange rendezvouses boundary state blobs through the sequencer.
+func (c *Client) Exchange(tag string, blobs [][]byte) ([][]byte, error) {
+	s, err := c.ensure(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	local := make([][]byte, c.opt.Hi-c.opt.Lo)
+	for i := range local {
+		if idx := c.opt.Lo + i; idx < len(blobs) {
+			local[i] = blobs[idx]
+		}
+	}
+	s.drain()
+	s.enqueue(fXchg, marshal(xchgBody{Tag: tag, Lo: c.opt.Lo, Blobs: local}))
+	select {
+	case all := <-s.xchgC:
+		if all.Tag != tag {
+			return nil, fmt.Errorf("tcp: exchange tag mismatch: sent %q, got %q", tag, all.Tag)
+		}
+		return all.Blobs, nil
+	case w := <-s.failC:
+		return nil, decodeErr(w)
+	case <-s.dead:
+		return nil, s.deadError()
+	}
+}
+
+// Kill severs the connection abruptly (no bye): test hook simulating a
+// crashed peer process.
+func (c *Client) Kill() {
+	c.mu.Lock()
+	s := c.sess
+	c.sess = nil
+	c.mu.Unlock()
+	if s != nil {
+		s.teardown(&transport.LinkError{Peer: "sequencer", Op: "kill", Err: fmt.Errorf("peer killed")})
+		s.wg.Wait()
+	}
+}
+
+var _ transport.Transport = (*Client)(nil)
+
+// nodeDown unwinds a program goroutine when the round is over while the
+// program still had cycle ops in flight — the remote analogue of the
+// engine's abort panic; the program wrapper absorbs it.
+type nodeDown struct{}
+
+// rnode is the remote mcb.Node: every cycle op becomes a wire op to the
+// sequencer and blocks on the engine's answer, which keeps the program in
+// exact lock-step with the remote cycle resolution.
+type rnode struct {
+	s  *session
+	r  *clientRound
+	id int
+	p  int
+	k  int
+
+	steps   int64
+	pending []string
+}
+
+func (n *rnode) ID() int { return n.id }
+func (n *rnode) P() int  { return n.p }
+func (n *rnode) K() int  { return n.k }
+
+func (n *rnode) sendRaw(op wireOp) {
+	n.s.enqueue(fOps, marshal(opsBody{Round: n.r.num, Ops: []wireOp{op}}))
+}
+
+// op ships one cycle operation and, when await is set, blocks for its
+// resolution. A closed round panics nodeDown.
+func (n *rnode) op(op wireOp, await bool) wireRes {
+	select {
+	case <-n.r.downC:
+		panic(nodeDown{})
+	default:
+	}
+	op.Proc = n.id
+	if len(n.pending) > 0 {
+		op.Phases = n.pending
+		n.pending = nil
+	}
+	n.sendRaw(op)
+	if !await {
+		return wireRes{}
+	}
+	select {
+	case res := <-n.r.resC[n.id-n.r.lo]:
+		return res
+	case <-n.r.downC:
+		panic(nodeDown{})
+	}
+}
+
+func (n *rnode) WriteRead(writeCh int, m mcb.Message, readCh int) (mcb.Message, bool) {
+	n.steps++
+	res := n.op(wireOp{Kind: wWriteRead, WCh: writeCh, RCh: readCh, Msg: &m}, true)
+	return res.Msg, res.OK
+}
+
+func (n *rnode) Write(writeCh int, m mcb.Message) {
+	n.steps++
+	n.op(wireOp{Kind: wWrite, WCh: writeCh, Msg: &m}, true)
+}
+
+func (n *rnode) Read(readCh int) (mcb.Message, bool) {
+	n.steps++
+	res := n.op(wireOp{Kind: wRead, RCh: readCh}, true)
+	return res.Msg, res.OK
+}
+
+func (n *rnode) Idle() {
+	n.steps++
+	n.op(wireOp{Kind: wIdle}, true)
+}
+
+func (n *rnode) IdleN(count int) {
+	if count <= 0 {
+		return
+	}
+	n.steps += int64(count)
+	n.op(wireOp{Kind: wIdleN, N: int64(count)}, true)
+}
+
+func (n *rnode) Abortf(format string, args ...any) {
+	n.op(wireOp{Kind: wAbort, Str: fmt.Sprintf(format, args...)}, false)
+	// Abortf does not return: wait for the round's verdict, then unwind.
+	<-n.r.downC
+	panic(nodeDown{})
+}
+
+func (n *rnode) AccountAux(delta int64) {
+	n.op(wireOp{Kind: wAux, N: delta}, false)
+}
+
+func (n *rnode) Phase(name string) { n.pending = append(n.pending, name) }
+
+func (n *rnode) Cycles() int64 { return n.steps }
+
+func (n *rnode) sendExit() {
+	// Exit never blocks (matching the in-process exit) and still carries
+	// pending phase markers.
+	defer func() { recover() }() // round may already be fully torn down
+	n.op(wireOp{Kind: wExit}, false)
+}
+
+var _ mcb.Node = (*rnode)(nil)

@@ -1,0 +1,84 @@
+package tcp_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"mcbnet/internal/transport"
+	"mcbnet/internal/transport/tcp"
+	"mcbnet/internal/transport/transporttest"
+)
+
+// startGroup spins up a sequencer plus `peers` clients covering [0, p) on
+// loopback, composed into a transporttest.Group. Everything is torn down
+// via t.Cleanup; wrap (optional) injects connection chaos on both sides of
+// every link.
+func startGroup(t *testing.T, peers, p int, wrap func(net.Conn) net.Conn) *transporttest.Group {
+	t.Helper()
+	seq, err := tcp.NewSequencer(tcp.SequencerOptions{
+		Addr: "127.0.0.1:0", Job: "conformance", P: p,
+		Wrap: wrap,
+	})
+	if err != nil {
+		t.Fatalf("sequencer: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); seq.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		seq.Close()
+		<-done
+	})
+
+	g := &transporttest.Group{}
+	lo := 0
+	for i := 0; i < peers; i++ {
+		hi := (p * (i + 1)) / peers
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: "conformance",
+			Name: fmt.Sprintf("peer%d", i), Lo: lo, Hi: hi,
+			JitterSeed: uint64(i + 1),
+			Wrap:       wrap,
+		})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		g.Members = append(g.Members, cl)
+		lo = hi
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func tcpFactory(peers int, wrap func(net.Conn) net.Conn) transporttest.Factory {
+	return func(t *testing.T, p, k int) transport.Transport {
+		return startGroup(t, peers, p, wrap)
+	}
+}
+
+// TestTCPConformance runs the transport conformance suite over a real
+// sequencer and three peer processes' worth of clients on loopback.
+func TestTCPConformance(t *testing.T) {
+	transporttest.RunSuite(t, tcpFactory(3, nil))
+}
+
+// TestTCPConformanceFlaky reruns the suite with deterministic latency
+// spikes and duplicated frames on every link: both are absorbed by the
+// protocol (duplicates fall to the sequence window, latency stays within
+// deadlines), so every conformance guarantee — including byte-identical
+// reports — must still hold.
+func TestTCPConformanceFlaky(t *testing.T) {
+	wrap := func(c net.Conn) net.Conn {
+		return transport.WrapFlaky(c, transport.FlakyOptions{
+			Seed:        7,
+			DupRate:     0.05,
+			LatencyRate: 0.10,
+			Latency:     2 * time.Millisecond,
+		})
+	}
+	transporttest.RunSuite(t, tcpFactory(3, wrap))
+}

@@ -1,0 +1,131 @@
+// Package tcp is the networked Transport: one OS process per processor
+// group, plus a sequencer process that hosts the real in-process engine and
+// resolves every cycle with the existing resolveFast/resolveGeneral. Peers
+// run their processors' actual programs against a remote Node whose cycle
+// ops travel to the sequencer as length-prefixed, FNV-1a-checksummed,
+// sequence-numbered frames; inside the sequencer each remote processor is a
+// relay goroutine feeding the ops into a real mcb engine run. Because the
+// resolver, the fault plane and the stats accounting are literally the
+// shared code, a distributed run's Report is byte-identical to the
+// in-process engine's for the same (seed, config).
+//
+// See DESIGN.md "Transport layer" for the frame format and the mapping from
+// socket events to the typed failure taxonomy.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame types. A frame is:
+//
+//	uint32  payload length n (big endian)
+//	uint8   type
+//	uint32  sequence number (per connection, per direction, starting at 1)
+//	n bytes payload
+//	uint64  FNV-1a over type ∥ seq ∥ payload
+//
+// The sequence number makes duplicate frames (a retransmitting or chaotic
+// link) detectable — the reader discards seq ≤ last — and makes silent frame
+// loss detectable as a gap, which is treated as a link failure (the protocol
+// has no retransmission; recovery happens a layer up, via retry + checkpoint
+// resume).
+const (
+	fHello     = 1  // peer → seq: join a job (helloBody)
+	fWelcome   = 2  // seq → peer: join verdict (welcomeBody)
+	fRound     = 3  // peer → seq: propose an engine round (roundBody)
+	fStart     = 4  // seq → peer: round accepted and engine running (startBody)
+	fOps       = 5  // peer → seq: cycle ops batch (opsBody)
+	fResults   = 6  // seq → peer: cycle results batch (resultsBody)
+	fDone      = 7  // seq → peer: round finished (doneBody)
+	fXchg      = 8  // peer → seq: boundary state blobs (xchgBody)
+	fXchgAll   = 9  // seq → peer: merged boundary state (xchgAllBody)
+	fFail      = 10 // seq → peer: session-fatal verdict (failBody)
+	fHeartbeat = 11 // both ways: liveness, empty payload
+	fBye       = 12 // peer → seq: job complete, empty payload
+	fAbort     = 13 // peer → seq: cancel the running round (abortBody)
+)
+
+// maxFrame bounds a frame payload; anything larger is a corrupt length
+// prefix (the state blobs of test-sized runs are well under this).
+const maxFrame = 64 << 20
+
+type frame struct {
+	typ byte
+	seq uint32
+	pay []byte
+}
+
+// fnv1a64 hashes type ∥ seq ∥ payload.
+func fnv1a64(typ byte, seq uint32, pay []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	h = (h ^ uint64(typ)) * prime
+	var s [4]byte
+	binary.BigEndian.PutUint32(s[:], seq)
+	for _, b := range s {
+		h = (h ^ uint64(b)) * prime
+	}
+	for _, b := range pay {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}
+
+// appendFrame serializes one frame into buf (reused across calls).
+func appendFrame(buf []byte, typ byte, seq uint32, pay []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pay)))
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, seq)
+	buf = append(buf, pay...)
+	buf = binary.BigEndian.AppendUint64(buf, fnv1a64(typ, seq, pay))
+	return buf
+}
+
+// readFrame reads and verifies one frame. Length, checksum or sequence
+// violations return an error — the connection is then unusable (framing is
+// lost) and must be torn down.
+func readFrame(r *bufio.Reader) (frame, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return frame{}, fmt.Errorf("tcp: frame length %d exceeds limit (corrupt prefix?)", n)
+	}
+	f := frame{typ: hdr[4], seq: binary.BigEndian.Uint32(hdr[5:9])}
+	f.pay = make([]byte, n)
+	if _, err := io.ReadFull(r, f.pay); err != nil {
+		return frame{}, err
+	}
+	var sum [8]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return frame{}, err
+	}
+	if got, want := binary.BigEndian.Uint64(sum[:]), fnv1a64(f.typ, f.seq, f.pay); got != want {
+		return frame{}, fmt.Errorf("tcp: frame checksum mismatch (type %d, seq %d)", f.typ, f.seq)
+	}
+	return f, nil
+}
+
+// seqWindow tracks the per-direction sequence numbers of received frames:
+// duplicates are discarded, gaps are link failures.
+type seqWindow struct{ last uint32 }
+
+// admit classifies a received sequence number: ok to process, a discardable
+// duplicate, or an error (gap — at least one frame was lost in transit).
+func (w *seqWindow) admit(seq uint32) (dup bool, err error) {
+	switch {
+	case seq <= w.last:
+		return true, nil
+	case seq == w.last+1:
+		w.last = seq
+		return false, nil
+	default:
+		return false, fmt.Errorf("tcp: sequence gap: got %d after %d (frame lost)", seq, w.last)
+	}
+}

@@ -1,0 +1,202 @@
+package tcp_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mcbnet/internal/checkpoint"
+)
+
+// TestMultiProcSmoke is the end-to-end OS-process smoke test: it builds
+// cmd/mcbpeer, spawns one sequencer-hosting peer plus three plain peers on
+// loopback, and checks (a) a clean 4-process run yields byte-identical
+// engine reports on every peer and (b) SIGKILLing a peer mid-run and
+// restarting it with -resume completes the job via checkpointed recovery.
+//
+// Gated behind MCBNET_MULTIPROC=1 (it builds a binary and forks processes);
+// the transport-chaos CI job runs it.
+func TestMultiProcSmoke(t *testing.T) {
+	if os.Getenv("MCBNET_MULTIPROC") == "" {
+		t.Skip("set MCBNET_MULTIPROC=1 to run the multi-process smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "mcbpeer")
+	build := exec.Command("go", "build", "-o", bin, "mcbnet/cmd/mcbpeer")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build mcbpeer: %v\n%s", err, out)
+	}
+
+	t.Run("CleanRunIdenticalReports", func(t *testing.T) {
+		dir := t.TempDir()
+		peers := writePeerFile(t, dir, "smoke-clean")
+		procs := make([]*exec.Cmd, 4)
+		outs := make([]string, 4)
+		for i, name := range []string{"a", "b", "c", "d"} {
+			outs[i] = filepath.Join(dir, name+".json")
+			args := []string{"-peers", peers, "-name", name, "-n", "512", "-seed", "3", "-json"}
+			if i == 0 {
+				args = append(args, "-seq")
+			}
+			procs[i] = startPeer(t, bin, dir, outs[i], args)
+			if i == 0 {
+				time.Sleep(200 * time.Millisecond) // let the sequencer bind first
+			}
+		}
+		reports := make([]map[string]any, 4)
+		for i, pc := range procs {
+			if err := pc.Wait(); err != nil {
+				t.Fatalf("peer %d: %v", i, err)
+			}
+			reports[i] = readReport(t, outs[i])
+			delete(reports[i], "extra") // per-peer name and wall time, by design
+		}
+		want, _ := json.Marshal(reports[0])
+		for i := 1; i < 4; i++ {
+			got, _ := json.Marshal(reports[i])
+			if string(got) != string(want) {
+				t.Errorf("peer %d report diverged:\n got: %s\nwant: %s", i, got, want)
+			}
+		}
+	})
+
+	t.Run("KillPeerResume", func(t *testing.T) {
+		dir := t.TempDir()
+		peers := writePeerFile(t, dir, "smoke-kill")
+		common := []string{"-peers", peers, "-n", "4096", "-seed", "5"}
+		outs := map[string]string{}
+		start := func(name string, extra ...string) *exec.Cmd {
+			outs[name] = filepath.Join(dir, name+".out.json")
+			ck := filepath.Join(dir, "ck-"+name[:1])
+			args := append(append([]string(nil), common...),
+				"-name", name[:1], "-checkpoint-dir", ck, "-json")
+			return startPeer(t, bin, dir, outs[name], append(args, extra...))
+		}
+		survivors := []*exec.Cmd{
+			start("a", "-seq", "-retries", "12"),
+		}
+		time.Sleep(200 * time.Millisecond)
+		survivors = append(survivors,
+			start("c", "-retries", "12"),
+			start("d", "-retries", "12"),
+		)
+		victim := start("b1", "-retries", "1")
+
+		// Kill b as soon as it has accepted a mid-run checkpoint (a durable
+		// phase >= 1 snapshot — counting directory entries is not enough,
+		// since the store's in-flight .tmp file is an entry too), then
+		// restart it with -resume over the same store.
+		ckB := filepath.Join(dir, "ck-b")
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if st, err := checkpoint.NewDir(ckB); err == nil {
+				if snap, err := st.Latest(); err == nil && snap != nil && snap.Phase >= 1 {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("peer b never wrote a mid-run checkpoint")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := victim.Process.Kill(); err != nil {
+			t.Fatalf("kill peer b: %v", err)
+		}
+		victim.Wait() // reap; a SIGKILL exit is the expected outcome
+		time.Sleep(300 * time.Millisecond)
+
+		restarted := start("b2", "-resume", "-retries", "12")
+		if err := restarted.Wait(); err != nil {
+			t.Fatalf("restarted peer b: %v", err)
+		}
+		for i, pc := range survivors {
+			if err := pc.Wait(); err != nil {
+				t.Fatalf("survivor %d: %v", i, err)
+			}
+		}
+		rb := readReport(t, outs["b2"])
+		if resumes, _ := rb["resumes"].(float64); resumes < 1 {
+			t.Errorf("restarted peer reports %v resumes; checkpointed recovery was not used", rb["resumes"])
+		}
+		// Survivors executed the whole accepted path themselves and must
+		// agree on it exactly; the restarted peer's report covers only its
+		// post-resume segments, so it is compared on completion, not cost.
+		ra, _ := json.Marshal(stripPerPeer(readReport(t, outs["a"])))
+		for _, name := range []string{"c", "d"} {
+			if got, _ := json.Marshal(stripPerPeer(readReport(t, outs[name]))); string(got) != string(ra) {
+				t.Errorf("survivor %s report diverged from a:\n got: %s\nwant: %s", name, got, ra)
+			}
+		}
+		t.Logf("restarted peer: attempts=%v resumes=%v phase=%v",
+			rb["attempts"], rb["resumes"], rb["checkpoint_phase"])
+	})
+}
+
+func writePeerFile(t *testing.T, dir, job string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	path := filepath.Join(dir, "peers.json")
+	spec := fmt.Sprintf(`{
+  "job": %q, "sequencer": %q, "p": 8, "k": 3,
+  "peers": [
+    {"name": "a", "lo": 0, "hi": 2},
+    {"name": "b", "lo": 2, "hi": 4},
+    {"name": "c", "lo": 4, "hi": 6},
+    {"name": "d", "lo": 6, "hi": 8}
+  ]
+}`, job, addr)
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func startPeer(t *testing.T, bin, dir, stdout string, args []string) *exec.Cmd {
+	t.Helper()
+	f, err := os.Create(stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	cmd.Stdout = f
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %v: %v", args, err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd
+}
+
+func readReport(t *testing.T, path string) map[string]any {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("parse %s: %v\n%s", path, err, b)
+	}
+	return m
+}
+
+func stripPerPeer(m map[string]any) map[string]any {
+	delete(m, "extra")
+	return m
+}

@@ -1,0 +1,138 @@
+// Package transporttest is the conformance suite every transport.Transport
+// implementation must pass. It drives the same deterministic lock-step
+// programs through the implementation under test and through the in-process
+// engine, and requires byte-identical mcb.NewReport JSON, exact typed-error
+// round-trips (abort, crash, stall, budget, context cancellation), working
+// boundary exchanges, and zero leaked goroutines after Close.
+//
+// Distributed transports are exercised through Group: one Transport value
+// per peer process role, composed so the suite can make the collective
+// Run/Exchange calls of a real peer fleet from a single test process.
+package transporttest
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/transport"
+)
+
+// Group composes the per-peer transports of one distributed run into a
+// single transport.Transport: Run and Exchange fan out to every member
+// concurrently (the rendezvous a real peer fleet performs from separate
+// processes), Owns is the union. Member programs all execute in this
+// process, so a Group run fills the complete per-processor result tables
+// locally while still pushing every frame over the members' links.
+type Group struct {
+	Members []transport.Transport
+}
+
+var _ transport.Transport = (*Group)(nil)
+
+// Run executes the round on every member concurrently and returns the
+// first non-nil result with the most specific error: a typed engine error
+// is preferred over a bare link error, matching what a single peer's driver
+// would see.
+func (g *Group) Run(ctx context.Context, cfg mcb.Config, programs []func(mcb.Node)) (*mcb.Result, error) {
+	results := make([]*mcb.Result, len(g.Members))
+	errs := make([]error, len(g.Members))
+	var wg sync.WaitGroup
+	for i, m := range g.Members {
+		wg.Add(1)
+		go func(i int, m transport.Transport) {
+			defer wg.Done()
+			results[i], errs[i] = m.Run(ctx, cfg, programs)
+		}(i, m)
+	}
+	wg.Wait()
+	var res *mcb.Result
+	for _, r := range results {
+		if r != nil {
+			res = r
+			break
+		}
+	}
+	return res, pickErr(errs)
+}
+
+// pickErr selects the error a single-peer driver would act on: nil only if
+// every member succeeded, otherwise the first typed engine error, falling
+// back to the first link error.
+func pickErr(errs []error) error {
+	var link error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var le *transport.LinkError
+		if errors.As(err, &le) {
+			if link == nil {
+				link = err
+			}
+			continue
+		}
+		return err
+	}
+	return link
+}
+
+// Owns reports whether any member owns the processor.
+func (g *Group) Owns(proc int) bool {
+	for _, m := range g.Members {
+		if m.Owns(proc) {
+			return true
+		}
+	}
+	return false
+}
+
+// Exchange splits the full blob table by ownership, exchanges through every
+// member concurrently, and returns the first member's merged view (all
+// views are checked equal in the suite's Exchange test, not here).
+func (g *Group) Exchange(tag string, blobs [][]byte) ([][]byte, error) {
+	outs := make([][][]byte, len(g.Members))
+	errs := make([]error, len(g.Members))
+	var wg sync.WaitGroup
+	for i, m := range g.Members {
+		part := make([][]byte, len(blobs))
+		for p := range blobs {
+			if m.Owns(p) {
+				part[p] = blobs[p]
+			}
+		}
+		wg.Add(1)
+		go func(i int, m transport.Transport, part [][]byte) {
+			defer wg.Done()
+			outs[i], errs[i] = m.Exchange(tag, part)
+		}(i, m, part)
+	}
+	wg.Wait()
+	if err := pickErr(errs); err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// InProcess reports whether every member is in-process (a Group of one
+// Local behaves exactly like Local).
+func (g *Group) InProcess() bool {
+	for _, m := range g.Members {
+		if !m.InProcess() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close closes every member, returning the first error.
+func (g *Group) Close() error {
+	var first error
+	for _, m := range g.Members {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

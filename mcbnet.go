@@ -25,6 +25,8 @@ import (
 	"mcbnet/internal/core"
 	"mcbnet/internal/mcb"
 	"mcbnet/internal/trace"
+	"mcbnet/internal/transport"
+	"mcbnet/internal/transport/tcp"
 )
 
 // Sort options and results.
@@ -251,3 +253,44 @@ func Median(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 	opts.D = (n + 1) / 2
 	return core.Select(inputs, opts)
 }
+
+// Transport layer: where the processor programs of a run execute (see
+// internal/transport and DESIGN.md "Transport layer"). The default — a nil
+// SortOptions.Transport / SelectOptions.Transport — is the in-process
+// transport, byte-for-byte the classic fast path. The tcp transport splits
+// one logical MCB network across OS processes: a sequencer process hosts
+// the shared engine and each peer process runs a contiguous processor
+// range against it over length-prefixed checksummed frames.
+type (
+	// Transport hosts the processor programs of engine runs; see
+	// transport.Transport for the contract.
+	Transport = transport.Transport
+	// LocalTransport is the in-process transport (the default).
+	LocalTransport = transport.Local
+	// LinkError: a transport link failed (dial, read, write, frame
+	// corruption, sequence gap). Retryable — errors.Is(err, ErrAborted).
+	LinkError = transport.LinkError
+	// FlakyOptions configures the deterministic fault-injecting connection
+	// wrapper for transport chaos testing.
+	FlakyOptions = transport.FlakyOptions
+
+	// TCPClientOptions configures one peer process of a tcp transport
+	// group; TCPSequencerOptions configures the sequencer process.
+	TCPClientOptions    = tcp.ClientOptions
+	TCPSequencerOptions = tcp.SequencerOptions
+	// TCPPeerFile is the JSON group configuration of cmd/mcbpeer: the
+	// sequencer address, the processor range of every peer, and declared
+	// permanent channel cuts.
+	TCPPeerFile = tcp.PeerFile
+)
+
+// NewTCPClient returns a Transport that runs this process's processor range
+// [opts.Lo, opts.Hi) against the sequencer at opts.Addr.
+func NewTCPClient(opts TCPClientOptions) (*tcp.Client, error) { return tcp.NewClient(opts) }
+
+// NewTCPSequencer starts the engine-hosting process of a tcp transport
+// group listening on opts.Addr; drive it with Serve.
+func NewTCPSequencer(opts TCPSequencerOptions) (*tcp.Sequencer, error) { return tcp.NewSequencer(opts) }
+
+// LoadTCPPeerFile reads and validates a peer-group configuration file.
+func LoadTCPPeerFile(path string) (*TCPPeerFile, error) { return tcp.LoadPeerFile(path) }
