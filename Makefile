@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench lint bench-gate bench-baseline trace-sample fuzz transport-chaos
+.PHONY: build test vet race verify bench lint bench-gate bench-baseline profile-engine trace-sample fuzz transport-chaos
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,14 @@ bench-gate:
 # previous entries over as the embedded before/after baseline.
 bench-baseline:
 	$(GO) run ./cmd/mcbbench -engine -baseline BENCH_engine.json -out BENCH_engine.json
+
+# CPU-profile the sharded engine's hot loops: one dense + one sparse sweep at
+# p=16384 under pprof, then the top of the profile. CI archives the .pprof so
+# a regression's flame graph is one `go tool pprof` away.
+profile-engine:
+	$(GO) run ./cmd/mcbbench -engine -engines sharded -engine-sizes 16384 \
+		-cpuprofile engine_cpu.pprof -out /dev/null
+	$(GO) tool pprof -top -nodecount 15 engine_cpu.pprof
 
 # Checkpoint-codec fuzz smoke (CI runs the same, shorter): coverage-guided
 # decoding of mutated snapshots — anything malformed must surface as a typed

@@ -35,6 +35,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"mcbnet/internal/experiments"
@@ -101,7 +104,7 @@ func loadEngineBench(path string) ([]mcb.EngineBenchEntry, mcb.BenchEnv, error) 
 // the runner's, the gate refuses (naming the mismatched fields) — or, with
 // allowEnvMismatch, explicitly skips the comparison with the same named
 // reasons and passes.
-func runEngineBench(outPath, baselinePath, comparePath string, threshold float64, cycles int64, allowEnvMismatch bool) error {
+func runEngineBench(outPath, baselinePath, comparePath string, threshold float64, cycles int64, allowEnvMismatch bool, engines []mcb.EngineMode, sizes []int) error {
 	var baseline []mcb.EngineBenchEntry
 	if baselinePath != "" {
 		var err error
@@ -109,9 +112,12 @@ func runEngineBench(outPath, baselinePath, comparePath string, threshold float64
 			return err
 		}
 	}
+	if len(engines) == 0 {
+		engines = []mcb.EngineMode{mcb.EngineGoroutine, mcb.EngineSharded}
+	}
 	var entries []mcb.EngineBenchEntry
-	for _, engine := range []mcb.EngineMode{mcb.EngineGoroutine, mcb.EngineSharded} {
-		es, err := mcb.EngineBenchSweep(engine, nil, cycles)
+	for _, engine := range engines {
+		es, err := mcb.EngineBenchSweep(engine, sizes, cycles)
 		if err != nil {
 			return err
 		}
@@ -184,10 +190,36 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "with -engine -compare: relative regression threshold")
 	allowEnvMismatch := flag.Bool("allow-env-mismatch", false,
 		"with -engine -compare: on go/gomaxprocs/num_cpu provenance mismatch, warn and skip the comparison instead of failing")
+	engineList := flag.String("engines", "", "with -engine: comma-separated engines to sweep (goroutine,sharded; empty = both)")
+	engineSizes := flag.String("engine-sizes", "", "with -engine: comma-separated processor counts (empty = per-engine default grid)")
+	cpuProfile := flag.String("cpuprofile", "", "with -engine: write a pprof CPU profile of the sweep to this file")
 	flag.Parse()
 
 	if *engine {
-		if err := runEngineBench(*out, *baseline, *compare, *threshold, *engineCycles, *allowEnvMismatch); err != nil {
+		engines, sizes, err := parseEngineSelection(*engineList, *engineSizes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcbbench:", err)
+			os.Exit(1)
+		}
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcbbench:", err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mcbbench:", err)
+				os.Exit(1)
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
+		if err := runEngineBench(*out, *baseline, *compare, *threshold, *engineCycles, *allowEnvMismatch, engines, sizes); err != nil {
+			if *cpuProfile != "" {
+				pprof.StopCPUProfile()
+			}
 			if err == errRegression {
 				os.Exit(2)
 			}
@@ -241,6 +273,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseEngineSelection parses the -engines and -engine-sizes flag values.
+func parseEngineSelection(engineList, engineSizes string) ([]mcb.EngineMode, []int, error) {
+	var engines []mcb.EngineMode
+	if engineList != "" {
+		for _, s := range strings.Split(engineList, ",") {
+			switch m := mcb.EngineMode(strings.TrimSpace(s)); m {
+			case mcb.EngineGoroutine, mcb.EngineSharded:
+				engines = append(engines, m)
+			default:
+				return nil, nil, fmt.Errorf("unknown engine %q in -engines (want %q or %q)", s, mcb.EngineGoroutine, mcb.EngineSharded)
+			}
+		}
+	}
+	var sizes []int
+	if engineSizes != "" {
+		for _, s := range strings.Split(engineSizes, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				return nil, nil, fmt.Errorf("invalid processor count %q in -engine-sizes", s)
+			}
+			sizes = append(sizes, p)
+		}
+	}
+	return engines, sizes, nil
 }
 
 func toJSONTables(tbs []*stats.Table) []jsonTable {

@@ -146,7 +146,17 @@ func chaosSort(t *testing.T, engine mcb.EngineMode, seed int64, iterations int) 
 	base := runtime.NumGoroutine()
 	r := rand.New(rand.NewSource(seed))
 	failed, recovered := 0, 0
+	if engine == mcb.EngineSharded {
+		// Rotate the worker count too: the sharded engine derives its shard
+		// layout from GOMAXPROCS, so the same fault plans replay against
+		// single-worker, few-worker and one-worker-per-core topologies.
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	}
+	gmps := []int{1, 2, 4, runtime.NumCPU()}
 	for iter := 0; iter < iterations; iter++ {
+		if engine == mcb.EngineSharded {
+			runtime.GOMAXPROCS(gmps[iter%len(gmps)])
+		}
 		p := 3 + r.Intn(4)
 		k := 1 + r.Intn(p)
 		inputs := chaosInputs(r, p, p+r.Intn(40))

@@ -22,7 +22,18 @@ const (
 	// BenchWriteRead measures a full traffic cycle: processors 0..k-1 each
 	// write (and read back) their own channel, the rest read.
 	BenchWriteRead = "writeread"
+	// BenchSparse measures the selection-phase shape: one processor is active
+	// per cycle (writing and reading back channel 0) while the other p-1 sit
+	// in long IdleN batches, with the writer role rotating between segments.
+	// The sharded engine's active-list skip makes a cycle cost O(active), so
+	// this workload's throughput should be nearly independent of p.
+	BenchSparse = "sparse"
 )
+
+// sparseSegLen is the BenchSparse segment length: how many consecutive cycles
+// one processor stays the sole writer while the rest idle through a single
+// IdleN batch of the same length.
+const sparseSegLen = 256
 
 // EngineBenchEntry is one measured engine microbenchmark configuration, in
 // the stable schema recorded in BENCH_engine.json.
@@ -99,6 +110,26 @@ func engineBenchProgram(name string, k int, cycles int64) (func(Node), error) {
 			c := id % k
 			for i := int64(0); i < cycles; i++ {
 				pr.Read(c)
+			}
+		}, nil
+	case BenchSparse:
+		return func(pr Node) {
+			id, p := pr.ID(), pr.P()
+			var done int64
+			for seg := 0; done < cycles; seg++ {
+				n := cycles - done
+				if n > sparseSegLen {
+					n = sparseSegLen
+				}
+				if seg%p == id {
+					m := MsgX(1, int64(id))
+					for i := int64(0); i < n; i++ {
+						pr.WriteRead(0, m, 0)
+					}
+				} else {
+					pr.IdleN(int(n))
+				}
+				done += n
 			}
 		}, nil
 	default:
@@ -216,12 +247,15 @@ func CompareEngineBench(fresh, baseline []EngineBenchEntry, threshold float64) [
 	return regressions
 }
 
-// engineSweepSizes is the default processor grid per engine. The goroutine
-// engine stops at p=4096, where one OS goroutine per processor already costs
-// milliseconds per cycle; the sharded engine — the p >> cores mode — sweeps
-// on to p=65536.
-func engineSweepSizes(engine EngineMode) []int {
-	if engine == EngineSharded {
+// engineSweepSizes is the default processor grid per (engine, workload). The
+// goroutine engine's dense workloads stop at p=4096, where one OS goroutine
+// per processor already costs milliseconds per cycle; the sharded engine —
+// the p >> cores mode — sweeps on to p=65536. The sparse workload runs the
+// full grid on both engines: with one active processor per cycle its cost is
+// dominated by the idle-processor machinery (parked goroutines vs the sharded
+// active-list skip), which is exactly the contrast worth recording.
+func engineSweepSizes(engine EngineMode, name string) []int {
+	if engine == EngineSharded || name == BenchSparse {
 		return []int{4, 16, 64, 256, 1024, 4096, 16384, 65536}
 	}
 	return []int{4, 16, 64, 256, 1024, 4096}
@@ -247,19 +281,20 @@ func engineSweepCycles(p int) int64 {
 }
 
 // EngineBenchSweep runs the standard engine benchmark grid for one execution
-// engine: both workloads over p in ps with k = max(1, p/4). ps nil picks the
-// per-engine default grid; cycles <= 0 picks a per-size default that keeps
-// the sweep under a few tens of seconds.
+// engine: every workload over p in ps with k = max(1, p/4). ps nil picks the
+// per-(engine, workload) default grid; cycles <= 0 picks a per-size default
+// that keeps the sweep under a few tens of seconds.
 func EngineBenchSweep(engine EngineMode, ps []int, cycles int64) ([]EngineBenchEntry, error) {
 	if engine == EngineAuto {
 		engine = EngineGoroutine
 	}
-	if len(ps) == 0 {
-		ps = engineSweepSizes(engine)
-	}
 	var out []EngineBenchEntry
-	for _, name := range []string{BenchBarrier, BenchWriteRead} {
-		for _, p := range ps {
+	for _, name := range []string{BenchBarrier, BenchWriteRead, BenchSparse} {
+		sizes := ps
+		if len(sizes) == 0 {
+			sizes = engineSweepSizes(engine, name)
+		}
+		for _, p := range sizes {
 			k := p / 4
 			if k < 1 {
 				k = 1

@@ -15,11 +15,16 @@ import (
 // must be schedule-independent — identical seeds and fault plans produce
 // byte-identical Report JSON across GOMAXPROCS settings and repeated runs.
 
-// detWorkload is a deterministic mixed workload: every cycle c has k
-// collision-free writers (processor (c+j) mod p writes channel j), everyone
-// else reads or idles, phase markers land every 16 cycles, and payloads vary
-// so MaxAbs moves. It never branches on read payloads, so fault injection
-// cannot change the traffic pattern — only the observed deliveries.
+// detWorkload is a deterministic mixed workload: every cycle c of the dense
+// block has k collision-free writers (processor (c+j) mod p writes channel
+// j), everyone else reads or idles, phase markers land every 16 cycles, and
+// payloads vary so MaxAbs moves. A sparse coda follows — one writer per
+// segment while everyone else sleeps through an IdleN batch spanning the
+// whole segment — so the sharded engine's sleeper bookkeeping (wake rounds,
+// phase markers attached to batch announcements, faults striking mid-batch)
+// is held to the same byte-identity as the dense traffic. It never branches
+// on read payloads, so fault injection cannot change the traffic pattern —
+// only the observed deliveries.
 func detWorkload(p, k, cycles int) func(Node) {
 	return func(pr Node) {
 		id := pr.ID()
@@ -40,6 +45,17 @@ func detWorkload(p, k, cycles int) func(Node) {
 				pr.Idle()
 			default:
 				pr.Read((c + id) % k)
+			}
+		}
+		const segs, segLen = 4, 8
+		for s := 0; s < segs; s++ {
+			pr.Phase(fmt.Sprintf("sparse%d", s))
+			if s%p == id {
+				for i := 0; i < segLen; i++ {
+					pr.WriteRead(0, MsgX(2, int64(s*segLen+i)), 0)
+				}
+			} else {
+				pr.IdleN(segLen)
 			}
 		}
 		pr.AccountAux(int64(id + 1))
@@ -82,7 +98,9 @@ func TestCrossPathDeterminism(t *testing.T) {
 		CorruptRate: 0.05,
 		Checksum:    true,
 		Outages:     []Outage{{Ch: 1, From: 20, To: 40}},
-		Crashes:     []Crash{{Proc: 7, Cycle: 60}},
+		// Proc 7 crashes mid-dense-block; proc 5 crashes as a sparse-coda
+		// sleeper, mid-IdleN-batch.
+		Crashes: []Crash{{Proc: 7, Cycle: 60}, {Proc: 5, Cycle: 110}},
 	}
 
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
@@ -138,7 +156,9 @@ func TestCrossEngineDeterminism(t *testing.T) {
 		CorruptRate: 0.05,
 		Checksum:    true,
 		Outages:     []Outage{{Ch: 1, From: 20, To: 40}},
-		Crashes:     []Crash{{Proc: 7, Cycle: 60}},
+		// Proc 7 crashes mid-dense-block; proc 5 crashes as a sparse-coda
+		// sleeper, mid-IdleN-batch.
+		Crashes: []Crash{{Proc: 7, Cycle: 60}, {Proc: 5, Cycle: 110}},
 	}
 
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))

@@ -30,12 +30,15 @@ const (
 	// grows (O(p) parked goroutines woken per cycle).
 	EngineGoroutine EngineMode = "goroutine"
 	// EngineSharded coordinates the cycle through M ~ GOMAXPROCS workers,
-	// each stepping p/M virtual processors in a tight loop: workers collect
-	// their processors' per-cycle submissions into the shared op table and
-	// rendezvous at an O(M) barrier, where the last worker resolves the
-	// whole batch. Amortizes the per-cycle barrier from O(p) parked
-	// goroutines to O(M) worker arrivals; built for p in the tens of
-	// thousands (see DESIGN.md "Sharded execution").
+	// each owning a contiguous shard of p/M processors. Resolution is a
+	// two-stage parallel protocol: each worker pre-aggregates its shard's
+	// submissions before arriving at the O(M) worker barrier (stage 1), the
+	// last arriver merges the M shard aggregates in processor-id order and
+	// commits (stage 2), and after release every worker scatters read
+	// results to its own shard in parallel (stage 3). Processors inside
+	// IdleN batches sleep off the workers' active lists, so idle-heavy
+	// cycles cost O(active), not O(p). Built for p in the tens of thousands
+	// (see DESIGN.md "The sharded engine").
 	EngineSharded EngineMode = "sharded"
 )
 
@@ -224,15 +227,6 @@ type paddedInt64 struct {
 	_ [cacheLine - 8]byte
 }
 
-// shardWorker is the per-worker state of the sharded engine: the contiguous
-// range [lo, hi) of processor ids it owns and the idle-batch replay table
-// (skip[i-lo] > 0 means processor i's current opIdle slot stands for that many
-// more cycles without waking its goroutine; see Proc.IdleN).
-type shardWorker struct {
-	lo, hi int
-	skip   []int64
-}
-
 type engine struct {
 	cfg  Config
 	fast bool       // no faults and no trace: resolve takes the specialized path
@@ -261,6 +255,15 @@ type engine struct {
 	chWriter []int // writer proc id per channel, -1 if none
 	chMsg    []Message
 	chOutage []bool // per-channel outage flag, recomputed once per cycle
+
+	// chTouched lists the channels written this cycle (fast sharded path
+	// only): resolveMerge clears the previous cycle's registers through it in
+	// O(writes) instead of sweeping all K. chWriter starts all -1 to match.
+	chTouched []int32
+	// genAct is resolveGeneral's per-cycle active-processor scratch (only
+	// allocated on the general path): ascending ids of the live processors
+	// with a fresh submission this cycle, excluding IdleN-batch sleepers.
+	genAct []int32
 
 	// Cycle barrier: a sense-reversing generation counter plus spin-then-park
 	// waiters. Arrival is counted in arrived; the last arriver resolves the
@@ -459,7 +462,11 @@ func (e *engine) switchPhase(id int, name string) {
 	idx, ok := e.phaseIdx[name]
 	if !ok {
 		idx = len(e.stats.Phases)
-		e.stats.Phases = append(e.stats.Phases, PhaseStats{Name: name})
+		// PerChannel is allocated here, at phase creation, so the per-cycle
+		// commit loops stay branch- and allocation-free; finalize drops it
+		// again for phases that never broadcast, keeping the documented
+		// "nil if the phase broadcast nothing" Report shape.
+		e.stats.Phases = append(e.stats.Phases, PhaseStats{Name: name, PerChannel: make([]int64, e.cfg.K)})
 		e.phaseIdx[name] = idx
 	}
 	e.curPhase = idx
@@ -551,7 +558,11 @@ func (e *engine) endCycle() {
 // cross-path determinism test holds them to byte-identical Report output.
 func (e *engine) resolve() {
 	if e.fast {
-		e.resolveFast()
+		if e.mode == EngineSharded {
+			e.resolveMerge()
+		} else {
+			e.resolveFast()
+		}
 	} else {
 		e.resolveGeneral()
 	}
@@ -634,9 +645,6 @@ func (e *engine) resolveFast() {
 		}
 		if ph != nil {
 			ph.Messages++
-			if ph.PerChannel == nil {
-				ph.PerChannel = make([]int64, e.cfg.K)
-			}
 			ph.PerChannel[c]++
 		}
 	}
@@ -658,19 +666,51 @@ func (e *engine) resolveFast() {
 // is touched, so a run that aborts mid-cycle leaves no partial increments
 // from the failed cycle behind.
 func (e *engine) resolveGeneral() {
-	p := e.cfg.P
 	for c := range e.chWriter {
 		e.chWriter[c] = -1
 	}
-	// Phase markers: consumed up front, in processor-id order, so an entry
-	// exists even for a zero-traffic phase (a marker riding on the final
-	// exit op still registers).
-	for id := 0; id < p; id++ {
-		if e.live[id] && e.slots[id].op.hasPhases {
-			e.consumePhases(id)
+	// Build this cycle's active list: live processors with a fresh
+	// submission, in ascending id order. In sharded mode the workers maintain
+	// the split incrementally and concatenating the shard lists in order
+	// yields id order; processors sleeping through IdleN batches are known
+	// bare opIdle slots and enter only as a count, so idle-heavy phases cost
+	// O(active) here too. In goroutine mode it is simply the live set.
+	act := e.genAct[:0]
+	sleepers := 0
+	if e.mode == EngineSharded {
+		// Skip retired shards (workerLive == 0): their worker left the
+		// barrier when its last processor exited, so its lists are no longer
+		// synchronized with this resolution — they are stale leftovers of its
+		// final round, and the worker may still be mutating them on its way
+		// out. A live shard's worker arrived this round, which orders its
+		// updates before this read.
+		for w := range e.shards {
+			if e.workerLive[w] == 0 {
+				continue
+			}
+			act = append(act, e.shards[w].active...)
+			sleepers += len(e.shards[w].sleep)
+		}
+	} else {
+		for id := 0; id < e.cfg.P; id++ {
+			if e.live[id] {
+				act = append(act, int32(id))
+			}
 		}
 	}
-	sawWork := false
+	e.genAct = act
+	// Phase markers: consumed up front, in processor-id order, so an entry
+	// exists even for a zero-traffic phase (a marker riding on the final
+	// exit op still registers). Sleepers never carry markers: an IdleN
+	// batch's first cycle goes through the full per-cycle path.
+	for _, id := range act {
+		if e.slots[id].op.hasPhases {
+			e.consumePhases(int(id))
+		}
+	}
+	// A sleeping processor idles this cycle by definition, so the cycle saw
+	// work even if every active submission is an exit.
+	sawWork := sleepers > 0
 	var tr *CycleTrace
 	if e.trace != nil {
 		tr = &CycleTrace{Cycle: e.stats.Cycles}
@@ -692,12 +732,26 @@ func (e *engine) resolveGeneral() {
 			e.chOutage[c] = plan.outageAt(c, cycle)
 		}
 	}
+	// Sleeper idle events: each processor mid-IdleN-batch idles this cycle.
+	// Recorded after the phase pass so the events carry the cycle's active
+	// phase, exactly like a per-cycle opIdle would; the recorder's rings are
+	// per-processor, so emitting them ahead of the active scan (rather than
+	// interleaved in id order) changes no observable ordering.
+	if e.rec != nil && sleepers > 0 {
+		for w := range e.shards {
+			if e.workerLive[w] == 0 {
+				continue
+			}
+			for _, s := range e.shards[w].sleep {
+				e.rec.Record(trace.Event{Cycle: cycle, Proc: s.id, Ch: -1,
+					Phase: e.recPhase, Kind: trace.KindIdle})
+			}
+		}
+	}
 	// Pass 1: writes — register into the channel slots and validate, but do
 	// not touch Stats yet (see the invariant above).
-	for id := 0; id < p; id++ {
-		if !e.live[id] {
-			continue
-		}
+	for _, id32 := range act {
+		id := int(id32)
 		op := &e.slots[id].op
 		switch op.kind {
 		case opWrite, opWriteRead:
@@ -725,10 +779,8 @@ func (e *engine) resolveGeneral() {
 	// Pass 2: reads, with fault injection at delivery. Fault counters are
 	// staged locally and committed with the cycle (see the invariant above).
 	var fDelta FaultStats
-	for id := 0; id < p; id++ {
-		if !e.live[id] {
-			continue
-		}
+	for _, id32 := range act {
+		id := int(id32)
 		op := &e.slots[id].op
 		if op.kind != opRead && op.kind != opWriteRead {
 			continue
@@ -782,9 +834,9 @@ func (e *engine) resolveGeneral() {
 		}
 	}
 	// Pass 3: exits.
-	for id := 0; id < p; id++ {
-		if e.live[id] && e.slots[id].op.kind == opExit {
-			e.markExited(id)
+	for _, id32 := range act {
+		if e.slots[id32].op.kind == opExit {
+			e.markExited(int(id32))
 		}
 	}
 	// Commit: the cycle resolved without failure, so fold its traffic into
@@ -819,9 +871,6 @@ func (e *engine) resolveGeneral() {
 		}
 		if ph != nil {
 			ph.Messages++
-			if ph.PerChannel == nil {
-				ph.PerChannel = make([]int64, e.cfg.K)
-			}
 			ph.PerChannel[c]++
 		}
 	}
@@ -862,6 +911,11 @@ func (e *engine) finalize() {
 		ph := &e.stats.Phases[i]
 		if ph.Cycles > 0 {
 			ph.Utilization = float64(ph.Messages) / (float64(ph.Cycles) * float64(e.cfg.K))
+		}
+		// switchPhase preallocates PerChannel so the commit loops never
+		// branch on it; restore the documented nil-when-silent shape here.
+		if ph.Messages == 0 {
+			ph.PerChannel = nil
 		}
 	}
 }
@@ -912,6 +966,15 @@ func RunContext(ctx context.Context, cfg Config, programs []func(Node)) (*Result
 		recPhase:   -1,
 	}
 	e.fast = fastEligible(cfg, e.faults)
+	// The merge path clears registers through its touched list instead of
+	// sweeping all K, so the registers must start empty; the serial resolvers
+	// re-clear every cycle regardless.
+	for c := range e.chWriter {
+		e.chWriter[c] = -1
+	}
+	if !e.fast {
+		e.genAct = make([]int32, 0, cfg.P)
+	}
 	e.stats.PerProc = make([]int64, cfg.P)
 	e.stats.PerChannel = make([]int64, cfg.K)
 	if cfg.Trace {

@@ -1,6 +1,7 @@
 package mcb
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -265,6 +266,134 @@ func testingAllocsPerRun(t *testing.T, c Config, cycles int, idleOnly bool) floa
 			t.Fatalf("ran %d cycles, want %d", res.Stats.Cycles, cycles)
 		}
 	})
+}
+
+// shardedVsGoroutineReport runs prog under c on both engines and fails unless
+// the two canonical Reports (with any run error folded into Extra) are
+// byte-identical.
+func shardedVsGoroutineReport(t *testing.T, tag string, c Config, prog func(Node)) {
+	t.Helper()
+	var ref []byte
+	for _, mode := range []EngineMode{EngineGoroutine, EngineSharded} {
+		rc := c
+		rc.Engine = mode
+		if rc.Faults != nil {
+			rc.Faults = rc.Faults.Clone()
+		}
+		res, err := RunUniform(rc, prog)
+		if res == nil {
+			t.Fatalf("%s engine=%s: nil result (err=%v)", tag, mode, err)
+		}
+		rep := NewReport(rc, &res.Stats)
+		if err != nil {
+			rep.Extra = map[string]any{"error": err.Error()}
+		}
+		b, jerr := rep.JSON()
+		if jerr != nil {
+			t.Fatal(jerr)
+		}
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(b, ref) {
+			t.Fatalf("%s: engine reports diverge:\n%s\n--- want ---\n%s", tag, b, ref)
+		}
+	}
+}
+
+// TestShardedCrashStopMidCycle crash-stops processors in the middle of a
+// sparse segment — once while the victim is the sole active writer, once
+// while it sleeps inside an IdleN batch — across worker counts, and holds
+// the sharded engine's Report to the goroutine engine's byte for byte.
+func TestShardedCrashStopMidCycle(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	const p, k, segLen = 8, 2, 8
+	prog := func(pr Node) {
+		id := pr.ID()
+		for seg := 0; seg < 6; seg++ {
+			if seg%p == id {
+				for i := 0; i < segLen; i++ {
+					pr.WriteRead(0, MsgX(1, int64(seg*segLen+i)), 0)
+				}
+			} else {
+				pr.IdleN(segLen)
+			}
+		}
+	}
+	crashes := []Crash{
+		{Proc: 2, Cycle: 20}, // mid-segment 2: proc 2 is the active writer
+		{Proc: 6, Cycle: 35}, // mid-segment 4: proc 6 is a mid-batch sleeper
+	}
+	for _, gmp := range []int{1, 4, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(gmp)
+		for _, cr := range crashes {
+			c := cfg(p, k)
+			c.Faults = &FaultPlan{Seed: 3, Crashes: []Crash{cr}}
+			shardedVsGoroutineReport(t, fmt.Sprintf("GOMAXPROCS=%d crash=%+v", gmp, cr), c, prog)
+		}
+	}
+}
+
+// TestShardedAbortDuringScatter aborts the run on a cycle where every other
+// processor has a read result in flight: the failure races the workers'
+// post-release scatter stage, which must neither wedge the barrier nor leak.
+// The aborting processor's attribution must survive the race.
+func TestShardedAbortDuringScatter(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	base := runtime.NumGoroutine()
+	const p, k = 32, 2
+	for _, gmp := range []int{1, 4, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(gmp)
+		for abortCycle := 1; abortCycle <= 5; abortCycle++ {
+			_, err := RunUniform(shardedCfg(p, k), func(pr Node) {
+				id := pr.ID()
+				for c := 0; c < 40; c++ {
+					switch {
+					case id == 0:
+						pr.WriteRead(0, MsgX(1, int64(c)), 0)
+					case id == 9 && c == abortCycle:
+						pr.Abortf("scatter abort at cycle %d", c)
+					default:
+						pr.Read(0)
+					}
+				}
+			})
+			var ae *AbortError
+			if !errors.As(err, &ae) {
+				t.Fatalf("GOMAXPROCS=%d abortCycle=%d: got %v, want AbortError", gmp, abortCycle, err)
+			}
+			if ae.Proc != 9 {
+				t.Fatalf("GOMAXPROCS=%d abortCycle=%d: AbortError.Proc = %d, want 9", gmp, abortCycle, ae.Proc)
+			}
+		}
+	}
+	waitGoroutines(t, base, 5*time.Second)
+}
+
+// TestShardedIdleNBoundaries pins the sleeper wake arithmetic at its edges:
+// length-1 batches (the announcement round is the whole batch), back-to-back
+// batches, a batch whose wake cycle is the processor's last (straight into
+// exit), and phase markers attached to batch announcements. Both engines
+// must produce byte-identical Reports at every worker count.
+func TestShardedIdleNBoundaries(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	prog := func(pr Node) {
+		id := pr.ID()
+		pr.Phase("warm")
+		pr.IdleN(1) // announcement round is the whole batch
+		pr.IdleN(1) // back-to-back batches
+		pr.IdleN(3)
+		if id == 0 {
+			pr.Write(0, MsgX(1, 7))
+		} else {
+			pr.Read(0)
+		}
+		pr.Phase("tail") // attached to the next batch's announcement
+		pr.IdleN(id + 1) // ragged: each processor wakes straight into exit
+	}
+	for _, gmp := range []int{1, 4, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(gmp)
+		shardedVsGoroutineReport(t, fmt.Sprintf("GOMAXPROCS=%d", gmp), cfg(5, 1), prog)
+	}
 }
 
 // TestShardedPanicUnwinds: a plain panic in a program under the sharded

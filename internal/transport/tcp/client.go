@@ -289,11 +289,11 @@ func (s *session) writeLoop() {
 
 func (s *session) readLoop() {
 	defer s.wg.Done()
-	br := bufio.NewReader(s.c)
+	fr := newFrameReader(bufio.NewReader(s.c))
 	var win seqWindow
 	for {
 		s.c.SetReadDeadline(time.Now().Add(s.cl.opt.PeerTimeout))
-		f, err := readFrame(br)
+		f, err := fr.read()
 		if err != nil {
 			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "read", Err: err})
 			return

@@ -85,28 +85,49 @@ func appendFrame(buf []byte, typ byte, seq uint32, pay []byte) []byte {
 	return buf
 }
 
-// readFrame reads and verifies one frame. Length, checksum or sequence
-// violations return an error — the connection is then unusable (framing is
-// lost) and must be torn down.
-func readFrame(r *bufio.Reader) (frame, error) {
-	var hdr [9]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// frameReader decodes frames from one connection, reusing a single payload
+// scratch buffer across reads: the steady-state frame traffic of a run (ops,
+// results, heartbeats) allocates nothing per frame. The returned frame's
+// payload therefore aliases the scratch and is only valid until the next
+// read call — a decoder that retains payload bytes past that point (e.g. a
+// json.RawMessage carried into another goroutine) must copy them.
+type frameReader struct {
+	r   *bufio.Reader
+	pay []byte
+	// hdr and sum live here rather than on read's stack: io.ReadFull takes
+	// an interface, so stack arrays passed to it escape (one heap allocation
+	// each per frame).
+	hdr [9]byte
+	sum [8]byte
+}
+
+func newFrameReader(r *bufio.Reader) *frameReader {
+	return &frameReader{r: r}
+}
+
+// read reads and verifies one frame. Length, checksum or sequence violations
+// return an error — the connection is then unusable (framing is lost) and
+// must be torn down. The frame's payload is valid until the next read.
+func (fr *frameReader) read() (frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return frame{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:4])
+	n := binary.BigEndian.Uint32(fr.hdr[:4])
 	if n > maxFrame {
 		return frame{}, fmt.Errorf("tcp: frame length %d exceeds limit (corrupt prefix?)", n)
 	}
-	f := frame{typ: hdr[4], seq: binary.BigEndian.Uint32(hdr[5:9])}
-	f.pay = make([]byte, n)
-	if _, err := io.ReadFull(r, f.pay); err != nil {
+	f := frame{typ: fr.hdr[4], seq: binary.BigEndian.Uint32(fr.hdr[5:9])}
+	if uint32(cap(fr.pay)) < n {
+		fr.pay = make([]byte, n)
+	}
+	f.pay = fr.pay[:n]
+	if _, err := io.ReadFull(fr.r, f.pay); err != nil {
 		return frame{}, err
 	}
-	var sum [8]byte
-	if _, err := io.ReadFull(r, sum[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, fr.sum[:]); err != nil {
 		return frame{}, err
 	}
-	if got, want := binary.BigEndian.Uint64(sum[:]), fnv1a64(f.typ, f.seq, f.pay); got != want {
+	if got, want := binary.BigEndian.Uint64(fr.sum[:]), fnv1a64(f.typ, f.seq, f.pay); got != want {
 		return frame{}, fmt.Errorf("tcp: frame checksum mismatch (type %d, seq %d)", f.typ, f.seq)
 	}
 	return f, nil

@@ -616,9 +616,9 @@ func (s *Sequencer) acceptLoop() {
 // handshake admits one connection: hello in, welcome out, then the
 // connection joins the session.
 func (s *Sequencer) handshake(c net.Conn) {
-	br := bufio.NewReader(c)
+	fr := newFrameReader(bufio.NewReader(c))
 	c.SetReadDeadline(time.Now().Add(s.opt.PeerTimeout))
-	f, err := readFrame(br)
+	f, err := fr.read()
 	if err != nil || f.typ != fHello {
 		c.Close()
 		return
@@ -670,7 +670,7 @@ func (s *Sequencer) handshake(c net.Conn) {
 		sc.writeLoop()
 	}()
 	sc.send(fWelcome, marshal(welcomeBody{OK: true, P: s.opt.P}))
-	sc.readLoop(br)
+	sc.readLoop(fr)
 }
 
 // die marks the connection dead exactly once and tells the orchestrator.
@@ -732,12 +732,12 @@ func (sc *seqConn) writeLoop() {
 	}
 }
 
-func (sc *seqConn) readLoop(br *bufio.Reader) {
+func (sc *seqConn) readLoop(fr *frameReader) {
 	var win seqWindow
 	win.last = 1 // the hello consumed seq 1
 	for {
 		sc.c.SetReadDeadline(time.Now().Add(sc.s.opt.PeerTimeout))
-		f, err := readFrame(br)
+		f, err := fr.read()
 		if err != nil {
 			sc.die(&transport.LinkError{Peer: sc.name, Op: "read", Err: err})
 			return
@@ -774,7 +774,9 @@ func (sc *seqConn) readLoop(br *bufio.Reader) {
 				sc.die(&transport.LinkError{Peer: sc.name, Op: "frame", Err: err})
 				return
 			}
-			sc.propose(&proposal{kind: pRound, tag: body.Tag, cfg: body.Cfg})
+			// body.Cfg is a json.RawMessage aliasing the frameReader's scratch
+			// buffer, and the proposal outlives this read — copy it.
+			sc.propose(&proposal{kind: pRound, tag: body.Tag, cfg: append([]byte(nil), body.Cfg...)})
 		case fXchg:
 			var body xchgBody
 			if err := jsonUnmarshal(f.pay, &body); err != nil {
