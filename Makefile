@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench lint bench-gate bench-baseline profile-engine trace-sample fuzz transport-chaos
+.PHONY: build test vet race verify bench lint bench-gate bench-baseline profile-engine trace-sample fuzz transport-chaos service-smoke load-bench service-baseline
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,48 @@ fuzz:
 transport-chaos:
 	$(GO) test -race -count=1 ./internal/transport/...
 	MCBNET_MULTIPROC=1 $(GO) test -race -count=1 -run TestMultiProcSmoke ./internal/transport/tcp
+
+# Service smoke, mirroring the CI service-smoke job: build mcbd + mcbload,
+# start the daemon with a modest queue depth (so the overload phase's
+# admission rejections are deterministic), run the smoke-mixed profile (all
+# five ops, a fault-injected segment, an over-rate segment — every response
+# oracle-verified), then SIGTERM and require a clean drain.
+service-smoke:
+	$(GO) build -o mcbd.bin ./cmd/mcbd
+	$(GO) build -o mcbload.bin ./cmd/mcbload
+	./mcbd.bin -addr 127.0.0.1:8326 -queue-depth 8 > mcbd.log 2>&1 & \
+	MCBD_PID=$$!; \
+	./mcbload.bin -addr http://127.0.0.1:8326 -profile smoke-mixed -v; RC=$$?; \
+	kill -TERM $$MCBD_PID; wait $$MCBD_PID; DRAIN=$$?; \
+	cat mcbd.log; rm -f mcbd.bin mcbload.bin; \
+	[ $$RC -eq 0 ] && [ $$DRAIN -eq 0 ]
+
+# The CI service benchmark gate, runnable locally: the service-bench profile
+# (batch-win pair + sustained mixed load) against a fresh daemon, gated on
+# the committed BENCH_service.json baseline and the >= 2x batching win.
+# Like bench-gate, a baseline recorded on a different machine is refused —
+# regenerate with `make service-baseline`.
+load-bench:
+	$(GO) build -o mcbd.bin ./cmd/mcbd
+	$(GO) build -o mcbload.bin ./cmd/mcbload
+	./mcbd.bin -addr 127.0.0.1:8326 > mcbd.log 2>&1 & \
+	MCBD_PID=$$!; \
+	./mcbload.bin -addr http://127.0.0.1:8326 -profile service-bench \
+		-out BENCH_service.fresh.json -compare BENCH_service.json \
+		-threshold 0.35 -min-batch-win 2.0 -v; RC=$$?; \
+	kill -TERM $$MCBD_PID; wait $$MCBD_PID; \
+	rm -f mcbd.bin mcbload.bin; exit $$RC
+
+# Regenerate the committed service benchmark baseline on this machine.
+service-baseline:
+	$(GO) build -o mcbd.bin ./cmd/mcbd
+	$(GO) build -o mcbload.bin ./cmd/mcbload
+	./mcbd.bin -addr 127.0.0.1:8326 > mcbd.log 2>&1 & \
+	MCBD_PID=$$!; \
+	./mcbload.bin -addr http://127.0.0.1:8326 -profile service-bench \
+		-out BENCH_service.json -min-batch-win 2.0; RC=$$?; \
+	kill -TERM $$MCBD_PID; wait $$MCBD_PID; \
+	rm -f mcbd.bin mcbload.bin; exit $$RC
 
 # The acceptance-shape cycle trace (p=16, k=4 sort), Perfetto-loadable.
 trace-sample:

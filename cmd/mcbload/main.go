@@ -1,0 +1,162 @@
+// Command mcbload is the load generator and benchmark gate for mcbd: it
+// drives a declarative workload profile (request mix, arrival process,
+// concurrency, phased ramp) against a live daemon, verifies EVERY successful
+// response against a sequential oracle, and writes a BENCH_service.json
+// artifact with requests/sec and latency percentiles per (phase, op, mode).
+//
+// Usage:
+//
+//	mcbload -addr http://127.0.0.1:8326 -profile smoke-mixed [-v]
+//	mcbload -addr ... -profile service-bench -out BENCH_service.fresh.json \
+//	        -compare BENCH_service.json -threshold 0.35 [-allow-env-mismatch] \
+//	        -min-batch-win 2.0
+//	mcbload -addr ... -profile-file custom.json -duration-scale 0.25
+//	mcbload -list
+//
+// Exit codes: 0 = run verified (and gate passed); 1 = verification
+// violations (an incorrect answer, unexpected errors, or a missing expected
+// rejection); 2 = benchmark gate failure or usage error.
+//
+// The -compare gate refuses a baseline generated in a different environment
+// (go version, GOMAXPROCS, CPU count) unless -allow-env-mismatch is passed,
+// in which case only the verification assertions and -min-batch-win gate
+// (both environment-independent) apply.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mcbnet/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8326", "mcbd base URL")
+	profileName := flag.String("profile", "smoke-mixed", "builtin profile name (see -list)")
+	profileFile := flag.String("profile-file", "", "load the profile from this JSON file instead")
+	list := flag.Bool("list", false, "list builtin profiles and exit")
+	durationScale := flag.Float64("duration-scale", 1, "multiply every phase duration (CI smoke shrinks profiles)")
+	waitReady := flag.Duration("wait-ready", 10*time.Second, "poll /v1/healthz this long before starting")
+	out := flag.String("out", "", "write the BENCH_service.json artifact here")
+	compare := flag.String("compare", "", "regression-gate the run against this baseline artifact (exit 2 on regression)")
+	threshold := flag.Float64("threshold", 0.35, "with -compare: allowed requests/sec drift (fraction)")
+	allowEnvMismatch := flag.Bool("allow-env-mismatch", false, "with -compare: tolerate a baseline from a different environment (skips the rps gate)")
+	minBatchWin := flag.Float64("min-batch-win", 0, "fail (exit 2) unless batched/unbatched rps ratio reaches this")
+	verbose := flag.Bool("v", false, "print per-phase progress")
+	flag.Parse()
+
+	if *list {
+		for _, name := range service.BuiltinProfileNames() {
+			p, _ := service.BuiltinProfile(name)
+			fmt.Printf("%-14s %d phase(s), dist=%s\n", name, len(p.Phases), distName(p.Dist))
+		}
+		return
+	}
+
+	profile, err := loadProfile(*profileName, *profileFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbload:", err)
+		os.Exit(2)
+	}
+	if err := service.WaitReady(*addr, *waitReady); err != nil {
+		fmt.Fprintln(os.Stderr, "mcbload:", err)
+		os.Exit(2)
+	}
+
+	opts := service.LoadOptions{Addr: *addr, DurationScale: *durationScale}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	report, violations, err := service.RunProfile(profile, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcbload:", err)
+		os.Exit(2)
+	}
+	if report.BatchWin != nil {
+		fmt.Printf("mcbload: batch win %.2fx (unbatched %.1f rps -> batched %.1f rps)\n",
+			report.BatchWin.Ratio, report.BatchWin.UnbatchedRPS, report.BatchWin.BatchedRPS)
+	}
+	if *out != "" {
+		if err := report.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "mcbload:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("mcbload: wrote %s (%d entries)\n", *out, len(report.Entries))
+	}
+
+	gateFailures := gate(report, *compare, *threshold, *allowEnvMismatch, *minBatchWin)
+
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "mcbload: VIOLATION:", v)
+	}
+	for _, g := range gateFailures {
+		fmt.Fprintln(os.Stderr, "mcbload: GATE:", g)
+	}
+	switch {
+	case len(gateFailures) > 0:
+		os.Exit(2)
+	case len(violations) > 0:
+		os.Exit(1)
+	}
+	fmt.Printf("mcbload: profile %s verified: every response matched the oracle\n", profile.Name)
+}
+
+// gate applies the -compare baseline and -min-batch-win assertions and
+// returns one line per failure.
+func gate(report *service.BenchReport, comparePath string, threshold float64, allowEnvMismatch bool, minBatchWin float64) []string {
+	var failures []string
+	if minBatchWin > 0 {
+		switch {
+		case report.BatchWin == nil:
+			failures = append(failures, fmt.Sprintf("-min-batch-win %.2f set but the profile produced no batched/unbatched topk pair", minBatchWin))
+		case report.BatchWin.Ratio < minBatchWin:
+			failures = append(failures, fmt.Sprintf("batch win %.2fx below required %.2fx", report.BatchWin.Ratio, minBatchWin))
+		}
+	}
+	if comparePath == "" {
+		return failures
+	}
+	baseline, err := service.LoadBenchReport(comparePath)
+	if err != nil {
+		return append(failures, err.Error())
+	}
+	if mismatches := report.Env.Mismatch(baseline.Env); len(mismatches) > 0 {
+		for _, m := range mismatches {
+			fmt.Fprintln(os.Stderr, "mcbload: env mismatch:", m)
+		}
+		if !allowEnvMismatch {
+			return append(failures, fmt.Sprintf("baseline %s was generated in a different environment (%d field(s) differ, listed above); "+
+				"regenerate it on this runner or pass -allow-env-mismatch to skip the comparison", comparePath, len(mismatches)))
+		}
+		fmt.Fprintf(os.Stderr, "mcbload: SKIPPING rps gate against %s: environment mismatch allowed by -allow-env-mismatch\n", comparePath)
+		return failures
+	}
+	return append(failures, service.CompareServiceBench(report, baseline, threshold)...)
+}
+
+func loadProfile(name, file string) (service.Profile, error) {
+	if file == "" {
+		return service.BuiltinProfile(name)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return service.Profile{}, err
+	}
+	var p service.Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return service.Profile{}, fmt.Errorf("%s: %w", file, err)
+	}
+	return p, p.Validate()
+}
+
+func distName(d string) string {
+	if d == "" {
+		return "uniform"
+	}
+	return d
+}

@@ -1,0 +1,426 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mcbnet/internal/core"
+	"mcbnet/internal/mcb"
+)
+
+// oracleJob computes the sequential expected answer of a batch job.
+func oracleJob(job core.BatchJob) []int64 {
+	desc := append([]int64(nil), job.Values...)
+	sort.Slice(desc, func(i, j int) bool { return desc[i] > desc[j] })
+	switch job.Op {
+	case core.BatchSort:
+		if job.Order == core.Ascending {
+			asc := append([]int64(nil), job.Values...)
+			sort.Slice(asc, func(i, j int) bool { return asc[i] < asc[j] })
+			return asc
+		}
+		return desc
+	case core.BatchTopK:
+		return desc[:job.TopK]
+	case core.BatchMedian:
+		return []int64{desc[(len(desc)+1)/2-1]}
+	case core.BatchRank:
+		return []int64{desc[job.D-1]}
+	case core.BatchMultiSelect:
+		out := make([]int64, len(job.Ds))
+		for i, d := range job.Ds {
+			out[i] = desc[d-1]
+		}
+		return out
+	}
+	return nil
+}
+
+// randomJob draws a random job of any op with a dense value range (forcing
+// duplicates) and uneven sizes.
+func randomJob(rng *rand.Rand) core.BatchJob {
+	n := 1 + rng.Intn(40)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(2*n + 3))
+	}
+	job := core.BatchJob{Values: vals, Order: core.Descending}
+	switch rng.Intn(5) {
+	case 0:
+		job.Op = core.BatchSort
+		if rng.Intn(2) == 0 {
+			job.Order = core.Ascending
+		}
+	case 1:
+		job.Op = core.BatchTopK
+		job.TopK = 1 + rng.Intn(n)
+	case 2:
+		job.Op = core.BatchMedian
+	case 3:
+		job.Op = core.BatchRank
+		job.D = 1 + rng.Intn(n)
+	case 4:
+		job.Op = core.BatchMultiSelect
+		m := 1 + rng.Intn(3)
+		for j := 0; j < m; j++ {
+			job.Ds = append(job.Ds, 1+rng.Intn(n))
+		}
+	}
+	return job
+}
+
+func equalVals(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPoolCoalescesIdentical is the batcher property test: concurrent
+// requests admitted within one window coalesce into shared runs and every
+// caller's answer is byte-identical to a dedicated (NoBatch) run of the same
+// job and to the sequential oracle.
+func TestPoolCoalescesIdentical(t *testing.T) {
+	pool, err := NewPool(Config{P: 32, K: 8, BatchWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		jobs := make([]core.BatchJob, 8)
+		for i := range jobs {
+			jobs[i] = randomJob(rng)
+		}
+		outs := make([]JobOutcome, len(jobs))
+		var wg sync.WaitGroup
+		for i := range jobs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				out, err := pool.Do(context.Background(), JobRequest{Job: jobs[i]})
+				if err != nil {
+					t.Errorf("trial %d job %d: admission error %v", trial, i, err)
+					return
+				}
+				outs[i] = out
+			}(i)
+		}
+		wg.Wait()
+		anyBatched := false
+		for i, out := range outs {
+			if out.Err != nil {
+				t.Fatalf("trial %d job %d: %v", trial, i, out.Err)
+			}
+			want := oracleJob(jobs[i])
+			if !equalVals(out.Values, want) {
+				t.Fatalf("trial %d job %d (op %v): got %v want %v", trial, i, jobs[i].Op, out.Values, want)
+			}
+			solo, err := pool.Do(context.Background(), JobRequest{Job: jobs[i], NoBatch: true})
+			if err != nil || solo.Err != nil {
+				t.Fatalf("trial %d job %d solo: %v / %v", trial, i, err, solo.Err)
+			}
+			if !equalVals(out.Values, solo.Values) {
+				t.Fatalf("trial %d job %d: coalesced %v != solo %v", trial, i, out.Values, solo.Values)
+			}
+			if solo.Batched {
+				t.Fatalf("trial %d job %d: NoBatch job reported Batched", trial, i)
+			}
+			anyBatched = anyBatched || out.Batched
+		}
+		if !anyBatched {
+			t.Errorf("trial %d: 8 concurrent jobs within a 20ms window, none coalesced", trial)
+		}
+	}
+	st := pool.Stats()
+	if st.CoalescedRuns == 0 || st.CoalescedJobs == 0 {
+		t.Errorf("stats never saw a coalesced run: %+v", st)
+	}
+}
+
+// TestPoolBudgetIsolation: a mid-batch typed failure (a sibling whose cycle
+// budget the shared run exceeds) must not poison its siblings — they keep
+// correct coalesced answers while the offender alone gets *mcb.BudgetError.
+func TestPoolBudgetIsolation(t *testing.T) {
+	pool, err := NewPool(Config{P: 24, K: 6, BatchWindow: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	jobs := make([]core.BatchJob, 5)
+	for i := range jobs {
+		jobs[i] = randomJob(rng)
+	}
+	jobs[2].MaxCycles = 1 // no run of any job completes in one cycle
+
+	outs := make([]JobOutcome, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := pool.Do(context.Background(), JobRequest{Job: jobs[i]})
+			if err != nil {
+				t.Errorf("job %d: admission error %v", i, err)
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+
+	var be *mcb.BudgetError
+	if !errors.As(outs[2].Err, &be) {
+		t.Fatalf("budgeted job: want *mcb.BudgetError, got %v", outs[2].Err)
+	}
+	for i, out := range outs {
+		if i == 2 {
+			continue
+		}
+		if out.Err != nil {
+			t.Fatalf("sibling %d poisoned by budgeted job: %v", i, out.Err)
+		}
+		if want := oracleJob(jobs[i]); !equalVals(out.Values, want) {
+			t.Fatalf("sibling %d: got %v want %v", i, out.Values, want)
+		}
+	}
+}
+
+// TestPoolConcurrentTenants exercises multiple pooled networks under -race:
+// several tenants fire mixed requests at a pool with Instances > 1, every
+// answer must match the oracle.
+func TestPoolConcurrentTenants(t *testing.T) {
+	pool, err := NewPool(Config{Instances: 3, P: 24, K: 6, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const tenants = 6
+	const perTenant = 15
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + tn)))
+			for r := 0; r < perTenant; r++ {
+				job := randomJob(rng)
+				out, err := pool.Do(context.Background(), JobRequest{Job: job, NoBatch: rng.Intn(4) == 0})
+				if err != nil {
+					t.Errorf("tenant %d req %d: admission error %v", tn, r, err)
+					return
+				}
+				if out.Err != nil {
+					t.Errorf("tenant %d req %d: %v", tn, r, out.Err)
+					return
+				}
+				if want := oracleJob(job); !equalVals(out.Values, want) {
+					t.Errorf("tenant %d req %d (op %v): got %v want %v", tn, r, job.Op, out.Values, want)
+					return
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+	st := pool.Stats()
+	if st.Completed != tenants*perTenant {
+		t.Errorf("completed %d, want %d (stats %+v)", st.Completed, tenants*perTenant, st)
+	}
+}
+
+// TestPoolFaultedJob routes a fault-injected job through the recovery layer
+// and still demands the exact answer.
+func TestPoolFaultedJob(t *testing.T) {
+	pool, err := NewPool(Config{P: 16, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	rng := rand.New(rand.NewSource(23))
+	successes := 0
+	for trial := 0; trial < 8; trial++ {
+		job := randomJob(rng)
+		out, err := pool.Do(context.Background(), JobRequest{
+			Job:     job,
+			Faults:  &mcb.FaultPlan{Seed: uint64(trial + 1), DropRate: 0.0005, CorruptRate: 0.0005, Checksum: true},
+			Retries: 12,
+		})
+		if err != nil {
+			t.Fatalf("trial %d: admission error %v", trial, err)
+		}
+		if out.Err != nil {
+			// Retry exhaustion is the accepted typed failure mode; a silent
+			// wrong answer never is.
+			t.Logf("trial %d: retries exhausted: %v", trial, out.Err)
+			continue
+		}
+		successes++
+		if want := oracleJob(job); !equalVals(out.Values, want) {
+			t.Fatalf("trial %d (op %v): got %v want %v", trial, job.Op, out.Values, want)
+		}
+		if out.Batched {
+			t.Fatalf("trial %d: faulted job must not coalesce", trial)
+		}
+	}
+	if successes < 6 {
+		t.Errorf("only %d/8 faulted jobs recovered at a 0.2%% fault rate", successes)
+	}
+	if st := pool.Stats(); st.FaultedJobs == 0 {
+		t.Error("stats never counted a faulted job")
+	}
+}
+
+// heavySortJob is a blocker: a dedicated K=1 rank-sort run broadcasting
+// thousands of elements over one channel keeps an instance busy for tens of
+// milliseconds.
+func heavySortJob(n int) core.BatchJob {
+	vals := make([]int64, n)
+	rng := rand.New(rand.NewSource(99))
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 20)
+	}
+	return core.BatchJob{Op: core.BatchSort, Values: vals, Order: core.Descending}
+}
+
+// TestPoolSaturation: with one instance pinned by a heavy run and the
+// bounded queue full, admission must reject with ErrSaturated — and the
+// queued in-flight job must still complete correctly.
+func TestPoolSaturation(t *testing.T) {
+	for attempt := 0; attempt < 5; attempt++ {
+		pool, err := NewPool(Config{Instances: 1, P: 32, K: 1, QueueDepth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockerDone := make(chan error, 1)
+		go func() {
+			_, err := pool.Do(context.Background(), JobRequest{Job: heavySortJob(6000), NoBatch: true})
+			blockerDone <- err
+		}()
+		// Wait for the instance to pull the blocker off the queue.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			st := pool.Stats()
+			if st.Accepted >= 1 && st.QueueDepth == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("blocker never admitted")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Fill the queue with one small job while the blocker runs.
+		fillerJob := randomJob(rand.New(rand.NewSource(int64(attempt))))
+		fillerDone := make(chan JobOutcome, 1)
+		go func() {
+			out, err := pool.Do(context.Background(), JobRequest{Job: fillerJob})
+			if err != nil {
+				t.Errorf("filler: admission error %v", err)
+			}
+			fillerDone <- out
+		}()
+		for pool.Stats().QueueDepth == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("filler never queued")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Queue full, instance busy: the probe must be shed.
+		_, probeErr := pool.Do(context.Background(), JobRequest{Job: randomJob(rand.New(rand.NewSource(5)))})
+		if ra := pool.RetryAfter(); ra < 50*time.Millisecond || ra > 2*time.Second {
+			t.Errorf("RetryAfter %v outside [50ms, 2s]", ra)
+		}
+		saturated := errors.Is(probeErr, ErrSaturated)
+		if !saturated && probeErr != nil {
+			t.Fatalf("probe: unexpected error %v", probeErr)
+		}
+		out := <-fillerDone
+		if out.Err != nil {
+			t.Fatalf("queued in-flight job failed during saturation: %v", out.Err)
+		}
+		if want := oracleJob(fillerJob); !equalVals(out.Values, want) {
+			t.Fatalf("queued in-flight job wrong answer: got %v want %v", out.Values, want)
+		}
+		if err := <-blockerDone; err != nil {
+			t.Fatalf("blocker: %v", err)
+		}
+		pool.Close()
+		if saturated {
+			if st := pool.Stats(); st.Rejected == 0 {
+				t.Error("saturation not counted in stats")
+			}
+			return
+		}
+		// The blocker finished before the probe: retry with a fresh pool.
+	}
+	t.Fatal("never observed saturation in 5 attempts")
+}
+
+// TestPoolDrainingAndLeaks: after Close, admission fails with ErrDraining,
+// repeated Close is safe, and the instance goroutines are gone.
+func TestPoolDrainingAndLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pool, err := NewPool(Config{Instances: 4, P: 16, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 4; i++ {
+		job := randomJob(rng)
+		out, err := pool.Do(context.Background(), JobRequest{Job: job})
+		if err != nil || out.Err != nil {
+			t.Fatalf("warm-up %d: %v / %v", i, err, out.Err)
+		}
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Do(context.Background(), JobRequest{Job: randomJob(rng)}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-Close Do: want ErrDraining, got %v", err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: before %d, now %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolGeometryValidation rejects K > P.
+func TestPoolGeometryValidation(t *testing.T) {
+	if _, err := NewPool(Config{P: 4, K: 8}); err == nil {
+		t.Fatal("want geometry error for K > P")
+	}
+}
+
+// TestPercentile pins the nearest-rank convention.
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.5, 2}, {0.75, 3}, {0.95, 4}, {1, 4}}
+	for _, c := range cases {
+		if got := Percentile(s, c.q); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"mcbnet/internal/core"
+	"mcbnet/internal/mcb"
+)
+
+// Ops served under /v1/<op>.
+var Ops = []string{"sort", "topk", "median", "rank", "multiselect"}
+
+// Request is the JSON body of every operation endpoint; which fields apply
+// depends on the op in the URL.
+type Request struct {
+	// Values is the caller's data set (required, non-empty).
+	Values []int64 `json:"values"`
+	// Order is "desc" (default, the paper's canonical order) or "asc";
+	// sort only.
+	Order string `json:"order,omitempty"`
+	// K is the result size of a top-k request.
+	K int `json:"k,omitempty"`
+	// D is the descending rank of a rank request (1 = maximum).
+	D int `json:"d,omitempty"`
+	// Ds are the descending ranks of a multiselect request.
+	Ds []int `json:"ds,omitempty"`
+	// BudgetCycles maps onto the engine's MaxCycles: the run serving this
+	// request aborts with a budget error beyond it (HTTP 422).
+	BudgetCycles int64 `json:"budget_cycles,omitempty"`
+	// NoBatch opts this request out of coalescing (a dedicated engine run;
+	// the benchmark's unbatched mode).
+	NoBatch bool `json:"no_batch,omitempty"`
+	// FaultRate enables deterministic fault injection: per-delivery drop
+	// and (checksum-guarded) corruption probability. The request is served
+	// through the verify-and-retry recovery layer.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// FaultSeed seeds the injected-fault plan.
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
+	// Retries is the recovery attempt budget of a faulted request.
+	Retries int `json:"retries,omitempty"`
+}
+
+// Response is the JSON answer of every operation endpoint.
+type Response struct {
+	Op string `json:"op"`
+	// Values: the sorted values (sort), the top-k values in descending
+	// order (topk), one value (median, rank), or one value per requested
+	// rank (multiselect).
+	Values []int64 `json:"values"`
+	// Batched reports that a coalesced run served this request; BatchSize
+	// is the number of requests that shared it.
+	Batched   bool `json:"batched"`
+	BatchSize int  `json:"batch_size,omitempty"`
+	// Cycles and Messages are the MCB cost of the engine run that served
+	// the request (shared across a coalesced batch).
+	Cycles   int64 `json:"cycles"`
+	Messages int64 `json:"messages"`
+	// Attempts is the recovery attempt count of a faulted request.
+	Attempts int `json:"attempts,omitempty"`
+	// ElapsedMS is the server-side service time (queueing included).
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: "bad_request", "saturated", "draining",
+	// "budget", or "aborted".
+	Kind string `json:"kind"`
+	// RetryAfterMS accompanies saturated/draining rejections.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// Server is the HTTP facade over a Pool.
+type Server struct {
+	pool *Pool
+	mux  *http.ServeMux
+}
+
+// NewServer builds a server over a fresh pool.
+func NewServer(cfg Config) (*Server, error) {
+	pool, err := NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{pool: pool, mux: http.NewServeMux()}
+	for _, op := range Ops {
+		s.mux.HandleFunc("POST /v1/"+op, s.opHandler(op))
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Pool exposes the underlying pool (tests, stats).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the pool; queued work completes, new requests get 503.
+func (s *Server) Close() { s.pool.Close() }
+
+const maxBodyBytes = 16 << 20
+
+func (s *Server) opHandler(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var req Request
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decode: %v", err), 0)
+			return
+		}
+		jr, err := buildJobRequest(op, &req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+			return
+		}
+		out, err := s.pool.Do(r.Context(), jr)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrSaturated):
+				writeRejection(w, http.StatusTooManyRequests, "saturated", err, s.pool.RetryAfter())
+			case errors.Is(err, ErrDraining):
+				writeRejection(w, http.StatusServiceUnavailable, "draining", err, s.pool.RetryAfter())
+			default: // context cancellation
+				writeError(w, 499, "aborted", err.Error(), 0)
+			}
+			return
+		}
+		if out.Err != nil {
+			var be *mcb.BudgetError
+			var ce *mcb.CollisionError
+			switch {
+			case errors.As(out.Err, &be):
+				writeError(w, http.StatusUnprocessableEntity, "budget", out.Err.Error(), 0)
+			case errors.Is(out.Err, mcb.ErrAborted) || errors.As(out.Err, &ce):
+				// The typed engine taxonomy (aborts, stalls, crashes,
+				// corruption, collisions): a server-side run failure.
+				writeError(w, http.StatusInternalServerError, "aborted", out.Err.Error(), 0)
+			default:
+				// Validation the handler missed (defense in depth).
+				writeError(w, http.StatusBadRequest, "bad_request", out.Err.Error(), 0)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, Response{
+			Op:        op,
+			Values:    out.Values,
+			Batched:   out.Batched,
+			BatchSize: out.BatchSize,
+			Cycles:    out.Cycles,
+			Messages:  out.Messages,
+			Attempts:  out.Attempts,
+			ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+}
+
+// buildJobRequest validates the HTTP request into a pool job. Size and rank
+// validation happens again inside core.RunBatch; this layer catches what
+// must be a 400 before the job is admitted.
+func buildJobRequest(op string, req *Request) (JobRequest, error) {
+	if len(req.Values) == 0 {
+		return JobRequest{}, errors.New("values must be non-empty")
+	}
+	job := core.BatchJob{Values: req.Values, MaxCycles: req.BudgetCycles}
+	switch op {
+	case "sort":
+		job.Op = core.BatchSort
+		switch strings.ToLower(req.Order) {
+		case "", "desc", "descending":
+			job.Order = core.Descending
+		case "asc", "ascending":
+			job.Order = core.Ascending
+			for _, v := range req.Values {
+				if v == math.MinInt64 {
+					return JobRequest{}, errors.New("MinInt64 unsupported with ascending order")
+				}
+			}
+		default:
+			return JobRequest{}, fmt.Errorf("unknown order %q (want asc or desc)", req.Order)
+		}
+	case "topk":
+		job.Op = core.BatchTopK
+		job.TopK = req.K
+		if req.K < 1 || req.K > len(req.Values) {
+			return JobRequest{}, fmt.Errorf("k %d out of range [1, %d]", req.K, len(req.Values))
+		}
+	case "median":
+		job.Op = core.BatchMedian
+	case "rank":
+		job.Op = core.BatchRank
+		job.D = req.D
+		if req.D < 1 || req.D > len(req.Values) {
+			return JobRequest{}, fmt.Errorf("d %d out of range [1, %d]", req.D, len(req.Values))
+		}
+	case "multiselect":
+		job.Op = core.BatchMultiSelect
+		job.Ds = req.Ds
+		if len(req.Ds) == 0 {
+			return JobRequest{}, errors.New("ds must be non-empty")
+		}
+		for _, d := range req.Ds {
+			if d < 1 || d > len(req.Values) {
+				return JobRequest{}, fmt.Errorf("rank %d out of range [1, %d]", d, len(req.Values))
+			}
+		}
+	default:
+		return JobRequest{}, fmt.Errorf("unknown op %q", op)
+	}
+	jr := JobRequest{Job: job, NoBatch: req.NoBatch, Retries: req.Retries}
+	if req.FaultRate < 0 || req.FaultRate >= 1 {
+		if req.FaultRate != 0 {
+			return JobRequest{}, fmt.Errorf("fault_rate %v out of range [0, 1)", req.FaultRate)
+		}
+	}
+	if req.FaultRate > 0 {
+		jr.Faults = &mcb.FaultPlan{
+			Seed:        req.FaultSeed,
+			DropRate:    req.FaultRate,
+			CorruptRate: req.FaultRate,
+			Checksum:    true,
+		}
+	}
+	return jr, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.pool.mu.RLock()
+	draining := s.pool.draining
+	s.pool.mu.RUnlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining", "pool draining", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string, retryAfter time.Duration) {
+	resp := ErrorResponse{Error: msg, Kind: kind}
+	if retryAfter > 0 {
+		resp.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	writeJSON(w, code, resp)
+}
+
+// writeRejection is the admission-control response: 429 (saturated) or 503
+// (draining), always with a Retry-After header (whole seconds, rounded up)
+// and the precise retry_after_ms in the body.
+func writeRejection(w http.ResponseWriter, code int, kind string, err error, retryAfter time.Duration) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	resp := ErrorResponse{Error: err.Error(), Kind: kind, RetryAfterMS: retryAfter.Milliseconds()}
+	writeJSON(w, code, resp)
+}

@@ -254,6 +254,41 @@ func Median(inputs [][]int64, opts SelectOptions) (int64, *SelectReport, error) 
 	return core.Select(inputs, opts)
 }
 
+// Batched entry points: several small jobs share one engine run, each on a
+// disjoint (processor range, channel range) subnet of the network — the
+// coalescing machinery behind the cmd/mcbd request batcher (see
+// internal/core/batch.go and DESIGN.md §5 "Service layer").
+type (
+	// BatchJob is one job of a coalesced batch: an operation over its own
+	// value set, with an optional per-job cycle budget.
+	BatchJob = core.BatchJob
+	// BatchResult is the per-job outcome; Batched reports whether a shared
+	// run served it.
+	BatchResult = core.BatchResult
+	// BatchOptions fixes the network geometry and engine for a batch.
+	BatchOptions = core.BatchOptions
+	// BatchOp names the operation of a BatchJob.
+	BatchOp = core.BatchOp
+)
+
+// Batch operation constants.
+const (
+	BatchSort        = core.BatchSort
+	BatchTopK        = core.BatchTopK
+	BatchMedian      = core.BatchMedian
+	BatchRank        = core.BatchRank
+	BatchMultiSelect = core.BatchMultiSelect
+)
+
+// RunBatch serves a set of jobs on one MCB(opts.P, opts.K) network,
+// coalescing up to opts.K jobs per shared engine run (each job on a disjoint
+// subnet). A typed failure of a shared run re-executes every job of that run
+// individually, so one job's failure never poisons its siblings' answers.
+// See core.RunBatch.
+func RunBatch(jobs []BatchJob, opts BatchOptions) ([]BatchResult, error) {
+	return core.RunBatch(jobs, opts)
+}
+
 // Transport layer: where the processor programs of a run execute (see
 // internal/transport and DESIGN.md "Transport layer"). The default — a nil
 // SortOptions.Transport / SelectOptions.Transport — is the in-process
