@@ -68,9 +68,10 @@ fuzz:
 # Transport robustness gate, mirroring the CI transport-chaos job: the
 # conformance suite over the in-process and TCP transports (plain and under
 # flaky links), the socket chaos tests (kill-and-resume, permanent link
-# loss with channel degradation, partition/reconnect, corruption recovery),
-# all race-enabled, plus the 4-OS-process mcbpeer smoke (clean-run report
-# parity and SIGKILL + -resume rejoin).
+# loss with channel degradation, partition/reconnect, corruption recovery,
+# sequencer failover to a standby candidate), all race-enabled, plus the
+# OS-process mcbpeer smoke (clean-run report parity, SIGKILL + -resume
+# rejoin, and SIGKILL-the-active-sequencer failover to a standby).
 transport-chaos:
 	$(GO) test -race -count=1 ./internal/transport/...
 	MCBNET_MULTIPROC=1 $(GO) test -race -count=1 -run TestMultiProcSmoke ./internal/transport/tcp

@@ -52,6 +52,9 @@ func main() {
 		for _, name := range service.BuiltinProfileNames() {
 			p, _ := service.BuiltinProfile(name)
 			fmt.Printf("%-14s %d phase(s), dist=%s\n", name, len(p.Phases), distName(p.Dist))
+			if p.Notes != "" {
+				fmt.Printf("               %s\n", p.Notes)
+			}
 		}
 		return
 	}

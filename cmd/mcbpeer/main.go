@@ -7,18 +7,19 @@
 //
 // Usage:
 //
-//	mcbpeer -peers group.json -name a [-seq]
+//	mcbpeer -peers group.json -name a [-seq | -standby-seq N]
 //	        [-op sort|select] [-n 4096] [-seed 1] [-d rank]
 //	        [-algo auto|gather|virtual|rank|merge|recursive] [-asc]
 //	        [-retries 3] [-checkpoint-dir DIR] [-resume] [-degrade-outage]
-//	        [-timeout 5m] [-json] [-v]
+//	        [-timeout 5m] [-gather-timeout 30s] [-json] [-v]
 //
-// The group file (see tcp.PeerFile) names the sequencer address, the shape
-// (p, k), each peer's processor range and optional declared channel cuts:
+// The group file (see tcp.PeerFile) names the sequencer address — or, for
+// failover, an ordered "sequencers" candidate list — the shape (p, k), each
+// peer's processor range and optional declared channel cuts:
 //
 //	{
 //	  "job": "sort-demo",
-//	  "sequencer": "127.0.0.1:7700",
+//	  "sequencers": ["127.0.0.1:7700", "127.0.0.1:7701"],
 //	  "p": 8, "k": 3,
 //	  "peers": [
 //	    {"name": "a", "lo": 0, "hi": 2},
@@ -27,6 +28,14 @@
 //	    {"name": "d", "lo": 6, "hi": 8}
 //	  ]
 //	}
+//
+// Sequencer failover: -standby-seq N hosts candidate N of the "sequencers"
+// list (-seq is shorthand for candidate 0). Omitting -name makes the process
+// a dedicated sequencer: it serves its candidate slot without driving any
+// processors, and exits when the group's session ends. Epoch e of a group is
+// served by candidate e mod C; if the active sequencer process dies, every
+// peer's dial sweep advances to the next candidate and the run resumes from
+// the peers' checkpoints — no sequencer-side state is needed.
 //
 // Kill-and-rejoin: run every peer with -checkpoint-dir (a per-peer
 // directory) and -retries > 1. If a peer process dies mid-run, the
@@ -56,8 +65,10 @@ import (
 
 func main() {
 	peersPath := flag.String("peers", "", "peer group file (required; see tcp.PeerFile)")
-	name := flag.String("name", "", "this peer's name in the group file (required)")
-	seqRole := flag.Bool("seq", false, "also host the group's sequencer at its declared address")
+	name := flag.String("name", "", "this peer's name in the group file (omit to run a dedicated sequencer)")
+	seqRole := flag.Bool("seq", false, "also host the group's sequencer (candidate 0 of its list)")
+	standbySeq := flag.Int("standby-seq", -1, "host sequencer candidate N of the group file's list")
+	gatherTimeout := flag.Duration("gather-timeout", 0, "sequencer: max wait for a full proposal round (0 = default)")
 	op := flag.String("op", "sort", "operation: sort or select")
 	n := flag.Int("n", 4096, "total number of elements")
 	seed := flag.Uint64("seed", 1, "workload seed (identical on every peer)")
@@ -73,16 +84,26 @@ func main() {
 	verbose := flag.Bool("v", false, "log connection and retry events to stderr")
 	flag.Parse()
 
-	if *peersPath == "" || *name == "" {
-		fatal(fmt.Errorf("-peers and -name are required"))
+	seqIdx := *standbySeq
+	if *seqRole {
+		if seqIdx > 0 {
+			fatal(fmt.Errorf("-seq hosts candidate 0; it conflicts with -standby-seq %d", seqIdx))
+		}
+		seqIdx = 0
+	}
+	if *peersPath == "" {
+		fatal(fmt.Errorf("-peers is required"))
+	}
+	if *name == "" && seqIdx < 0 {
+		fatal(fmt.Errorf("-name is required unless hosting a sequencer (-seq or -standby-seq)"))
 	}
 	pf, err := tcp.LoadPeerFile(*peersPath)
 	if err != nil {
 		fatal(err)
 	}
-	spec := pf.Find(*name)
-	if spec == nil {
-		fatal(fmt.Errorf("peer %q is not in %s", *name, *peersPath))
+	cands := pf.Candidates()
+	if seqIdx >= len(cands) {
+		fatal(fmt.Errorf("-standby-seq %d: the group file lists only %d sequencer candidate(s)", seqIdx, len(cands)))
 	}
 	algorithm, err := parseAlgo(*algo)
 	if err != nil {
@@ -92,27 +113,49 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	tag := *name
+	if tag == "" {
+		tag = fmt.Sprintf("seq%d", seqIdx)
+	}
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "mcbpeer[%s]: %s\n", *name, fmt.Sprintf(format, args...))
+			fmt.Fprintf(os.Stderr, "mcbpeer[%s]: %s\n", tag, fmt.Sprintf(format, args...))
 		}
 	}
 
-	if *seqRole {
+	if seqIdx >= 0 {
 		seq, serr := tcp.NewSequencer(tcp.SequencerOptions{
-			Addr: pf.Sequencer, Job: pf.Job, P: pf.P, Logf: logf,
+			Addr: cands[seqIdx], Job: pf.Job, P: pf.P,
+			Index: seqIdx, Candidates: len(cands),
+			GatherTimeout: *gatherTimeout, Logf: logf,
 		})
 		if serr != nil {
 			fatal(serr)
 		}
 		defer seq.Close()
+		if *name == "" {
+			// Dedicated sequencer: serve the candidate slot in the foreground
+			// and exit with the session. No processors are hosted here, so a
+			// SIGKILL of this process is exactly the failover drill — peers
+			// sweep to the next candidate and resume from their checkpoints.
+			logf("sequencer candidate %d listening on %s", seqIdx, seq.Addr())
+			if err := seq.Serve(ctx); err != nil && ctx.Err() == nil {
+				fatal(err)
+			}
+			return
+		}
 		go seq.Serve(ctx)
-		logf("sequencer listening on %s", seq.Addr())
+		logf("sequencer candidate %d listening on %s", seqIdx, seq.Addr())
+	}
+
+	spec := pf.Find(*name)
+	if spec == nil {
+		fatal(fmt.Errorf("peer %q is not in %s", *name, *peersPath))
 	}
 
 	cl, err := tcp.NewClient(tcp.ClientOptions{
-		Addr: pf.Sequencer, Job: pf.Job, Name: spec.Name,
+		Addrs: cands, Job: pf.Job, Name: spec.Name,
 		Lo: spec.Lo, Hi: spec.Hi,
 		JitterSeed: *seed ^ uint64(spec.Lo+1),
 		Logf:       logf,

@@ -89,6 +89,10 @@ type Profile struct {
 	// the logmerge shape).
 	Dist   string  `json:"dist,omitempty"`
 	Phases []Phase `json:"phases"`
+	// Notes documents scope and deliberate omissions of the profile —
+	// printed by `mcbload -list` so coverage decisions are visible where
+	// the profiles are chosen, not just in the design doc.
+	Notes string `json:"notes,omitempty"`
 }
 
 // Validate rejects malformed profiles before any traffic is sent.
@@ -176,6 +180,10 @@ func smokeMixedProfile() Profile {
 	return Profile{
 		Name: "smoke-mixed",
 		Seed: 1,
+		Notes: "Covers ops, fault-injected recovery, and admission-control shedding. " +
+			"Sequencer failover (seq-failover) is deliberately not exercised here: mcbd " +
+			"runs the in-process engine with no sequencer process to kill — that drill " +
+			"lives in the transport-chaos CI job (TestMultiProcSmoke/SequencerFailover).",
 		Phases: []Phase{
 			{
 				Name: "mixed", Duration: Duration(2 * time.Second), Concurrency: 6,

@@ -3,8 +3,10 @@ package tcp
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -14,8 +16,16 @@ import (
 
 // ClientOptions configures one peer process of a distributed run.
 type ClientOptions struct {
-	// Addr is the sequencer address.
+	// Addr is the sequencer address (legacy single-candidate form).
 	Addr string
+	// Addrs is the ordered sequencer candidate list from the peer file;
+	// epoch e is served by Addrs[e mod len(Addrs)]. When set it supersedes
+	// Addr. A single candidate disables failover: the client stays at epoch
+	// 0 and retries the one address, exactly the pre-failover behavior.
+	Addrs []string
+	// StartEpoch is the epoch the client begins dialing at (0 for a fresh
+	// run; a restarted peer may be handed the group's last known epoch).
+	StartEpoch uint64
 	// Job and Name identify this peer to the sequencer; Lo/Hi is the owned
 	// processor range [Lo, Hi).
 	Job, Name string
@@ -60,20 +70,39 @@ func (o *ClientOptions) defaults() {
 // (with backoff + jitter) and rejoins, which is what makes a killed and
 // restarted peer able to resume a checkpointed run.
 type Client struct {
-	opt ClientOptions
+	opt   ClientOptions
+	cands []string // normalized candidate list; immutable
 
-	mu   sync.Mutex
-	sess *session
+	mu    sync.Mutex
+	sess  *session
+	epoch uint64 // current sequencer epoch; candidate = cands[epoch mod C]
 }
 
 // NewClient returns a client; the connection is established lazily by the
 // first Run or Exchange.
 func NewClient(opt ClientOptions) (*Client, error) {
 	opt.defaults()
-	if opt.Addr == "" || opt.Hi <= opt.Lo || opt.Lo < 0 {
-		return nil, fmt.Errorf("tcp: bad client options: addr %q, range [%d, %d)", opt.Addr, opt.Lo, opt.Hi)
+	src := opt.Addrs
+	if len(src) == 0 && opt.Addr != "" {
+		src = []string{opt.Addr}
 	}
-	return &Client{opt: opt}, nil
+	cands := make([]string, 0, len(src))
+	for _, a := range src {
+		if a = strings.TrimSpace(a); a != "" {
+			cands = append(cands, a)
+		}
+	}
+	if len(cands) == 0 || opt.Hi <= opt.Lo || opt.Lo < 0 {
+		return nil, fmt.Errorf("tcp: bad client options: addrs %v, range [%d, %d)", src, opt.Lo, opt.Hi)
+	}
+	return &Client{opt: opt, cands: cands, epoch: opt.StartEpoch}, nil
+}
+
+// Epoch returns the client's current sequencer epoch (diagnostics and tests).
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Owns reports whether proc's program executes in this process.
@@ -111,9 +140,11 @@ func (c *Client) Close() error {
 
 // session is one live connection to the sequencer.
 type session struct {
-	cl  *Client
-	c   net.Conn
-	out chan outMsg
+	cl    *Client
+	c     net.Conn
+	epoch uint64 // the epoch this session was admitted at; immutable
+	p     int    // group size from the welcome; immutable after handshake
+	out   chan outMsg
 
 	dead     chan struct{}
 	deadOnce sync.Once
@@ -153,7 +184,36 @@ func (r *clientRound) down(err error) {
 	})
 }
 
-// ensure returns the live session, dialing and handshaking if needed.
+// staleEpochError reports a handshake rejection that carried the group's
+// newer epoch: the client should adopt it and redial the candidate that
+// epoch maps to.
+type staleEpochError struct {
+	epoch  uint64
+	reason string
+}
+
+func (e *staleEpochError) Error() string {
+	return fmt.Sprintf("tcp: stale epoch, group is at epoch %d: %s", e.epoch, e.reason)
+}
+
+// transientRejectError reports a handshake rejection the sequencer flagged as
+// about-to-settle (e.g. this peer's previous connection not yet reaped after
+// a teardown-and-redial). The sweep retries the same candidate.
+type transientRejectError struct {
+	reason string
+}
+
+func (e *transientRejectError) Error() string {
+	return fmt.Sprintf("tcp: transient rejection: %s", e.reason)
+}
+
+// ensure returns the live session, dialing and handshaking if needed. The
+// dial sweep is the failover state machine: each attempt targets the current
+// epoch's candidate; an unreachable candidate advances the epoch (moving to
+// the next candidate) when standbys exist, and a stale-epoch rejection jumps
+// straight to the epoch the rejecting sequencer reported. A plain reconnect
+// to a reachable sequencer never bumps the epoch, so single-sequencer groups
+// keep the exact pre-failover redial behavior.
 func (c *Client) ensure(ctx context.Context) (*session, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -165,15 +225,89 @@ func (c *Client) ensure(ctx context.Context) (*session, error) {
 			return c.sess, nil
 		}
 	}
-	conn, err := dial(ctx, c.opt.Addr, c.opt.DialAttempts, c.opt.DialBackoff, c.opt.JitterSeed, c.opt.DialTimeout)
-	if err != nil {
+	attempts, backoff, timeout := c.opt.DialAttempts, c.opt.DialBackoff, c.opt.DialTimeout
+	if attempts <= 0 {
+		attempts = defDialAttempts
+	}
+	if backoff <= 0 {
+		backoff = defDialBackoff
+	}
+	if timeout <= 0 {
+		timeout = defDialTimeout
+	}
+	pol := mcb.RetryPolicy{Backoff: backoff, JitterSeed: c.opt.JitterSeed}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			t := time.NewTimer(pol.BackoffFor(a - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, &transport.LinkError{Peer: "sequencer", Op: "dial", Err: ctx.Err()}
+			}
+		}
+		addr := c.cands[c.epoch%uint64(len(c.cands))]
+		conn, err := dialOnce(ctx, addr, timeout)
+		if err != nil {
+			lastErr = &transport.LinkError{Peer: addr, Op: "dial", Err: err}
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+			if len(c.cands) > 1 {
+				c.epoch++
+				c.logf("candidate %s unreachable; advancing to epoch %d (%s)",
+					addr, c.epoch, c.cands[c.epoch%uint64(len(c.cands))])
+			}
+			continue
+		}
+		s, err := c.handshake(ctx, conn, addr)
+		if err == nil {
+			c.sess = s
+			return s, nil
+		}
+		lastErr = err
+		var stale *staleEpochError
+		if errors.As(err, &stale) {
+			c.logf("sequencer %s says the group is at epoch %d; catching up", addr, stale.epoch)
+			c.epoch = stale.epoch
+			continue
+		}
+		var transient *transientRejectError
+		if errors.As(err, &transient) {
+			c.logf("sequencer %s: %s; retrying", addr, transient.reason)
+			continue
+		}
+		var link *transport.LinkError
+		if errors.As(err, &link) {
+			// The link died mid-handshake — a sequencer shutting down can
+			// accept and then drop the connection. Same treatment as an
+			// unreachable candidate.
+			if ctx.Err() != nil {
+				return nil, lastErr
+			}
+			if len(c.cands) > 1 {
+				c.epoch++
+				c.logf("candidate %s dropped the handshake; advancing to epoch %d (%s)",
+					addr, c.epoch, c.cands[c.epoch%uint64(len(c.cands))])
+			}
+			continue
+		}
+		// Any other rejection (job mismatch, duplicate name, misconfigured
+		// candidate list) is fatal: retrying would be rejected identically.
 		return nil, err
 	}
+	return nil, lastErr
+}
+
+// handshake runs the hello/welcome exchange on a freshly dialed connection.
+// Called with c.mu held.
+func (c *Client) handshake(ctx context.Context, conn net.Conn, addr string) (*session, error) {
 	if c.opt.Wrap != nil {
 		conn = c.opt.Wrap(conn)
 	}
 	s := &session{
-		cl: c, c: conn,
+		cl: c, c: conn, epoch: c.epoch,
 		out:    make(chan outMsg, 512),
 		dead:   make(chan struct{}),
 		startC: make(chan startBody, 1),
@@ -193,13 +327,54 @@ func (c *Client) ensure(ctx context.Context) (*session, error) {
 		return nil, err
 	}
 	if !welcome.OK {
-		err := fmt.Errorf("tcp: sequencer rejected peer %q: %s", c.opt.Name, welcome.Reason)
+		err := fmt.Errorf("tcp: sequencer %s rejected peer %q: %s", addr, c.opt.Name, welcome.Reason)
 		s.teardown(err)
+		if welcome.Epoch > s.epoch {
+			return nil, &staleEpochError{epoch: welcome.Epoch, reason: welcome.Reason}
+		}
+		if welcome.Retry {
+			return nil, &transientRejectError{reason: welcome.Reason}
+		}
 		return nil, err
 	}
-	c.logf("joined %s as %q (procs [%d, %d) of %d)", c.opt.Addr, c.opt.Name, c.opt.Lo, c.opt.Hi, welcome.P)
-	c.sess = s
+	s.p = welcome.P
+	c.logf("joined %s as %q at epoch %d (procs [%d, %d) of %d)", addr, c.opt.Name, s.epoch, c.opt.Lo, c.opt.Hi, welcome.P)
 	return s, nil
+}
+
+// noteFail inspects a sequencer-reported step failure for the signature of a
+// group that has moved to another sequencer behind this client's back: a
+// gather stall whose missing processors are a strict majority of the network.
+// A majority cannot be waiting here while making progress elsewhere, so the
+// client abandons the session and advances the epoch; the survivors of an
+// ordinary peer kill (missing procs a minority) stay put. A peer owning a
+// minority of processors stranded alone on a zombie is the documented limit
+// of the heuristic — it waits for the gather timeout each attempt.
+func (c *Client) noteFail(s *session, err error) {
+	var st *mcb.StallError
+	if !errors.As(err, &st) || st.Cycle != -1 || len(st.Stalled) == 0 {
+		return
+	}
+	for _, ps := range st.Stalled {
+		if ps.LastOp != "unjoined" {
+			return
+		}
+	}
+	if s.p <= 0 || 2*len(st.Stalled) <= s.p {
+		return
+	}
+	c.mu.Lock()
+	moved := len(c.cands) > 1 && c.sess == s
+	if moved {
+		c.epoch++
+		c.sess = nil
+		c.logf("a majority of the group is gone from epoch %d; trying epoch %d", s.epoch, c.epoch)
+	}
+	c.mu.Unlock()
+	if moved {
+		s.teardown(&transport.LinkError{Peer: "sequencer", Op: "gather",
+			Err: fmt.Errorf("majority of the group missing at epoch %d", s.epoch)})
+	}
 }
 
 func (s *session) awaitWelcome(ctx context.Context) (welcomeBody, error) {
@@ -263,7 +438,7 @@ func (s *session) writeLoop() {
 	var buf []byte
 	write := func(typ byte, pay []byte) bool {
 		seq++
-		buf = appendFrame(buf[:0], typ, seq, pay)
+		buf = appendFrame(buf[:0], typ, seq, s.epoch, pay)
 		s.c.SetWriteDeadline(time.Now().Add(s.cl.opt.WriteTimeout))
 		if _, err := s.c.Write(buf); err != nil {
 			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "write", Err: err})
@@ -296,6 +471,14 @@ func (s *session) readLoop() {
 		f, err := fr.read()
 		if err != nil {
 			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "read", Err: err})
+			return
+		}
+		if f.epoch != s.epoch {
+			// The reject welcome echoes the hello's epoch and every admitted
+			// session's frames carry the negotiated epoch, so a mismatch means
+			// a zombie sequencer generation is talking to us: fence it off.
+			s.teardown(&transport.LinkError{Peer: "sequencer", Op: "frame",
+				Err: fmt.Errorf("epoch %d frame on an epoch %d session", f.epoch, s.epoch)})
 			return
 		}
 		dup, err := win.admit(f.seq)
@@ -414,7 +597,9 @@ func (c *Client) Run(ctx context.Context, cfg mcb.Config, programs []func(mcb.No
 	select {
 	case start = <-s.startC:
 	case w := <-s.failC:
-		return nil, decodeErr(w)
+		err := decodeErr(w)
+		c.noteFail(s, err)
+		return nil, err
 	case b := <-s.doneC:
 		return nil, fmt.Errorf("tcp: unexpected done for round %d before start", b.Round)
 	case <-s.dead:
@@ -524,7 +709,9 @@ func (c *Client) Exchange(tag string, blobs [][]byte) ([][]byte, error) {
 		}
 		return all.Blobs, nil
 	case w := <-s.failC:
-		return nil, decodeErr(w)
+		err := decodeErr(w)
+		c.noteFail(s, err)
+		return nil, err
 	case <-s.dead:
 		return nil, s.deadError()
 	}

@@ -17,29 +17,41 @@ import (
 // via t.Cleanup; wrap (optional) injects connection chaos on both sides of
 // every link.
 func startGroup(t *testing.T, peers, p int, wrap func(net.Conn) net.Conn) *transporttest.Group {
+	return startGroupCandidates(t, peers, p, 1, wrap)
+}
+
+// startGroupCandidates is startGroup with `cands` sequencer candidates: all
+// traffic stays at epoch 0 on candidate 0, and the idle standbys must not
+// perturb any conformance guarantee.
+func startGroupCandidates(t *testing.T, peers, p, cands int, wrap func(net.Conn) net.Conn) *transporttest.Group {
 	t.Helper()
-	seq, err := tcp.NewSequencer(tcp.SequencerOptions{
-		Addr: "127.0.0.1:0", Job: "conformance", P: p,
-		Wrap: wrap,
-	})
-	if err != nil {
-		t.Fatalf("sequencer: %v", err)
+	addrs := make([]string, cands)
+	for idx := 0; idx < cands; idx++ {
+		seq, err := tcp.NewSequencer(tcp.SequencerOptions{
+			Addr: "127.0.0.1:0", Job: "conformance", P: p,
+			Index: idx, Candidates: cands,
+			Wrap: wrap,
+		})
+		if err != nil {
+			t.Fatalf("sequencer candidate %d: %v", idx, err)
+		}
+		addrs[idx] = seq.Addr()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); seq.Serve(ctx) }()
+		t.Cleanup(func() {
+			cancel()
+			seq.Close()
+			<-done
+		})
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() { defer close(done); seq.Serve(ctx) }()
-	t.Cleanup(func() {
-		cancel()
-		seq.Close()
-		<-done
-	})
 
 	g := &transporttest.Group{}
 	lo := 0
 	for i := 0; i < peers; i++ {
 		hi := (p * (i + 1)) / peers
 		cl, err := tcp.NewClient(tcp.ClientOptions{
-			Addr: seq.Addr(), Job: "conformance",
+			Addrs: addrs, Job: "conformance",
 			Name: fmt.Sprintf("peer%d", i), Lo: lo, Hi: hi,
 			JitterSeed: uint64(i + 1),
 			Wrap:       wrap,
@@ -64,6 +76,15 @@ func tcpFactory(peers int, wrap func(net.Conn) net.Conn) transporttest.Factory {
 // sequencer and three peer processes' worth of clients on loopback.
 func TestTCPConformance(t *testing.T) {
 	transporttest.RunSuite(t, tcpFactory(3, nil))
+}
+
+// TestTCPConformanceTwoCandidates reruns the suite with a standby sequencer
+// candidate configured: the failover machinery must be fully inert on a
+// fault-free run — same epochs, same reports, no stray goroutines.
+func TestTCPConformanceTwoCandidates(t *testing.T) {
+	transporttest.RunSuite(t, func(t *testing.T, p, k int) transport.Transport {
+		return startGroupCandidates(t, 3, p, 2, nil)
+	})
 }
 
 // TestTCPConformanceFlaky reruns the suite with deterministic latency

@@ -4,9 +4,6 @@ import (
 	"context"
 	"net"
 	"time"
-
-	"mcbnet/internal/mcb"
-	"mcbnet/internal/transport"
 )
 
 // dialDefaults for ClientOptions' dial knobs.
@@ -16,41 +13,11 @@ const (
 	defDialTimeout  = 2 * time.Second
 )
 
-// dial connects to addr with capped exponential backoff and deterministic
-// seeded jitter — the exact RetryPolicy.BackoffFor schedule, so a fleet of
-// peers restarting together (the thundering-herd case the jitter exists for)
-// spreads its reconnections. Honors ctx between and during attempts.
-func dial(ctx context.Context, addr string, attempts int, backoff time.Duration, jitterSeed uint64, timeout time.Duration) (net.Conn, error) {
-	if attempts <= 0 {
-		attempts = defDialAttempts
-	}
-	if backoff <= 0 {
-		backoff = defDialBackoff
-	}
-	if timeout <= 0 {
-		timeout = defDialTimeout
-	}
-	pol := mcb.RetryPolicy{Backoff: backoff, JitterSeed: jitterSeed}
+// dialOnce makes a single connection attempt to addr. The retry sweep —
+// capped exponential backoff with deterministic seeded jitter, advancing
+// down the sequencer candidate list on unreachable addresses — lives in
+// Client.ensure, which owns the epoch state the sweep updates.
+func dialOnce(ctx context.Context, addr string, timeout time.Duration) (net.Conn, error) {
 	d := net.Dialer{Timeout: timeout}
-	var lastErr error
-	for a := 0; a < attempts; a++ {
-		if a > 0 {
-			t := time.NewTimer(pol.BackoffFor(a - 1))
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
-				return nil, &transport.LinkError{Peer: addr, Op: "dial", Err: ctx.Err()}
-			}
-		}
-		c, err := d.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			return c, nil
-		}
-		lastErr = err
-		if ctx.Err() != nil {
-			break
-		}
-	}
-	return nil, &transport.LinkError{Peer: addr, Op: "dial", Err: lastErr}
+	return d.DialContext(ctx, "tcp", addr)
 }

@@ -1,0 +1,570 @@
+package tcp_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mcbnet/internal/checkpoint"
+	"mcbnet/internal/core"
+	"mcbnet/internal/mcb"
+	"mcbnet/internal/transport/tcp"
+)
+
+// failoverLeakCheck is the transporttest leak-check pattern applied locally:
+// snapshot the goroutine count and require it to settle back after the test
+// and all its cleanups have run.
+func failoverLeakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutine leak: %d live, baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+	})
+}
+
+// startCandidate spins up one sequencer candidate and serves it until the
+// test ends (or the test closes it earlier — Close is idempotent).
+func startCandidate(t *testing.T, opt tcp.SequencerOptions) *tcp.Sequencer {
+	t.Helper()
+	seq, err := tcp.NewSequencer(opt)
+	if err != nil {
+		t.Fatalf("sequencer candidate %d: %v", opt.Index, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); seq.Serve(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		seq.Close()
+		<-done
+	})
+	return seq
+}
+
+// normalizedReportJSON renders a sort Report with the recovery bookkeeping
+// (attempts, resumes, checkpoint phase, replayed cycles) zeroed: everything
+// left — the engine Stats, algorithm, phase breakdown — is the accepted
+// computation, which failover must not change by a byte.
+func normalizedReportJSON(t *testing.T, rep *core.Report) string {
+	t.Helper()
+	c := *rep
+	c.Attempts, c.Resumes, c.CheckpointPhase, c.ReplayedCycles = 0, 0, "", 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSequencerFailoverChaos is the tentpole acceptance test: a 4-peer group
+// with two sequencer candidates survives the active sequencer dying at a
+// different checkpoint boundary in each iteration. Every peer must finish on
+// the standby with (a) outputs and normalized Report byte-identical to the
+// fault-free baseline and (b) strictly fewer replayed cycles than a
+// from-scratch retry would burn (the whole accepted run).
+func TestSequencerFailoverChaos(t *testing.T) {
+	const p, k, n = 8, 3, 96
+	inputs := seededInputs(0xFA110, p, n)
+	// The baseline is a fault-free run of the same checkpointed driver the
+	// peers use, so the comparison is like-for-like: failover must not change
+	// a byte of the accepted computation.
+	wantOuts, wantRep, err := core.SortWithRetry(inputs, core.SortOptions{
+		K: k, Algorithm: core.AlgoColumnsortGather,
+		Retry:       mcb.RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond},
+		Checkpoints: checkpoint.NewMem(),
+	})
+	if err != nil {
+		t.Fatalf("in-process baseline: %v", err)
+	}
+	wantJSON := normalizedReportJSON(t, wantRep)
+
+	failedOver := 0
+	for it := 0; it < 3; it++ {
+		killPhase := 1 + it
+		t.Run(fmt.Sprintf("kill-at-phase-%d", killPhase), func(t *testing.T) {
+			job := fmt.Sprintf("seq-failover-%d", it)
+			active := startCandidate(t, tcp.SequencerOptions{
+				Addr: "127.0.0.1:0", Job: job, P: p,
+				Index: 0, Candidates: 2, GatherTimeout: 20 * time.Second,
+			})
+			standby := startCandidate(t, tcp.SequencerOptions{
+				Addr: "127.0.0.1:0", Job: job, P: p,
+				Index: 1, Candidates: 2, GatherTimeout: 20 * time.Second,
+			})
+			addrs := []string{active.Addr(), standby.Addr()}
+
+			stores := make([]*checkpoint.MemStore, 4)
+			clients := make([]*tcp.Client, 4)
+			for i := range clients {
+				stores[i] = checkpoint.NewMem()
+				cl, err := tcp.NewClient(tcp.ClientOptions{
+					Addrs: addrs, Job: job,
+					Name: fmt.Sprintf("peer%d", i), Lo: i * 2, Hi: i*2 + 2,
+					DialBackoff: 5 * time.Millisecond, JitterSeed: uint64(i + 1),
+				})
+				if err != nil {
+					t.Fatalf("client %d: %v", i, err)
+				}
+				t.Cleanup(func() { cl.Close() })
+				clients[i] = cl
+			}
+
+			results := make([]sortResult, 4)
+			var wg sync.WaitGroup
+			for i := range clients {
+				opts := core.SortOptions{
+					K: k, Algorithm: core.AlgoColumnsortGather,
+					StallTimeout: 20 * time.Second,
+					Retry:        mcb.RetryPolicy{MaxAttempts: 10, Backoff: 5 * time.Millisecond, JitterSeed: uint64(it*10 + i + 1)},
+					Checkpoints:  stores[i],
+					Transport:    clients[i],
+				}
+				wg.Add(1)
+				go func(i int, opts core.SortOptions) {
+					defer wg.Done()
+					outs, rep, err := core.SortWithRetry(inputs, opts)
+					results[i] = sortResult{outs, rep, err}
+				}(i, opts)
+			}
+
+			// The killer: once peer 0 has a durable phase >= killPhase
+			// checkpoint — proof the run is mid-flight with resumable state —
+			// take the active sequencer down hard.
+			runDone := make(chan struct{})
+			killed := make(chan bool, 1)
+			go func() {
+				for {
+					select {
+					case <-runDone:
+						killed <- false
+						return
+					default:
+					}
+					if snap, err := stores[0].Latest(); err == nil && snap != nil && snap.Phase >= killPhase {
+						active.Close()
+						killed <- true
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+			wg.Wait()
+			close(runDone)
+
+			for i, r := range results {
+				if r.err != nil {
+					t.Fatalf("peer %d did not survive the sequencer kill: %v", i, r.err)
+				}
+				if !reflect.DeepEqual(r.outs, wantOuts) {
+					t.Errorf("peer %d outputs diverged from the fault-free baseline", i)
+				}
+				if got := normalizedReportJSON(t, r.rep); got != wantJSON {
+					t.Errorf("peer %d report diverged from the fault-free baseline:\n got: %s\nwant: %s", i, got, wantJSON)
+				}
+				// The recovery-cost bound: checkpointed failover replays only
+				// the segment in flight when the sequencer died, strictly less
+				// than the whole run a from-scratch retry would repeat.
+				if r.rep.ReplayedCycles >= wantRep.Stats.Cycles {
+					t.Errorf("peer %d replayed %d cycles, not less than the full run's %d (from-scratch cost)",
+						i, r.rep.ReplayedCycles, wantRep.Stats.Cycles)
+				}
+			}
+			if <-killed {
+				failedOver++
+				for i, cl := range clients {
+					if e := cl.Epoch(); e != 1 {
+						t.Errorf("client %d finished at epoch %d, want 1 (on the standby)", i, e)
+					}
+				}
+				t.Logf("failover engaged at phase %d: peer0 attempts=%d resumes=%d replayed=%d (full run: %d cycles)",
+					killPhase, results[0].rep.Attempts, results[0].rep.Resumes, results[0].rep.ReplayedCycles, wantRep.Stats.Cycles)
+			} else {
+				t.Logf("run completed before the phase-%d kill landed; no failover this iteration", killPhase)
+			}
+		})
+	}
+	if failedOver == 0 {
+		t.Fatal("no iteration actually failed over; the kill gating never fired mid-run")
+	}
+}
+
+// TestSequencerFailoverWrapAround exercises the epoch wrap-around: candidate
+// 0 dies (group moves to epoch 1 on candidate 1), is restarted on the same
+// address, and then candidate 1 dies mid-run — the group must come back
+// around to the restarted candidate 0, which adopts epoch 2 and fences the
+// old generation.
+func TestSequencerFailoverWrapAround(t *testing.T) {
+	const p, k, n = 4, 2, 60
+	const job = "seq-wrap"
+	inputs := seededInputs(0x44A9, p, n)
+	wantOuts, _, err := core.SortWithRetry(inputs, core.SortOptions{
+		K: k, Algorithm: core.AlgoColumnsortGather,
+		Retry:       mcb.RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond},
+		Checkpoints: checkpoint.NewMem(),
+	})
+	if err != nil {
+		t.Fatalf("in-process baseline: %v", err)
+	}
+
+	mkSeq := func(addr string, index int) *tcp.Sequencer {
+		return startCandidate(t, tcp.SequencerOptions{
+			Addr: addr, Job: job, P: p,
+			Index: index, Candidates: 2, GatherTimeout: 20 * time.Second,
+		})
+	}
+	cand0 := mkSeq("127.0.0.1:0", 0)
+	addr0 := cand0.Addr()
+	cand1 := mkSeq("127.0.0.1:0", 1)
+	addrs := []string{addr0, cand1.Addr()}
+
+	run := func(tag string, stores []*checkpoint.MemStore, clients []*tcp.Client, kill func(chan struct{}) bool) bool {
+		t.Helper()
+		results := make([]sortResult, len(clients))
+		var wg sync.WaitGroup
+		for i := range clients {
+			opts := core.SortOptions{
+				K: k, Algorithm: core.AlgoColumnsortGather,
+				StallTimeout: 20 * time.Second,
+				Retry:        mcb.RetryPolicy{MaxAttempts: 10, Backoff: 5 * time.Millisecond, JitterSeed: uint64(i + 1)},
+				Checkpoints:  stores[i],
+				Transport:    clients[i],
+			}
+			wg.Add(1)
+			go func(i int, opts core.SortOptions) {
+				defer wg.Done()
+				outs, rep, err := core.SortWithRetry(inputs, opts)
+				results[i] = sortResult{outs, rep, err}
+			}(i, opts)
+		}
+		runDone := make(chan struct{})
+		killedC := make(chan bool, 1)
+		go func() { killedC <- kill(runDone) }()
+		wg.Wait()
+		close(runDone)
+		for i, r := range results {
+			if r.err != nil {
+				t.Fatalf("%s: peer %d failed: %v", tag, i, r.err)
+			}
+			if !reflect.DeepEqual(r.outs, wantOuts) {
+				t.Errorf("%s: peer %d outputs diverged", tag, i)
+			}
+		}
+		return <-killedC
+	}
+	mkGroup := func(startEpoch uint64) ([]*checkpoint.MemStore, []*tcp.Client) {
+		stores := make([]*checkpoint.MemStore, 2)
+		clients := make([]*tcp.Client, 2)
+		for i := range clients {
+			stores[i] = checkpoint.NewMem()
+			cl, err := tcp.NewClient(tcp.ClientOptions{
+				Addrs: addrs, Job: job, StartEpoch: startEpoch,
+				Name: fmt.Sprintf("peer%d", i), Lo: i * 2, Hi: i*2 + 2,
+				DialBackoff: 5 * time.Millisecond, JitterSeed: uint64(i + 1),
+			})
+			if err != nil {
+				t.Fatalf("client %d: %v", i, err)
+			}
+			t.Cleanup(func() { cl.Close() })
+			clients[i] = cl
+		}
+		return stores, clients
+	}
+	killWhenCheckpointed := func(seq *tcp.Sequencer, store *checkpoint.MemStore) func(chan struct{}) bool {
+		return func(runDone chan struct{}) bool {
+			for {
+				select {
+				case <-runDone:
+					return false
+				default:
+				}
+				if snap, err := store.Latest(); err == nil && snap != nil && snap.Phase >= 1 {
+					seq.Close()
+					return true
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+
+	// Run 1: candidate 0 dies; the group finishes at epoch 1 on candidate 1.
+	stores, clients := mkGroup(0)
+	if run("run1", stores, clients, killWhenCheckpointed(cand0, stores[0])) {
+		for i, cl := range clients {
+			if e := cl.Epoch(); e != 1 {
+				t.Errorf("run1: client %d at epoch %d, want 1", i, e)
+			}
+		}
+	} else {
+		t.Log("run1 completed before the kill landed; wrap-around is still exercised by run2")
+		cand0.Close()
+	}
+	// Run 2 reuses the peer names, so run 1's sessions must be gone first.
+	for _, cl := range clients {
+		cl.Close()
+	}
+
+	// Candidate 0 comes back on the same address — as far as the peer file
+	// is concerned, nothing changed.
+	mkSeq(addr0, 0)
+
+	// Run 2: a fresh group starts on candidate 1 (epoch 1, where run 1
+	// ended); candidate 1 dies and the sweep wraps around to the restarted
+	// candidate 0, which must adopt epoch 2 — fencing its own stale start.
+	stores2, clients2 := mkGroup(1)
+	killed2 := run("run2", stores2, clients2, killWhenCheckpointed(cand1, stores2[0]))
+	if killed2 {
+		for i, cl := range clients2 {
+			if e := cl.Epoch(); e != 2 {
+				t.Errorf("run2: client %d at epoch %d, want 2 (wrap-around)", i, e)
+			}
+		}
+	}
+	t.Logf("run2 wrapped=%v, epochs: %d %d", killed2, clients2[0].Epoch(), clients2[1].Epoch())
+}
+
+// TestEpochAdoptionFencingAndCatchUp drives the three epoch handshake rules
+// directly: a hello with a higher (correctly mapped) epoch is adopted and
+// fences the older generation's connections; the fenced peer's next dial is
+// rejected as stale with the group's epoch in the welcome; and the peer then
+// catches up and rejoins at the new epoch.
+func TestEpochAdoptionFencingAndCatchUp(t *testing.T) {
+	failoverLeakCheck(t)
+	const p = 2
+	const job = "epoch-rules"
+	seq := startCandidate(t, tcp.SequencerOptions{
+		Addr: "127.0.0.1:0", Job: job, P: p,
+		Index: 0, Candidates: 2, GatherTimeout: 15 * time.Second,
+	})
+	// Candidate 1 is never dialed in this test: every epoch involved (0 and
+	// 2) maps to candidate 0.
+	addrs := []string{seq.Addr(), "127.0.0.1:1"}
+	mkClient := func(name string, lo, hi int, startEpoch uint64) *tcp.Client {
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addrs: addrs, Job: job, Name: name, Lo: lo, Hi: hi,
+			StartEpoch: startEpoch, DialBackoff: 5 * time.Millisecond, JitterSeed: uint64(lo + 1),
+		})
+		if err != nil {
+			t.Fatalf("client %s: %v", name, err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+	exchange := func(cl *tcp.Client, tag string, blob []byte, errC chan<- error, out *[][]byte) {
+		blobs := make([][]byte, p)
+		for i := range blobs {
+			blobs[i] = blob
+		}
+		got, err := cl.Exchange(tag, blobs)
+		if err == nil {
+			*out = got
+		}
+		errC <- err
+	}
+
+	// Epoch 0: a plain collective exchange between x and y.
+	x := mkClient("x", 0, 1, 0)
+	y := mkClient("y", 1, 2, 0)
+	errC := make(chan error, 2)
+	var gotX, gotY [][]byte
+	go exchange(x, "t1", []byte("x1"), errC, &gotX)
+	go exchange(y, "t1", []byte("y1"), errC, &gotY)
+	if err := <-errC; err != nil {
+		t.Fatalf("epoch-0 exchange: %v", err)
+	}
+	if err := <-errC; err != nil {
+		t.Fatalf("epoch-0 exchange: %v", err)
+	}
+	if seq.Epoch() != 0 || x.Epoch() != 0 {
+		t.Fatalf("epoch drifted before the test began: seq=%d x=%d", seq.Epoch(), x.Epoch())
+	}
+
+	// y leaves; y2 arrives claiming epoch 2 (2 mod 2 = candidate 0, so the
+	// claim maps here and must be adopted, fencing x's epoch-0 session).
+	y.Close()
+	y2 := mkClient("y2", 1, 2, 2)
+	var gotX2, gotY2 [][]byte
+	y2done := make(chan error, 1)
+	go exchange(y2, "t2", []byte("y2"), y2done, &gotY2)
+
+	// x's stranded session dies under it (fenced); its retries must walk the
+	// stale-reject catch-up path and complete the exchange at epoch 2.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		xErr := make(chan error, 1)
+		go exchange(x, "t2", []byte("x2"), xErr, &gotX2)
+		err := <-xErr
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("x never rejoined after fencing: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := <-y2done; err != nil {
+		t.Fatalf("y2 exchange: %v", err)
+	}
+	if string(gotX2[0]) != "x2" || string(gotX2[1]) != "y2" {
+		t.Errorf("epoch-2 exchange merged wrong blobs: %q %q", gotX2[0], gotX2[1])
+	}
+	if seq.Epoch() != 2 || x.Epoch() != 2 || y2.Epoch() != 2 {
+		t.Errorf("epochs after catch-up: seq=%d x=%d y2=%d, want all 2", seq.Epoch(), x.Epoch(), y2.Epoch())
+	}
+}
+
+// TestStaleEpochHelloRejected pins the fencing floor: a sequencer that has
+// moved to a newer epoch refuses an older-epoch hello outright (the zombie
+// client cannot rejoin the past), and the rejection is what carries the
+// current epoch forward.
+func TestStaleEpochHelloRejected(t *testing.T) {
+	failoverLeakCheck(t)
+	const job = "stale-hello"
+	seq := startCandidate(t, tcp.SequencerOptions{
+		Addr: "127.0.0.1:0", Job: job, P: 2,
+		Index: 0, Candidates: 3, GatherTimeout: 10 * time.Second,
+	})
+	addrs := []string{seq.Addr(), "127.0.0.1:1", "127.0.0.1:2"}
+
+	// Move the sequencer to epoch 3 (3 mod 3 = candidate 0, so the claim
+	// maps here and is adopted at the handshake).
+	mover, err := tcp.NewClient(tcp.ClientOptions{
+		Addrs: addrs, Job: job, Name: "mover", Lo: 0, Hi: 1,
+		StartEpoch: 3, DialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moverDone := make(chan struct{})
+	go func() {
+		defer close(moverDone)
+		blobs := [][]byte{[]byte("m"), nil}
+		mover.Exchange("move", blobs) // completes once "late" joins and proposes
+	}()
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return seq.Epoch() == 3 }, "epoch adoption")
+
+	// A client dialing at epoch 0 gets a stale rejection whose welcome
+	// carries epoch 3; it must adopt it, redial the candidate epoch 3 maps
+	// to (this one) and join — proving the rejection is what carries the
+	// group's position to laggards.
+	late, err := tcp.NewClient(tcp.ClientOptions{
+		Addrs: addrs, Job: job, Name: "late", Lo: 1, Hi: 2,
+		DialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateDone := make(chan struct{})
+	go func() {
+		defer close(lateDone)
+		blobs := [][]byte{nil, []byte("l")}
+		late.Exchange("move", blobs)
+	}()
+	waitFor(func() bool { return late.Epoch() == 3 }, "stale-reject catch-up")
+
+	mover.Close()
+	late.Close()
+	<-moverDone
+	<-lateDone
+}
+
+// TestSequencerCloseRacingHandshake: Close() while connections sit in the
+// hello wait must return promptly (not wait out PeerTimeout) and leave no
+// goroutines behind.
+func TestSequencerCloseRacingHandshake(t *testing.T) {
+	failoverLeakCheck(t)
+	seq, err := tcp.NewSequencer(tcp.SequencerOptions{
+		Addr: "127.0.0.1:0", Job: "close-race", P: 2,
+		PeerTimeout: 30 * time.Second, // without inflight tracking Close would block this long
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); seq.Serve(context.Background()) }()
+
+	conns := make([]net.Conn, 3)
+	for i := range conns {
+		c, err := net.Dial("tcp", seq.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the accept loop hand them to handshakes
+
+	start := time.Now()
+	seq.Close()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("Close took %v with handshakes in flight; inflight connections are not being cut", d)
+	}
+	<-done
+}
+
+// TestSequencerCloseMidRound: Close() while an engine round is executing
+// must tear everything down without leaking relay or connection goroutines.
+func TestSequencerCloseMidRound(t *testing.T) {
+	failoverLeakCheck(t)
+	const p, k, n = 4, 2, 4096
+	const job = "close-mid-round"
+	inputs := seededInputs(0xC105E, p, n)
+	seq := startSequencer(t, job, p, nil)
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		cl, err := tcp.NewClient(tcp.ClientOptions{
+			Addr: seq.Addr(), Job: job, Name: fmt.Sprintf("peer%d", i),
+			Lo: i * 2, Hi: i*2 + 2, DialAttempts: 1, JitterSeed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		opts := core.SortOptions{K: k, Algorithm: core.AlgoColumnsortGather, StallTimeout: 20 * time.Second, Transport: cl}
+		go func() {
+			_, _, err := core.Sort(inputs, opts)
+			results <- err
+		}()
+	}
+	time.Sleep(250 * time.Millisecond) // deep enough into the run to be mid-round
+	seq.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-results; err == nil {
+			t.Error("driver finished cleanly across a sequencer close; the kill landed after completion — raise n")
+		}
+	}
+}

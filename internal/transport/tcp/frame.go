@@ -25,14 +25,23 @@ import (
 //	uint32  payload length n (big endian)
 //	uint8   type
 //	uint32  sequence number (per connection, per direction, starting at 1)
+//	uint64  epoch (the sequencer generation this session belongs to)
 //	n bytes payload
-//	uint64  FNV-1a over type ∥ seq ∥ payload
+//	uint64  FNV-1a over type ∥ seq ∥ epoch ∥ payload
 //
 // The sequence number makes duplicate frames (a retransmitting or chaotic
 // link) detectable — the reader discards seq ≤ last — and makes silent frame
 // loss detectable as a gap, which is treated as a link failure (the protocol
 // has no retransmission; recovery happens a layer up, via retry + checkpoint
 // resume).
+//
+// The epoch stamps every frame with the sequencer generation negotiated at
+// the handshake: epoch e is served by candidate e mod C of the peer file's
+// ordered sequencer list, and a frame whose epoch disagrees with the
+// session's is rejected by tearing the connection down — the fencing that
+// stops a zombie sequencer (or a peer stranded in an old generation) from
+// feeding stale cycle traffic into a promoted group. Single-sequencer groups
+// stay at epoch 0 forever, so the field is inert for them.
 const (
 	fHello     = 1  // peer → seq: join a job (helloBody)
 	fWelcome   = 2  // seq → peer: join verdict (welcomeBody)
@@ -54,18 +63,20 @@ const (
 const maxFrame = 64 << 20
 
 type frame struct {
-	typ byte
-	seq uint32
-	pay []byte
+	typ   byte
+	seq   uint32
+	epoch uint64
+	pay   []byte
 }
 
-// fnv1a64 hashes type ∥ seq ∥ payload.
-func fnv1a64(typ byte, seq uint32, pay []byte) uint64 {
+// fnv1a64 hashes type ∥ seq ∥ epoch ∥ payload.
+func fnv1a64(typ byte, seq uint32, epoch uint64, pay []byte) uint64 {
 	const offset, prime = 14695981039346656037, 1099511628211
 	h := uint64(offset)
 	h = (h ^ uint64(typ)) * prime
-	var s [4]byte
-	binary.BigEndian.PutUint32(s[:], seq)
+	var s [12]byte
+	binary.BigEndian.PutUint32(s[:4], seq)
+	binary.BigEndian.PutUint64(s[4:], epoch)
 	for _, b := range s {
 		h = (h ^ uint64(b)) * prime
 	}
@@ -76,12 +87,13 @@ func fnv1a64(typ byte, seq uint32, pay []byte) uint64 {
 }
 
 // appendFrame serializes one frame into buf (reused across calls).
-func appendFrame(buf []byte, typ byte, seq uint32, pay []byte) []byte {
+func appendFrame(buf []byte, typ byte, seq uint32, epoch uint64, pay []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(pay)))
 	buf = append(buf, typ)
 	buf = binary.BigEndian.AppendUint32(buf, seq)
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
 	buf = append(buf, pay...)
-	buf = binary.BigEndian.AppendUint64(buf, fnv1a64(typ, seq, pay))
+	buf = binary.BigEndian.AppendUint64(buf, fnv1a64(typ, seq, epoch, pay))
 	return buf
 }
 
@@ -97,7 +109,7 @@ type frameReader struct {
 	// hdr and sum live here rather than on read's stack: io.ReadFull takes
 	// an interface, so stack arrays passed to it escape (one heap allocation
 	// each per frame).
-	hdr [9]byte
+	hdr [17]byte
 	sum [8]byte
 }
 
@@ -116,7 +128,7 @@ func (fr *frameReader) read() (frame, error) {
 	if n > maxFrame {
 		return frame{}, fmt.Errorf("tcp: frame length %d exceeds limit (corrupt prefix?)", n)
 	}
-	f := frame{typ: fr.hdr[4], seq: binary.BigEndian.Uint32(fr.hdr[5:9])}
+	f := frame{typ: fr.hdr[4], seq: binary.BigEndian.Uint32(fr.hdr[5:9]), epoch: binary.BigEndian.Uint64(fr.hdr[9:17])}
 	if uint32(cap(fr.pay)) < n {
 		fr.pay = make([]byte, n)
 	}
@@ -127,7 +139,7 @@ func (fr *frameReader) read() (frame, error) {
 	if _, err := io.ReadFull(fr.r, fr.sum[:]); err != nil {
 		return frame{}, err
 	}
-	if got, want := binary.BigEndian.Uint64(fr.sum[:]), fnv1a64(f.typ, f.seq, f.pay); got != want {
+	if got, want := binary.BigEndian.Uint64(fr.sum[:]), fnv1a64(f.typ, f.seq, f.epoch, f.pay); got != want {
 		return frame{}, fmt.Errorf("tcp: frame checksum mismatch (type %d, seq %d)", f.typ, f.seq)
 	}
 	return f, nil

@@ -10,8 +10,10 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf []byte
 	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)}
+	// Epochs exercise zero, small, and full-width values.
+	epochs := []uint64{0, 1, 7, 1<<63 + 42}
 	for i, pay := range payloads {
-		buf = appendFrame(buf, byte(i+1), uint32(i+1), pay)
+		buf = appendFrame(buf, byte(i+1), uint32(i+1), epochs[i], pay)
 	}
 	fr := newFrameReader(bufio.NewReader(bytes.NewReader(buf)))
 	for i, pay := range payloads {
@@ -19,8 +21,8 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if f.typ != byte(i+1) || f.seq != uint32(i+1) || !bytes.Equal(f.pay, pay) {
-			t.Fatalf("frame %d round-tripped as type=%d seq=%d len=%d", i, f.typ, f.seq, len(f.pay))
+		if f.typ != byte(i+1) || f.seq != uint32(i+1) || f.epoch != epochs[i] || !bytes.Equal(f.pay, pay) {
+			t.Fatalf("frame %d round-tripped as type=%d seq=%d epoch=%d len=%d", i, f.typ, f.seq, f.epoch, len(f.pay))
 		}
 	}
 	if _, err := fr.read(); err == nil {
@@ -29,10 +31,10 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameChecksumDetectsBitFlips(t *testing.T) {
-	base := appendFrame(nil, fOps, 7, []byte(`{"round":1}`))
-	// Flip one bit at every position past the length prefix; each flip must
-	// be rejected (length-prefix flips are covered by the limit check and
-	// read-shortfall instead).
+	base := appendFrame(nil, fOps, 7, 3, []byte(`{"round":1}`))
+	// Flip one bit at every position past the length prefix — the epoch field
+	// included; each flip must be rejected (length-prefix flips are covered
+	// by the limit check and read-shortfall instead).
 	for i := 4; i < len(base); i++ {
 		mut := append([]byte(nil), base...)
 		mut[i] ^= 0x10
@@ -43,7 +45,7 @@ func TestFrameChecksumDetectsBitFlips(t *testing.T) {
 }
 
 func TestFrameLengthLimit(t *testing.T) {
-	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, fOps, 0, 0, 0, 1}
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, fOps, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}
 	_, err := newFrameReader(bufio.NewReader(bytes.NewReader(hdr))).read()
 	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
 		t.Fatalf("oversized length prefix: got %v", err)
@@ -51,7 +53,7 @@ func TestFrameLengthLimit(t *testing.T) {
 }
 
 func TestFrameTruncation(t *testing.T) {
-	full := appendFrame(nil, fResults, 3, []byte("payload"))
+	full := appendFrame(nil, fResults, 3, 1, []byte("payload"))
 	for cut := 1; cut < len(full); cut++ {
 		if _, err := newFrameReader(bufio.NewReader(bytes.NewReader(full[:cut]))).read(); err == nil {
 			t.Fatalf("truncation at %d/%d bytes went undetected", cut, len(full))
@@ -66,7 +68,7 @@ func TestFrameTruncation(t *testing.T) {
 func TestFrameReaderReusesScratch(t *testing.T) {
 	var buf []byte
 	for seq := uint32(1); seq <= 16; seq++ {
-		buf = appendFrame(buf, fOps, seq, bytes.Repeat([]byte{byte(seq)}, 512))
+		buf = appendFrame(buf, fOps, seq, 0, bytes.Repeat([]byte{byte(seq)}, 512))
 	}
 	fr := newFrameReader(bufio.NewReader(bytes.NewReader(buf)))
 	first, err := fr.read()
@@ -92,7 +94,7 @@ func TestFrameReaderReusesScratch(t *testing.T) {
 // b.ReportAllocs keeps the zero-allocation property visible in CI output.
 func BenchmarkFrameRead(b *testing.B) {
 	pay := bytes.Repeat([]byte{0x5A}, 1024)
-	one := appendFrame(nil, fOps, 1, pay)
+	one := appendFrame(nil, fOps, 1, 0, pay)
 	// A looping reader that replays the same encoded frame forever.
 	fr := newFrameReader(bufio.NewReader(&repeatReader{b: one}))
 	b.SetBytes(int64(len(one)))
@@ -113,7 +115,7 @@ func BenchmarkFrameAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf = appendFrame(buf[:0], fOps, uint32(i+1), pay)
+		buf = appendFrame(buf[:0], fOps, uint32(i+1), 0, pay)
 	}
 	_ = buf
 }

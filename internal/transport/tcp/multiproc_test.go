@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -134,6 +135,88 @@ func TestMultiProcSmoke(t *testing.T) {
 		t.Logf("restarted peer: attempts=%v resumes=%v phase=%v",
 			rb["attempts"], rb["resumes"], rb["checkpoint_phase"])
 	})
+
+	t.Run("SequencerFailover", func(t *testing.T) {
+		// Two dedicated sequencer processes serve candidates 0 and 1 of the
+		// peer file's "sequencers" list. SIGKILLing the active one after the
+		// peers have checkpointed must leave the run to finish on the standby,
+		// with reports byte-identical to a fault-free group's modulo the
+		// recovery counters, and a replay cost strictly below a from-scratch
+		// rerun.
+		runGroup := func(job string, kill bool) (reports map[string]map[string]any, replayed, cycles float64) {
+			dir := t.TempDir()
+			peers := writePeerFileCandidates(t, dir, job)
+			seqArgs := func(idx int) []string {
+				return []string{"-peers", peers, "-standby-seq", fmt.Sprint(idx),
+					"-gather-timeout", "15s", "-v"}
+			}
+			active := startPeer(t, bin, dir, filepath.Join(dir, "seq0.out"), seqArgs(0))
+			startPeer(t, bin, dir, filepath.Join(dir, "seq1.out"), seqArgs(1)) // standby; reaped by cleanup
+			time.Sleep(200 * time.Millisecond)
+
+			common := []string{"-peers", peers, "-n", "4096", "-seed", "5", "-retries", "12", "-json", "-v"}
+			outs := map[string]string{}
+			procs := map[string]*exec.Cmd{}
+			for _, name := range []string{"a", "b", "c", "d"} {
+				outs[name] = filepath.Join(dir, name+".out.json")
+				args := append(append([]string(nil), common...),
+					"-name", name, "-checkpoint-dir", filepath.Join(dir, "ck-"+name))
+				procs[name] = startPeer(t, bin, dir, outs[name], args)
+			}
+
+			if kill {
+				ckA := filepath.Join(dir, "ck-a")
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					if st, err := checkpoint.NewDir(ckA); err == nil {
+						if snap, err := st.Latest(); err == nil && snap != nil && snap.Phase >= 1 {
+							break
+						}
+					}
+					if time.Now().After(deadline) {
+						t.Fatal("peer a never wrote a mid-run checkpoint")
+					}
+					time.Sleep(10 * time.Millisecond)
+				}
+				if err := active.Process.Kill(); err != nil {
+					t.Fatalf("kill active sequencer: %v", err)
+				}
+				active.Wait() // reap; a SIGKILL exit is the expected outcome
+			}
+
+			reports = map[string]map[string]any{}
+			for _, name := range []string{"a", "b", "c", "d"} {
+				if err := procs[name].Wait(); err != nil {
+					t.Fatalf("%s peer %s: %v", job, name, err)
+				}
+				reports[name] = readReport(t, outs[name])
+			}
+			replayed, _ = reports["a"]["replayed_cycles"].(float64)
+			cycles, _ = reports["a"]["cycles"].(float64)
+			return reports, replayed, cycles
+		}
+
+		base, _, baseCycles := runGroup("failover-base", false)
+		got, replayed, cycles := runGroup("failover-kill", true)
+
+		want, _ := json.Marshal(stripRecovery(base["a"]))
+		for _, name := range []string{"a", "b", "c", "d"} {
+			if g, _ := json.Marshal(stripRecovery(got[name])); string(g) != string(want) {
+				t.Errorf("failover peer %s report diverged from fault-free run:\n got: %s\nwant: %s", name, g, want)
+			}
+		}
+		if attempts, _ := got["a"]["attempts"].(float64); attempts < 2 {
+			t.Errorf("peer a reports %v attempts; the kill did not interrupt the run", attempts)
+		}
+		if cycles != baseCycles {
+			t.Errorf("failover run cost %v cycles, fault-free run %v", cycles, baseCycles)
+		}
+		if replayed >= cycles {
+			t.Errorf("replayed %v cycles, not strictly below the full run's %v: checkpointed resume did not bound the replay", replayed, cycles)
+		}
+		t.Logf("failover run: attempts=%v resumes=%v replayed=%v of %v cycles",
+			got["a"]["attempts"], got["a"]["resumes"], replayed, cycles)
+	})
 }
 
 func writePeerFile(t *testing.T, dir, job string) string {
@@ -160,6 +243,35 @@ func writePeerFile(t *testing.T, dir, job string) string {
 	return path
 }
 
+// writePeerFileCandidates is writePeerFile with an ordered two-entry
+// "sequencers" candidate list instead of the legacy single address.
+func writePeerFileCandidates(t *testing.T, dir, job string) string {
+	t.Helper()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	path := filepath.Join(dir, "peers.json")
+	spec := fmt.Sprintf(`{
+  "job": %q, "sequencers": [%q, %q], "p": 8, "k": 3,
+  "peers": [
+    {"name": "a", "lo": 0, "hi": 2},
+    {"name": "b", "lo": 2, "hi": 4},
+    {"name": "c", "lo": 4, "hi": 6},
+    {"name": "d", "lo": 6, "hi": 8}
+  ]
+}`, job, addrs[0], addrs[1])
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func startPeer(t *testing.T, bin, dir, stdout string, args []string) *exec.Cmd {
 	t.Helper()
 	f, err := os.Create(stdout)
@@ -171,6 +283,24 @@ func startPeer(t *testing.T, bin, dir, stdout string, args []string) *exec.Cmd {
 	cmd.Dir = dir
 	cmd.Stdout = f
 	cmd.Stderr = os.Stderr
+	// With MCBNET_LOGDIR set (the CI chaos job points it at an artifact
+	// directory), each process's stderr is preserved there instead of being
+	// interleaved into the test output, and its stdout file is copied in on
+	// teardown — so a failed run leaves every peer's logs and report behind.
+	if ld := os.Getenv("MCBNET_LOGDIR"); ld != "" {
+		prefix := strings.ReplaceAll(t.Name(), "/", "_") + "-" + filepath.Base(stdout)
+		lf, lerr := os.Create(filepath.Join(ld, prefix+".stderr.log"))
+		if lerr != nil {
+			t.Fatal(lerr)
+		}
+		cmd.Stderr = lf
+		t.Cleanup(func() {
+			lf.Close()
+			if b, rerr := os.ReadFile(stdout); rerr == nil {
+				os.WriteFile(filepath.Join(ld, prefix), b, 0o644)
+			}
+		})
+	}
 	if err := cmd.Start(); err != nil {
 		t.Fatalf("start %v: %v", args, err)
 	}
@@ -199,4 +329,19 @@ func readReport(t *testing.T, path string) map[string]any {
 func stripPerPeer(m map[string]any) map[string]any {
 	delete(m, "extra")
 	return m
+}
+
+// stripRecovery drops the per-peer and recovery-cost fields so a failover
+// run's report can be compared byte-for-byte against a fault-free run's.
+func stripRecovery(m map[string]any) map[string]any {
+	out := map[string]any{}
+	for k, v := range m {
+		out[k] = v
+	}
+	delete(out, "extra")
+	delete(out, "attempts")
+	delete(out, "resumes")
+	delete(out, "checkpoint_phase")
+	delete(out, "replayed_cycles")
+	return out
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 
 	"mcbnet/internal/mcb"
 )
@@ -43,13 +44,42 @@ type CutSpec struct {
 //	  ],
 //	  "cut_channels": [{"ch": 2, "from": 100}]
 //	}
+// With failover, "sequencer" generalizes to an ordered candidate list:
+//
+//	"sequencers": ["127.0.0.1:7700", "127.0.0.1:7701"]
+//
+// Epoch e of a session is served by candidate e mod len(sequencers); the
+// single-"sequencer" form is still accepted and means a one-element list
+// (whose groups stay at epoch 0 forever — no behavior change).
 type PeerFile struct {
-	Job         string     `json:"job"`
-	Sequencer   string     `json:"sequencer"`
+	Job string `json:"job"`
+	// Sequencer is the legacy single-address form. If Sequencers is also set,
+	// Sequencer must equal Sequencers[0].
+	Sequencer string `json:"sequencer,omitempty"`
+	// Sequencers is the ordered failover candidate list; index 0 is the
+	// epoch-0 (initial) sequencer.
+	Sequencers  []string   `json:"sequencers,omitempty"`
 	P           int        `json:"p"`
 	K           int        `json:"k"`
 	Peers       []PeerSpec `json:"peers"`
 	CutChannels []CutSpec  `json:"cut_channels,omitempty"`
+}
+
+// Candidates returns the normalized ordered sequencer candidate list:
+// Sequencers if present, else the single legacy Sequencer, with surrounding
+// whitespace trimmed. Call Validate first; Candidates does not re-check.
+func (pf *PeerFile) Candidates() []string {
+	src := pf.Sequencers
+	if len(src) == 0 && pf.Sequencer != "" {
+		src = []string{pf.Sequencer}
+	}
+	out := make([]string, 0, len(src))
+	for _, addr := range src {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 // LoadPeerFile reads and validates a peer file: the peer ranges must
@@ -71,8 +101,22 @@ func LoadPeerFile(path string) (*PeerFile, error) {
 
 // Validate checks the group shape.
 func (pf *PeerFile) Validate() error {
-	if pf.Sequencer == "" {
+	cands := pf.Candidates()
+	if len(cands) == 0 {
 		return fmt.Errorf("no sequencer address")
+	}
+	if len(pf.Sequencers) > 0 && len(cands) != len(pf.Sequencers) {
+		return fmt.Errorf("sequencer candidate list has empty entries")
+	}
+	if pf.Sequencer != "" && len(pf.Sequencers) > 0 && strings.TrimSpace(pf.Sequencer) != cands[0] {
+		return fmt.Errorf("sequencer %q conflicts with sequencers[0] %q (set one, or make them agree)", pf.Sequencer, cands[0])
+	}
+	seenSeq := map[string]bool{}
+	for _, addr := range cands {
+		if seenSeq[addr] {
+			return fmt.Errorf("duplicate sequencer candidate %q", addr)
+		}
+		seenSeq[addr] = true
 	}
 	if pf.P < 1 || pf.K < 1 || pf.K > pf.P {
 		return fmt.Errorf("bad shape p=%d k=%d", pf.P, pf.K)

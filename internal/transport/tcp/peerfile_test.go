@@ -1,0 +1,101 @@
+package tcp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempPeerFile(t *testing.T, pf *PeerFile) string {
+	t.Helper()
+	b, err := json.Marshal(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "peers.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func basePeerFile() *PeerFile {
+	return &PeerFile{
+		Job: "t", P: 4, K: 2,
+		Peers: []PeerSpec{{Name: "a", Lo: 0, Hi: 2}, {Name: "b", Lo: 2, Hi: 4}},
+	}
+}
+
+// TestPeerFileLegacySequencerRoundTrip pins backward compatibility: a file
+// with only the single legacy "sequencer" field loads unchanged and yields a
+// one-element candidate list.
+func TestPeerFileLegacySequencerRoundTrip(t *testing.T) {
+	pf := basePeerFile()
+	pf.Sequencer = "127.0.0.1:7700"
+	got, err := LoadPeerFile(writeTempPeerFile(t, pf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sequencer != "127.0.0.1:7700" || len(got.Sequencers) != 0 {
+		t.Fatalf("legacy form mutated on load: %+v", got)
+	}
+	if c := got.Candidates(); len(c) != 1 || c[0] != "127.0.0.1:7700" {
+		t.Fatalf("Candidates() = %v, want the single legacy address", c)
+	}
+}
+
+// TestPeerFileSequencersRoundTrip pins the new ordered-candidate form.
+func TestPeerFileSequencersRoundTrip(t *testing.T) {
+	pf := basePeerFile()
+	pf.Sequencers = []string{"127.0.0.1:7700", " 127.0.0.1:7701 "}
+	got, err := LoadPeerFile(writeTempPeerFile(t, pf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.Candidates()
+	if len(c) != 2 || c[0] != "127.0.0.1:7700" || c[1] != "127.0.0.1:7701" {
+		t.Fatalf("Candidates() = %v, want two normalized addresses", c)
+	}
+}
+
+// TestPeerFileBothFormsMustAgree: setting both fields is accepted only when
+// the legacy field names the first candidate.
+func TestPeerFileBothFormsMustAgree(t *testing.T) {
+	pf := basePeerFile()
+	pf.Sequencer = "127.0.0.1:7700"
+	pf.Sequencers = []string{"127.0.0.1:7700", "127.0.0.1:7701"}
+	if err := pf.Validate(); err != nil {
+		t.Fatalf("agreeing forms rejected: %v", err)
+	}
+	pf.Sequencer = "127.0.0.1:9999"
+	if err := pf.Validate(); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("conflicting forms: got %v", err)
+	}
+}
+
+func TestPeerFileValidateSequencerCandidates(t *testing.T) {
+	cases := []struct {
+		name string
+		seqs []string
+		seq  string
+		want string
+	}{
+		{name: "duplicate candidates", seqs: []string{"a:1", "b:2", "a:1"}, want: "duplicate sequencer candidate"},
+		{name: "empty entry", seqs: []string{"a:1", "  "}, want: "empty entries"},
+		{name: "empty after normalization", seqs: []string{"   "}, want: "no sequencer address"},
+		{name: "nothing set", want: "no sequencer address"},
+		{name: "whitespace legacy", seq: "  ", want: "no sequencer address"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pf := basePeerFile()
+			pf.Sequencer, pf.Sequencers = tc.seq, tc.seqs
+			err := pf.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -22,6 +22,14 @@ type SequencerOptions struct {
 	Job string
 	// P is the network size; peer ranges must partition [0, P).
 	P int
+	// Index is this sequencer's position in the peer file's ordered candidate
+	// list and Candidates is that list's length. Session epoch e is served by
+	// candidate e mod Candidates, so this sequencer starts at epoch Index and
+	// only ever adopts a higher epoch that maps back to it (a promotion, or a
+	// wrap-around after every other candidate was consumed). Zero values mean
+	// a single-sequencer group (candidate 0 of 1), which stays at epoch 0
+	// forever — the failover machinery is inert for it.
+	Index, Candidates int
 	// HeartbeatEvery paces liveness frames on idle connections (default
 	// 500ms). PeerTimeout is the per-read deadline — a connection silent for
 	// this long is declared dead (default 5s). WriteTimeout bounds each
@@ -53,6 +61,9 @@ func (o *SequencerOptions) defaults() {
 	if o.GatherTimeout <= 0 {
 		o.GatherTimeout = 2 * time.Minute
 	}
+	if o.Candidates <= 0 {
+		o.Candidates = 1
+	}
 }
 
 // Sequencer accepts peer connections and runs their proposed engine rounds
@@ -70,6 +81,8 @@ type Sequencer struct {
 
 	mu       sync.Mutex
 	byName   map[string]*seqConn
+	inflight map[net.Conn]struct{} // handshakes pending; Close cuts them short
+	epoch    uint64                // invariant: every alive conn was admitted at this epoch
 	hadPeers bool
 	roundNum uint64
 
@@ -161,11 +174,12 @@ func (b *mailbox) pop(abortC <-chan struct{}) (boxedOp, bool) {
 
 // seqConn is one peer connection.
 type seqConn struct {
-	s    *Sequencer
-	c    net.Conn
-	name string
-	lo   int
-	hi   int
+	s     *Sequencer
+	c     net.Conn
+	name  string
+	lo    int
+	hi    int
+	epoch uint64 // the epoch this connection was admitted at; immutable
 
 	out      chan outMsg
 	dead     chan struct{}
@@ -184,21 +198,33 @@ type outMsg struct {
 // NewSequencer listens on opt.Addr; call Serve to run the session.
 func NewSequencer(opt SequencerOptions) (*Sequencer, error) {
 	opt.defaults()
+	if opt.Index < 0 || opt.Index >= opt.Candidates {
+		return nil, fmt.Errorf("tcp: sequencer candidate index %d outside [0, %d)", opt.Index, opt.Candidates)
+	}
 	ln, err := net.Listen("tcp", opt.Addr)
 	if err != nil {
 		return nil, err
 	}
 	return &Sequencer{
-		opt:    opt,
-		ln:     ln,
-		events: make(chan seqEvent, 256),
-		byName: make(map[string]*seqConn),
-		closed: make(chan struct{}),
+		opt:      opt,
+		ln:       ln,
+		events:   make(chan seqEvent, 256),
+		byName:   make(map[string]*seqConn),
+		inflight: make(map[net.Conn]struct{}),
+		epoch:    uint64(opt.Index),
+		closed:   make(chan struct{}),
 	}, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
 func (s *Sequencer) Addr() string { return s.ln.Addr().String() }
+
+// Epoch returns the sequencer's current epoch (diagnostics and tests).
+func (s *Sequencer) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
 
 func (s *Sequencer) logf(format string, args ...any) {
 	if s.opt.Logf != nil {
@@ -215,7 +241,16 @@ func (s *Sequencer) Close() error {
 	for _, sc := range s.byName {
 		conns = append(conns, sc)
 	}
+	pending := make([]net.Conn, 0, len(s.inflight))
+	for c := range s.inflight {
+		pending = append(pending, c)
+	}
 	s.mu.Unlock()
+	// Cut in-flight handshakes short: without this, wg.Wait would block for
+	// up to PeerTimeout on a connection that never sent its hello.
+	for _, c := range pending {
+		c.Close()
+	}
 	for _, sc := range conns {
 		sc.die(fmt.Errorf("sequencer closed"))
 	}
@@ -227,6 +262,11 @@ func (s *Sequencer) Close() error {
 // rounds, boundary exchanges — until every peer says bye, ctx is cancelled,
 // or Close is called. It is the whole session loop of a distributed run.
 func (s *Sequencer) Serve(ctx context.Context) error {
+	// A sequencer whose session loop has returned must not keep accepting:
+	// a standalone process would have exited, taking its listener with it.
+	// Leaving the listener open would admit peers into a session nobody
+	// drives — they would hang instead of sweeping to the next candidate.
+	defer s.closeOnce.Do(func() { close(s.closed); s.ln.Close() })
 	s.wg.Add(1)
 	go s.acceptLoop()
 
@@ -613,9 +653,36 @@ func (s *Sequencer) acceptLoop() {
 	}
 }
 
+// track registers an in-flight handshake connection so Close can cut it
+// short; reports false when the sequencer is already closed.
+func (s *Sequencer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.inflight[c] = struct{}{}
+	return true
+}
+
+func (s *Sequencer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.inflight, c)
+	s.mu.Unlock()
+}
+
 // handshake admits one connection: hello in, welcome out, then the
-// connection joins the session.
+// connection joins the session. The hello frame's header epoch is the peer's
+// claim about which sequencer generation it is in; admission negotiates it
+// against s.epoch (see the epoch rules on the frame format in frame.go).
 func (s *Sequencer) handshake(c net.Conn) {
+	if !s.track(c) {
+		c.Close()
+		return
+	}
+	defer s.untrack(c)
 	fr := newFrameReader(bufio.NewReader(c))
 	c.SetReadDeadline(time.Now().Add(s.opt.PeerTimeout))
 	f, err := fr.read()
@@ -628,40 +695,87 @@ func (s *Sequencer) handshake(c net.Conn) {
 		c.Close()
 		return
 	}
-	reject := func(reason string) {
-		buf := appendFrame(nil, fWelcome, 1, marshal(welcomeBody{OK: false, Reason: reason, P: s.opt.P}))
+	reject := func(reason string, cur uint64, transient bool) {
+		// The reject welcome echoes the hello's header epoch so the peer's
+		// reader accepts the frame whatever epoch it is in; the body's Epoch
+		// carries the group's actual position so a stale peer can catch up.
+		buf := appendFrame(nil, fWelcome, 1, f.epoch, marshal(welcomeBody{OK: false, Reason: reason, P: s.opt.P, Epoch: cur, Retry: transient}))
 		c.SetWriteDeadline(time.Now().Add(s.opt.WriteTimeout))
 		c.Write(buf)
 		c.Close()
 	}
 	if s.opt.Job != "" && hello.Job != s.opt.Job {
-		reject(fmt.Sprintf("job %q, sequencer serves %q", hello.Job, s.opt.Job))
+		reject(fmt.Sprintf("job %q, sequencer serves %q", hello.Job, s.opt.Job), s.Epoch(), false)
 		return
 	}
 	if hello.Lo < 0 || hello.Hi > s.opt.P || hello.Hi <= hello.Lo {
-		reject(fmt.Sprintf("range [%d, %d) outside [0, %d)", hello.Lo, hello.Hi, s.opt.P))
+		reject(fmt.Sprintf("range [%d, %d) outside [0, %d)", hello.Lo, hello.Hi, s.opt.P), s.Epoch(), false)
 		return
 	}
 	sc := &seqConn{s: s, c: c, name: hello.Name, lo: hello.Lo, hi: hello.Hi,
 		out: make(chan outMsg, 256), dead: make(chan struct{})}
+	cands := uint64(s.opt.Candidates)
 	s.mu.Lock()
+	he, cur := f.epoch, s.epoch
+	if he < cur {
+		s.mu.Unlock()
+		reject(fmt.Sprintf("stale epoch %d, group is at epoch %d", he, cur), cur, false)
+		return
+	}
+	if he%cands != uint64(s.opt.Index) {
+		s.mu.Unlock()
+		reject(fmt.Sprintf("epoch %d is served by candidate %d, this sequencer is candidate %d (misconfigured peer file?)", he, he%cands, s.opt.Index), cur, false)
+		return
+	}
+	if he > cur {
+		// A promotion, or a wrap-around back to this candidate: adopt the
+		// higher epoch.
+		s.epoch = he
+		cur = he
+		s.logf("adopting epoch %d (hello from %q); fencing older connections", he, hello.Name)
+	}
+	// Fence every connection from an older generation — zombie-epoch traffic
+	// must not reach the current session. die() can block on the events
+	// channel, so it runs after the lock is released; until then a fenced
+	// conn's alive flag still reads true, which is why staleness is judged by
+	// epoch, not liveness.
+	var fenced []*seqConn
+	for _, old := range s.byName {
+		old.mu.Lock()
+		stale := old.alive && old.epoch < cur
+		old.mu.Unlock()
+		if stale {
+			fenced = append(fenced, old)
+		}
+	}
 	if old, ok := s.byName[hello.Name]; ok {
 		old.mu.Lock()
-		wasAlive := old.alive
+		dup := old.alive && old.epoch == cur
 		old.mu.Unlock()
-		if wasAlive {
+		if dup {
 			s.mu.Unlock()
-			reject(fmt.Sprintf("peer %q already connected", hello.Name))
+			for _, oc := range fenced {
+				oc.die(fmt.Errorf("fenced: superseded by epoch %d", cur))
+			}
+			// Transient: a peer that tore down and redialed can beat its own
+			// FIN here, so its previous connection still reads alive. By the
+			// peer's next sweep attempt the old conn is reaped; only a genuine
+			// name collision keeps being rejected until the sweep is exhausted.
+			reject(fmt.Sprintf("peer %q already connected", hello.Name), cur, true)
 			return
 		}
 	}
+	sc.epoch = cur
 	s.byName[hello.Name] = sc
 	s.hadPeers = true
 	sc.mu.Lock()
 	sc.alive = true
 	sc.mu.Unlock()
 	s.mu.Unlock()
-	s.logf("peer %q joined: procs [%d, %d)%s", hello.Name, hello.Lo, hello.Hi,
+	for _, oc := range fenced {
+		oc.die(fmt.Errorf("fenced: superseded by epoch %d", cur))
+	}
+	s.logf("peer %q joined at epoch %d: procs [%d, %d)%s", hello.Name, cur, hello.Lo, hello.Hi,
 		map[bool]string{true: " (resume)", false: ""}[hello.Resume])
 
 	s.wg.Add(1)
@@ -669,7 +783,7 @@ func (s *Sequencer) handshake(c net.Conn) {
 		defer s.wg.Done()
 		sc.writeLoop()
 	}()
-	sc.send(fWelcome, marshal(welcomeBody{OK: true, P: s.opt.P}))
+	sc.send(fWelcome, marshal(welcomeBody{OK: true, P: s.opt.P, Epoch: cur}))
 	sc.readLoop(fr)
 }
 
@@ -708,7 +822,7 @@ func (sc *seqConn) writeLoop() {
 	var buf []byte
 	write := func(typ byte, pay []byte) bool {
 		seq++
-		buf = appendFrame(buf[:0], typ, seq, pay)
+		buf = appendFrame(buf[:0], typ, seq, sc.epoch, pay)
 		sc.c.SetWriteDeadline(time.Now().Add(sc.s.opt.WriteTimeout))
 		if _, err := sc.c.Write(buf); err != nil {
 			sc.die(&transport.LinkError{Peer: sc.name, Op: "write", Err: err})
@@ -740,6 +854,11 @@ func (sc *seqConn) readLoop(fr *frameReader) {
 		f, err := fr.read()
 		if err != nil {
 			sc.die(&transport.LinkError{Peer: sc.name, Op: "read", Err: err})
+			return
+		}
+		if f.epoch != sc.epoch {
+			sc.die(&transport.LinkError{Peer: sc.name, Op: "frame",
+				Err: fmt.Errorf("epoch %d frame on an epoch %d session", f.epoch, sc.epoch)})
 			return
 		}
 		dup, err := win.admit(f.seq)

@@ -58,6 +58,14 @@ type welcomeBody struct {
 	OK     bool   `json:"ok"`
 	Reason string `json:"reason,omitempty"`
 	P      int    `json:"p"`
+	// Epoch is the sequencer's current epoch. On a stale-epoch rejection it
+	// tells the peer where the group has moved so it can adopt the epoch and
+	// redial the candidate that epoch maps to.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Retry marks a rejection as transient: the admission raced sequencer
+	// state that is about to settle (a dying connection not yet reaped), so
+	// the peer should redial within its bounded sweep rather than give up.
+	Retry bool `json:"retry,omitempty"`
 }
 
 type roundBody struct {
